@@ -1,0 +1,53 @@
+//! Ablation: the aggregation rule — plain prediction averaging (Eq. 6),
+//! ranking-weighted averaging (Eq. 7), and the FedAvg weight-averaging
+//! extension. Quality prints once; Criterion measures aggregation +
+//! prediction cost (the ensemble predicts with ℓ models, FedAvg with 1).
+
+use bench::{heterogeneous_federation, ExperimentScale, EPSILON, L_SELECT, SEED};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qens::fedlearn::{run_query, run_stream, FederationConfig};
+use qens::prelude::*;
+
+fn cfg(agg: Aggregation) -> FederationConfig {
+    FederationConfig {
+        train: TrainConfig::paper_lr(SEED).with_epochs(8),
+        ..FederationConfig::paper_lr(SEED)
+    }
+    .with_aggregation(agg)
+}
+
+fn bench_ablation_agg(c: &mut Criterion) {
+    let fed = heterogeneous_federation(ExperimentScale::Quick);
+    let wl = fed.workload(&WorkloadConfig { n_queries: 20, ..WorkloadConfig::paper_default(SEED) });
+    let policy = QueryDriven { epsilon: EPSILON, ..QueryDriven::top_l(L_SELECT) };
+    for agg in
+        [Aggregation::ModelAveraging, Aggregation::WeightedAveraging, Aggregation::FedAvgWeights]
+    {
+        let res = run_stream(fed.network(), &wl, &policy, &cfg(agg));
+        eprintln!(
+            "[ablation_agg] {:<16}: mean loss {:.6}, failed {}",
+            agg.name(),
+            res.mean_loss().unwrap_or(f64::NAN),
+            res.failed_queries()
+        );
+    }
+
+    // Prediction cost of the resulting global model.
+    let q = fed.query_from_bounds(0, &[0.0, 25.0, 0.0, 55.0]);
+    let ensemble = run_query(fed.network(), &q, &policy, &cfg(Aggregation::WeightedAveraging))
+        .expect("round completes");
+    let single = run_query(fed.network(), &q, &policy, &cfg(Aggregation::FedAvgWeights))
+        .expect("round completes");
+    let probe = [0.4_f64];
+    let mut group = c.benchmark_group("ablation_agg_predict");
+    group.bench_function("ensemble_weighted", |b| {
+        b.iter(|| ensemble.global.predict_row(black_box(&probe)))
+    });
+    group.bench_function("fedavg_single", |b| {
+        b.iter(|| single.global.predict_row(black_box(&probe)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_agg);
+criterion_main!(benches);

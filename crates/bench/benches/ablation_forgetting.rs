@@ -1,0 +1,70 @@
+//! Ablation: the *model forgetting* effect the paper's introduction
+//! warns about — "distributed learning models are more likely to forget
+//! what they have learned from previous participants when they move to
+//! new participants with different data distributions".
+//!
+//! Setup: train a model on the leader-region data, then continue training
+//! it on (a) a compatible node and (b) an incompatible node, and measure
+//! the loss back on the leader region. The printed numbers show the
+//! incompatible continuation erasing the earlier fit; Criterion measures
+//! the continuation round itself.
+
+use bench::{heterogeneous_federation, ExperimentScale, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qens::prelude::*;
+
+fn bench_ablation_forgetting(c: &mut Criterion) {
+    let fed = heterogeneous_federation(ExperimentScale::Quick);
+    let scaler = SpaceScaler::from_space(&fed.network().global_space());
+    let cfg = TrainConfig::paper_lr(SEED).with_epochs(15);
+
+    // Stage 1: learn the leader region (node 0).
+    let leader_data = scaler.transform_dataset(fed.network().nodes()[0].data());
+    let mut base = ModelKind::Linear.build(1, SEED);
+    qens::mlkit::train(&mut base, &leader_data, &cfg);
+    let before = base.evaluate(&leader_data, Loss::Mse);
+
+    // Stage 2a: continue on the compatible node (node 1, same pattern).
+    let compatible = scaler.transform_dataset(fed.network().nodes()[1].data());
+    let mut kept = base.clone();
+    qens::mlkit::train(&mut kept, &compatible, &cfg);
+    let after_compatible = kept.evaluate(&leader_data, Loss::Mse);
+
+    // Stage 2b: continue on an incompatible node (node 4 inverts the
+    // relation in the heterogeneous scenario).
+    let incompatible = scaler.transform_dataset(fed.network().nodes()[4].data());
+    let mut forgot = base.clone();
+    qens::mlkit::train(&mut forgot, &incompatible, &cfg);
+    let after_incompatible = forgot.evaluate(&leader_data, Loss::Mse);
+
+    eprintln!(
+        "[ablation_forgetting] leader-region loss: after leader {before:.6}, \
+         after compatible continuation {after_compatible:.6}, \
+         after incompatible continuation {after_incompatible:.6} \
+         ({}x degradation)",
+        (after_incompatible / after_compatible.max(1e-12)).round()
+    );
+    assert!(
+        after_incompatible > after_compatible,
+        "incompatible continuation must hurt more"
+    );
+
+    let mut group = c.benchmark_group("forgetting_continuation");
+    group.sample_size(10);
+    group.bench_function("compatible_node", |b| {
+        b.iter(|| {
+            let mut m = base.clone();
+            qens::mlkit::train(&mut m, &compatible, &cfg)
+        })
+    });
+    group.bench_function("incompatible_node", |b| {
+        b.iter(|| {
+            let mut m = base.clone();
+            qens::mlkit::train(&mut m, &incompatible, &cfg)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_forgetting);
+criterion_main!(benches);

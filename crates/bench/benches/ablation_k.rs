@@ -1,0 +1,61 @@
+//! Ablation: sensitivity to the clusters-per-node parameter K.
+//!
+//! The paper's §IV-A remark argues K = 1 is wrong ("the cluster
+//! boundaries could be expanded and included many unrelated data points")
+//! — the printed data fractions quantify that: at K = 1 every supporting
+//! node contributes all of its data. Criterion measures the quantisation
+//! cost as K grows.
+
+use bench::{ExperimentScale, EPSILON, L_SELECT, SEED};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qens::fedlearn::{run_stream, FederationConfig};
+use qens::prelude::*;
+
+fn federation_with_k(k: usize) -> Federation {
+    FederationBuilder::new()
+        .heterogeneous_nodes(10, ExperimentScale::Quick.samples_per_node())
+        .clusters_per_node(k)
+        .seed(SEED)
+        .epochs(8)
+        .build()
+}
+
+fn bench_ablation_k(c: &mut Criterion) {
+    let ks = [1usize, 3, 5, 8, 13];
+    for &k in &ks {
+        let fed = federation_with_k(k);
+        let wl =
+            fed.workload(&WorkloadConfig { n_queries: 20, ..WorkloadConfig::paper_default(SEED) });
+        let cfg = FederationConfig {
+            train: TrainConfig::paper_lr(SEED).with_epochs(8),
+            ..FederationConfig::paper_lr(SEED)
+        };
+        let policy = QueryDriven { epsilon: EPSILON, ..QueryDriven::top_l(L_SELECT) };
+        let res = run_stream(fed.network(), &wl, &policy, &cfg);
+        eprintln!(
+            "[ablation_k] K={k:>2}: mean loss {:.6}, mean data fraction {:.3}, failed {}",
+            res.mean_loss().unwrap_or(f64::NAN),
+            res.mean_data_fraction(),
+            res.failed_queries()
+        );
+    }
+
+    let nodes = qens::airdata::scenario::heterogeneous_nodes(10, 500, SEED);
+    let mut group = c.benchmark_group("ablation_k_quantize");
+    group.sample_size(10);
+    for &k in &ks {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut net = EdgeNetwork::from_datasets(
+                    nodes.iter().map(|n| (n.name.clone(), n.dataset.clone())).collect(),
+                );
+                net.quantize_all(k, SEED);
+                net
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_k);
+criterion_main!(benches);

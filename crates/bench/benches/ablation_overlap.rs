@@ -1,0 +1,62 @@
+//! Ablation: the paper's additive per-dimension overlap (Eq. 2) against
+//! the multiplicative volume-fraction overlap. The volume score zeroes
+//! out whenever one dimension misses, so it is far harsher — the printed
+//! support counts show how many clusters each variant keeps.
+
+use bench::{heterogeneous_federation, ExperimentScale, EPSILON};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qens::prelude::*;
+
+fn bench_ablation_overlap(c: &mut Criterion) {
+    let fed = heterogeneous_federation(ExperimentScale::Quick);
+    let q = fed.query_from_bounds(0, &[0.0, 25.0, 0.0, 55.0]);
+
+    // Quality comparison: supporting clusters kept by each overlap score.
+    let mut eq2_supported = 0usize;
+    let mut vol_supported = 0usize;
+    let mut clusters = 0usize;
+    for node in fed.network().nodes() {
+        for s in node.summaries() {
+            clusters += 1;
+            if q.region().overlap_rate(&s.rect) >= EPSILON {
+                eq2_supported += 1;
+            }
+            if q.region().volume_overlap(&s.rect) >= EPSILON {
+                vol_supported += 1;
+            }
+        }
+    }
+    eprintln!(
+        "[ablation_overlap] of {clusters} clusters, Eq.2 keeps {eq2_supported}, \
+         volume-fraction keeps {vol_supported} (harsher, loses partial matches)"
+    );
+
+    // Cost comparison over all summaries.
+    let rects: Vec<HyperRect> = fed
+        .network()
+        .nodes()
+        .iter()
+        .flat_map(|n| n.summaries().iter().map(|s| s.rect.clone()))
+        .collect();
+    let mut group = c.benchmark_group("ablation_overlap_score");
+    group.bench_function("eq2_additive", |b| {
+        b.iter(|| {
+            rects
+                .iter()
+                .map(|r| q.region().overlap_rate(black_box(r)))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("volume_fraction", |b| {
+        b.iter(|| {
+            rects
+                .iter()
+                .map(|r| q.region().volume_overlap(black_box(r)))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_overlap);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation: differentially-private summaries.
+//!
+//! Nodes release Laplace-noised cluster rectangles/counts at budget ε
+//! (see `cluster::privacy`); the leader ranks on the noised view while
+//! local training stays exact. The printed sweep shows how much selection
+//! quality the privacy protection costs; Criterion measures the noising
+//! itself.
+
+use bench::{ExperimentScale, EPSILON, L_SELECT, SEED};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qens::cluster::privacy::{noise_summaries, PrivacyBudget};
+use qens::fedlearn::{run_stream, FederationConfig};
+use qens::prelude::*;
+
+fn private_federation(dp_epsilon: Option<f64>) -> EdgeNetwork {
+    let nodes = qens::airdata::scenario::heterogeneous_nodes(
+        10,
+        ExperimentScale::Quick.samples_per_node(),
+        SEED,
+    );
+    let mut net = EdgeNetwork::from_datasets(
+        nodes.into_iter().map(|n| (n.name, n.dataset)).collect(),
+    );
+    match dp_epsilon {
+        Some(eps) => net.quantize_all_private(5, SEED, eps),
+        None => net.quantize_all(5, SEED),
+    }
+    net
+}
+
+fn bench_ablation_privacy(c: &mut Criterion) {
+    let cfg = FederationConfig {
+        train: TrainConfig::paper_lr(SEED).with_epochs(8),
+        ..FederationConfig::paper_lr(SEED)
+    };
+    let policy = QueryDriven { epsilon: EPSILON, ..QueryDriven::top_l(L_SELECT) };
+
+    let exact = private_federation(None);
+    let wl = workload::generate(
+        &exact.global_space(),
+        &WorkloadConfig { n_queries: 20, ..WorkloadConfig::paper_default(SEED) },
+    );
+    let base = run_stream(&exact, &wl, &policy, &cfg);
+    eprintln!(
+        "[ablation_privacy] eps=inf (exact): mean loss {:.6}, data fraction {:.3}, failed {}",
+        base.mean_loss().unwrap_or(f64::NAN),
+        base.mean_data_fraction(),
+        base.failed_queries()
+    );
+    for eps in [10.0, 1.0, 0.3, 0.1, 0.03] {
+        let net = private_federation(Some(eps));
+        let res = run_stream(&net, &wl, &policy, &cfg);
+        eprintln!(
+            "[ablation_privacy] eps={eps:<5}: mean loss {:.6}, data fraction {:.3}, failed {}",
+            res.mean_loss().unwrap_or(f64::NAN),
+            res.mean_data_fraction(),
+            res.failed_queries()
+        );
+    }
+
+    // Cost of the noising itself.
+    let node = &exact.nodes()[0];
+    let sums = node.summaries().to_vec();
+    let mut group = c.benchmark_group("privacy_noise_summaries");
+    for eps in [0.1_f64, 1.0] {
+        let budget = PrivacyBudget::new(eps);
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, _| {
+            b.iter(|| noise_summaries(&sums, &budget, SEED))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_privacy);
+criterion_main!(benches);

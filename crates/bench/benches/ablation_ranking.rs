@@ -1,0 +1,52 @@
+//! Ablation: the Eq. 4 ranking `r_i = p_i · K'/K` against its two halves
+//! (potential-only `p_i`, count-only `K'/K`). Quality (mean loss over a
+//! workload) prints once; Criterion measures the ranking computation.
+
+use bench::{heterogeneous_federation, ExperimentScale, EPSILON, L_SELECT, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qens::fedlearn::{run_stream, FederationConfig};
+use qens::prelude::*;
+use qens::selection::{RankingRule, SelectionCap};
+
+fn policy(rule: RankingRule) -> QueryDriven {
+    QueryDriven { epsilon: EPSILON, cap: SelectionCap::TopL(L_SELECT), rule }
+}
+
+fn bench_ablation_ranking(c: &mut Criterion) {
+    let fed = heterogeneous_federation(ExperimentScale::Quick);
+    let wl = fed.workload(&WorkloadConfig { n_queries: 25, ..WorkloadConfig::paper_default(SEED) });
+    let cfg = FederationConfig {
+        train: TrainConfig::paper_lr(SEED).with_epochs(8),
+        ..FederationConfig::paper_lr(SEED)
+    };
+    for rule in [RankingRule::PaperEq4, RankingRule::PotentialOnly, RankingRule::CountOnly] {
+        let res = run_stream(fed.network(), &wl, &policy(rule), &cfg);
+        eprintln!(
+            "[ablation_ranking] {:?}: mean loss {:.6}, mean data fraction {:.3}, failed {}",
+            rule,
+            res.mean_loss().unwrap_or(f64::NAN),
+            res.mean_data_fraction(),
+            res.failed_queries()
+        );
+    }
+
+    let q = fed.query_from_bounds(0, &[0.0, 25.0, 0.0, 55.0]);
+    let mut group = c.benchmark_group("ablation_ranking_select");
+    for (name, rule) in [
+        ("eq4", RankingRule::PaperEq4),
+        ("potential_only", RankingRule::PotentialOnly),
+        ("count_only", RankingRule::CountOnly),
+    ] {
+        let p = policy(rule);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let ctx = SelectionContext::new(fed.network(), &q);
+                p.select(&ctx)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_ranking);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: sequential (§IV-B) vs interleaved (§IV-A) visiting of the
+//! supporting clusters during local training.
+//!
+//! With few epochs the two are indistinguishable; at the paper's 100
+//! epochs the sequential order lets the last cluster overwrite the NN's
+//! earlier fit (intra-node forgetting), which the interleaved order
+//! avoids at identical total cost. The printed sweep quantifies it.
+
+use bench::{paper_federation, ExperimentScale, EPSILON, L_SELECT, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qens::fedlearn::{run_stream, FederationConfig, StageOrder};
+use qens::prelude::*;
+
+fn bench_ablation_stage_order(c: &mut Criterion) {
+    let fed = paper_federation(
+        ExperimentScale::Quick,
+        ModelKind::Neural { hidden: ExperimentScale::Quick.nn_hidden() },
+        Aggregation::WeightedAveraging,
+    );
+    let wl = fed.workload(&WorkloadConfig { n_queries: 15, ..WorkloadConfig::paper_default(SEED) });
+    let policy = QueryDriven { epsilon: EPSILON, ..QueryDriven::top_l(L_SELECT) };
+
+    for epochs in [10usize, 40] {
+        for (label, order) in
+            [("sequential", StageOrder::Sequential), ("interleaved", StageOrder::Interleaved)]
+        {
+            let cfg = FederationConfig {
+                train: TrainConfig::paper_nn(SEED).with_epochs(epochs),
+                stage_order: order,
+                ..FederationConfig::paper_nn(SEED)
+            };
+            let res = run_stream(fed.network(), &wl, &policy, &cfg);
+            eprintln!(
+                "[ablation_stage_order] NN epochs={epochs:<3} {label:<11}: mean loss {:.6}, failed {}",
+                res.mean_loss().unwrap_or(f64::NAN),
+                res.failed_queries()
+            );
+        }
+    }
+
+    let q = {
+        let space = fed.network().global_space();
+        let x = space.interval(0);
+        let y = space.interval(1);
+        Query::from_boundary_vec(
+            0,
+            &[x.lo(), x.lo() + 0.3 * x.length(), y.lo(), y.lo() + 0.3 * y.length()],
+        )
+    };
+    let mut group = c.benchmark_group("stage_order_round");
+    group.sample_size(10);
+    for (label, order) in
+        [("sequential", StageOrder::Sequential), ("interleaved", StageOrder::Interleaved)]
+    {
+        let cfg = FederationConfig {
+            train: TrainConfig::paper_nn(SEED).with_epochs(10),
+            stage_order: order,
+            ..FederationConfig::paper_nn(SEED)
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| qens::fedlearn::run_query(fed.network(), &q, &policy, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_stage_order);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: the ε (cluster-overlap) and ψ (node-ranking) thresholds.
+//!
+//! Printed sweeps show the data/quality trade-off each threshold
+//! controls; Criterion measures how selection cost varies with ε (it
+//! should not — the mechanism scans all summaries either way).
+
+use bench::{heterogeneous_federation, ExperimentScale, L_SELECT, SEED};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qens::fedlearn::{run_stream, FederationConfig};
+use qens::prelude::*;
+use qens::selection::SelectionCap;
+
+fn bench_ablation_thresholds(c: &mut Criterion) {
+    let fed = heterogeneous_federation(ExperimentScale::Quick);
+    let wl = fed.workload(&WorkloadConfig { n_queries: 20, ..WorkloadConfig::paper_default(SEED) });
+    let cfg = FederationConfig {
+        train: TrainConfig::paper_lr(SEED).with_epochs(8),
+        ..FederationConfig::paper_lr(SEED)
+    };
+
+    // ε sweep (top-ℓ cut held fixed).
+    for eps in [0.01, 0.05, 0.1, 0.2, 0.4] {
+        let policy = QueryDriven { epsilon: eps, ..QueryDriven::top_l(L_SELECT) };
+        let res = run_stream(fed.network(), &wl, &policy, &cfg);
+        eprintln!(
+            "[ablation_eps] eps={eps:<5}: mean loss {:.6}, data fraction {:.3}, failed {}",
+            res.mean_loss().unwrap_or(f64::NAN),
+            res.mean_data_fraction(),
+            res.failed_queries()
+        );
+    }
+
+    // ψ sweep (Eq. 5 threshold cut instead of top-ℓ).
+    for psi in [0.05, 0.2, 0.5, 1.0] {
+        let policy = QueryDriven { epsilon: 0.05, cap: SelectionCap::Threshold(psi), ..QueryDriven::top_l(0) };
+        let res = run_stream(fed.network(), &wl, &policy, &cfg);
+        let mean_nodes: f64 = res
+            .per_query
+            .iter()
+            .filter(|r| r.error.is_none())
+            .map(|r| r.nodes_selected as f64)
+            .sum::<f64>()
+            / (res.per_query.len() - res.failed_queries()).max(1) as f64;
+        eprintln!(
+            "[ablation_psi] psi={psi:<4}: mean loss {:.6}, mean nodes {:.2}, failed {}",
+            res.mean_loss().unwrap_or(f64::NAN),
+            mean_nodes,
+            res.failed_queries()
+        );
+    }
+
+    let q = fed.query_from_bounds(0, &[0.0, 25.0, 0.0, 55.0]);
+    let mut group = c.benchmark_group("ablation_eps_select");
+    for eps in [0.01_f64, 0.1, 0.4] {
+        let policy = QueryDriven { epsilon: eps, ..QueryDriven::top_l(L_SELECT) };
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, _| {
+            b.iter(|| {
+                let ctx = SelectionContext::new(fed.network(), &q);
+                policy.select(&ctx)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_thresholds);
+criterion_main!(benches);

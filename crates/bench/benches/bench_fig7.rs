@@ -1,0 +1,52 @@
+//! Fig. 7 bench: one federation round per selection mechanism on the
+//! air-quality network (the figure's mean-loss table prints once during
+//! setup; Criterion measures per-mechanism round cost, which is what
+//! distinguishes GT's probe overhead from the summary-only mechanism).
+
+use bench::{paper_federation, ExperimentScale, EPSILON, L_SELECT, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qens::prelude::*;
+
+fn bench_fig7(c: &mut Criterion) {
+    let rows = bench::figures::fig7(ExperimentScale::Quick, ModelKind::Linear);
+    eprintln!("[fig7/LR] mean loss per mechanism (paper ordering: weighted <= averaging < GT < random):");
+    for r in &rows {
+        eprintln!(
+            "[fig7/LR]   {:<18} loss {:.6}  data {:.3}  sim {:.4}s",
+            r.policy,
+            r.mean_loss.unwrap_or(f64::NAN),
+            r.mean_data_fraction,
+            r.mean_sim_seconds
+        );
+    }
+
+    let fed = paper_federation(ExperimentScale::Quick, ModelKind::Linear, Aggregation::WeightedAveraging);
+    let q = {
+        let space = fed.network().global_space();
+        let mk = |iv: &Interval, lo: f64, hi: f64| {
+            (iv.lo() + lo * iv.length(), iv.lo() + hi * iv.length())
+        };
+        let x = mk(space.interval(0), 0.1, 0.4);
+        let y = mk(space.interval(1), 0.1, 0.4);
+        Query::from_boundary_vec(0, &[x.0, x.1, y.0, y.1])
+    };
+
+    let mut group = c.benchmark_group("fig7_round_lr");
+    group.sample_size(10);
+    group.bench_function("query_driven", |b| {
+        b.iter(|| fed.run_query(&q, &PolicyKind::QueryDriven { epsilon: EPSILON, l: L_SELECT }).unwrap())
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| fed.run_query(&q, &PolicyKind::Random { l: L_SELECT, seed: SEED }).unwrap())
+    });
+    group.bench_function("game_theory", |b| {
+        b.iter(|| fed.run_query(&q, &PolicyKind::GameTheory { leader: 0, l: L_SELECT, seed: SEED }).unwrap())
+    });
+    group.bench_function("all_nodes", |b| {
+        b.iter(|| fed.run_query(&q, &PolicyKind::AllNodes).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 8 bench: the *measured wall time* of one training round with and
+//! without query-driven data selectivity — the benchmark equivalent of
+//! the figure's green-vs-blue gap. The per-query simulated series prints
+//! once during setup.
+
+use bench::{paper_federation, ExperimentScale, EPSILON, L_SELECT};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qens::prelude::*;
+
+fn bench_fig8(c: &mut Criterion) {
+    let series = bench::figures::fig8_fig9(ExperimentScale::Quick);
+    if let Some(s) = series.mean_speedup() {
+        eprintln!("[fig8] simulated mean training-time saving: {s:.2}x over {} queries", series.query_ids.len());
+    }
+
+    let fed = paper_federation(ExperimentScale::Quick, ModelKind::Linear, Aggregation::WeightedAveraging);
+    let q = {
+        let space = fed.network().global_space();
+        let x = space.interval(0);
+        let y = space.interval(1);
+        Query::from_boundary_vec(
+            0,
+            &[
+                x.lo(),
+                x.lo() + 0.25 * x.length(),
+                y.lo(),
+                y.lo() + 0.25 * y.length(),
+            ],
+        )
+    };
+
+    let mut group = c.benchmark_group("fig8_training_time");
+    group.sample_size(10);
+    group.bench_function("with_query_selectivity", |b| {
+        b.iter(|| fed.run_query(&q, &PolicyKind::QueryDriven { epsilon: EPSILON, l: L_SELECT }).unwrap())
+    });
+    group.bench_function("without_query_selectivity", |b| {
+        b.iter(|| {
+            fed.run_query(&q, &PolicyKind::QueryDrivenNoSelectivity { epsilon: EPSILON, l: L_SELECT })
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Fig. 9 bench: the data-need computation — how fast the leader can
+//! determine, per query, which fraction of the network's data the query
+//! actually requires (the whole point of the O(1)-communication design).
+//! The per-query percentage series prints once during setup.
+
+use bench::{paper_federation, ExperimentScale, EPSILON};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qens::prelude::*;
+
+fn bench_fig9(c: &mut Criterion) {
+    let series = bench::figures::fig8_fig9(ExperimentScale::Quick);
+    let mean_with: f64 =
+        series.with_fraction.iter().sum::<f64>() / series.with_fraction.len().max(1) as f64;
+    let mean_without: f64 =
+        series.without_fraction.iter().sum::<f64>() / series.without_fraction.len().max(1) as f64;
+    eprintln!(
+        "[fig9] mean data needed: {:.1}% with the query-driven mechanism vs {:.1}% without",
+        100.0 * mean_with,
+        100.0 * mean_without
+    );
+
+    let fed = paper_federation(ExperimentScale::Quick, ModelKind::Linear, Aggregation::WeightedAveraging);
+    let space = fed.network().global_space();
+    let x = space.interval(0);
+    let y = space.interval(1);
+    let queries: Vec<Query> = (0..20u64)
+        .map(|i| {
+            let f = i as f64 / 20.0 * 0.6;
+            Query::from_boundary_vec(
+                i,
+                &[
+                    x.lo() + f * x.length(),
+                    x.lo() + (f + 0.3) * x.length(),
+                    y.lo() + f * y.length(),
+                    y.lo() + (f + 0.3) * y.length(),
+                ],
+            )
+        })
+        .collect();
+    let policy = QueryDriven { epsilon: EPSILON, ..QueryDriven::top_l(usize::MAX) };
+
+    c.bench_function("fig9_data_need_20_queries", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                let ctx = SelectionContext::new(fed.network(), q);
+                let sel = policy.select(&ctx);
+                total += sel.total_training_samples(fed.network());
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

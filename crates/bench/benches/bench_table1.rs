@@ -1,0 +1,36 @@
+//! Table I bench: the homogeneous-population rounds behind the
+//! all-node vs random comparison. The quality numbers (the table itself)
+//! print once during setup; Criterion then measures the cost of each
+//! mechanism's round.
+
+use bench::{homogeneous_federation, ExperimentScale, L_SELECT, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qens::prelude::*;
+
+fn bench_table1(c: &mut Criterion) {
+    let t = bench::tables::table1(ExperimentScale::Quick);
+    eprintln!(
+        "[table1] all-node loss {:.6}, random loss {:.6}, ratio {:.2}x (paper: 24.45 vs 24.70, 1.01x)",
+        t.structured_loss,
+        t.random_loss,
+        t.ratio()
+    );
+
+    let fed = homogeneous_federation(ExperimentScale::Quick);
+    let q = {
+        let bounds = fed.network().global_space().to_boundary_vec();
+        Query::from_boundary_vec(0, &bounds)
+    };
+    let mut group = c.benchmark_group("table1_round");
+    group.sample_size(10);
+    group.bench_function("all_nodes", |b| {
+        b.iter(|| fed.run_query(&q, &PolicyKind::AllNodes).unwrap())
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| fed.run_query(&q, &PolicyKind::Random { l: L_SELECT, seed: SEED }).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table II bench: the heterogeneous-population rounds behind the
+//! compatible-node vs random comparison. Quality prints once; Criterion
+//! measures the per-mechanism round cost.
+
+use bench::{heterogeneous_federation, ExperimentScale, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qens::prelude::*;
+
+fn bench_table2(c: &mut Criterion) {
+    let t = bench::tables::table2(ExperimentScale::Quick);
+    eprintln!(
+        "[table2] compatible loss {:.6}, random loss {:.6}, ratio {:.2}x (paper: 9.70 vs 178.10, 18.4x)",
+        t.structured_loss,
+        t.random_loss,
+        t.ratio()
+    );
+
+    let fed = heterogeneous_federation(ExperimentScale::Quick);
+    let q = Query::from_boundary_vec(0, &[0.0, 20.0, 0.0, 45.0]);
+    let mut group = c.benchmark_group("table2_round");
+    group.sample_size(10);
+    group.bench_function("compatible_node", |b| {
+        b.iter(|| fed.run_query(&q, &PolicyKind::query_driven(1)).unwrap())
+    });
+    group.bench_function("random_node", |b| {
+        b.iter(|| fed.run_query(&q, &PolicyKind::Random { l: 1, seed: SEED }).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro            # everything, quick scale
+//! cargo run --release -p bench --bin repro -- fig7    # one experiment
+//! cargo run --release -p bench --bin repro -- all --paper   # full paper scale
+//! ```
+//!
+//! Printed rows state the measured values next to the paper's; CSV series
+//! land in `results/`.
+
+use std::path::PathBuf;
+
+use bench::{figures, report, tables, ExperimentScale};
+use qens::prelude::ModelKind;
+
+fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+fn run_table1(scale: ExperimentScale) {
+    let t = tables::table1(scale);
+    println!(
+        "{}",
+        report::render_loss_comparison(
+            "Table I: expected loss, homogeneous participants",
+            (24.45, 24.70),
+            &t,
+            "All-node selection",
+        )
+    );
+}
+
+fn run_table2(scale: ExperimentScale) {
+    let t = tables::table2(scale);
+    println!(
+        "{}",
+        report::render_loss_comparison(
+            "Table II: expected loss, heterogeneous participants",
+            (9.70, 178.10),
+            &t,
+            "Compatible-node selection",
+        )
+    );
+}
+
+fn run_table3() {
+    println!("Table III: model hyper-parameters (ours == paper)");
+    println!("{:<18} {:>8} {:>8}", "", "LR", "NN");
+    for (name, lr, nn) in tables::table3() {
+        println!("{name:<18} {lr:>8} {nn:>8}");
+    }
+    println!();
+}
+
+fn run_fig1(scale: ExperimentScale) {
+    println!(
+        "{}",
+        report::render_pair(
+            "Fig. 1: similar participants (homogeneous population)",
+            &figures::fig1(scale)
+        )
+    );
+}
+
+fn run_fig2(scale: ExperimentScale) {
+    println!(
+        "{}",
+        report::render_pair(
+            "Fig. 2: dissimilar participants (heterogeneous population)",
+            &figures::fig2(scale)
+        )
+    );
+}
+
+fn run_fig5(scale: ExperimentScale) {
+    let (query, clusters) = figures::fig5(scale);
+    println!("Fig. 5: query projected onto a participant's clustered space");
+    println!("{}", report::render_fig5(&query, &clusters));
+}
+
+fn run_fig6(scale: ExperimentScale) {
+    let (query, needs) = figures::fig6(scale);
+    println!("Fig. 6: data needed by the query vs data available");
+    println!("{}", report::render_fig6(&query, &needs));
+}
+
+fn run_fig7(scale: ExperimentScale) {
+    for (model, label) in [
+        (ModelKind::Linear, "LR"),
+        (ModelKind::Neural { hidden: scale.nn_hidden() }, "NN"),
+    ] {
+        let rows = figures::fig7(scale, model);
+        println!("{}", report::render_fig7(label, &rows));
+        let csv_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.clone(),
+                    format!("{:.6}", r.mean_loss.unwrap_or(f64::NAN)),
+                    format!("{:.6}", r.mean_data_fraction),
+                    format!("{:.6}", r.mean_sim_seconds),
+                    r.failed_queries.to_string(),
+                ]
+            })
+            .collect();
+        report::write_csv(
+            &results_dir().join(format!("fig7_{}.csv", label.to_lowercase())),
+            "policy,mean_loss,mean_data_fraction,mean_sim_seconds,failed",
+            &csv_rows,
+        )
+        .expect("write fig7 csv");
+    }
+    println!("(series written to results/fig7_lr.csv, results/fig7_nn.csv)\n");
+}
+
+fn run_extended(scale: ExperimentScale) {
+    let rows = figures::extended_comparison(scale);
+    println!("{}", report::render_fig7("LR, all implemented mechanisms", &rows));
+}
+
+fn run_fig8_fig9(scale: ExperimentScale) {
+    let series = figures::fig8_fig9(scale);
+    println!("{}", report::render_fig8_fig9(&series));
+    report::write_csv(
+        &results_dir().join("fig8_fig9.csv"),
+        "query,with_seconds,without_seconds,with_fraction,without_fraction",
+        &report::selectivity_csv_rows(&series),
+    )
+    .expect("write fig8/fig9 csv");
+    println!("(series written to results/fig8_fig9.csv)\n");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        ExperimentScale::Paper
+    } else {
+        ExperimentScale::Quick
+    };
+    let exp = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    println!("== qens paper reproduction ({scale:?} scale) ==\n");
+    match exp.as_str() {
+        "table1" => run_table1(scale),
+        "table2" => run_table2(scale),
+        "table3" => run_table3(),
+        "fig1" => run_fig1(scale),
+        "fig2" => run_fig2(scale),
+        "fig5" => run_fig5(scale),
+        "fig6" => run_fig6(scale),
+        "fig7" => run_fig7(scale),
+        "fig8" | "fig9" | "fig8_fig9" => run_fig8_fig9(scale),
+        "extended" => run_extended(scale),
+        "all" => {
+            run_table1(scale);
+            run_table2(scale);
+            run_table3();
+            run_fig1(scale);
+            run_fig2(scale);
+            run_fig5(scale);
+            run_fig6(scale);
+            run_fig7(scale);
+            run_fig8_fig9(scale);
+            run_extended(scale);
+        }
+        other => {
+            eprintln!(
+                "unknown experiment {other:?}; expected one of \
+                 table1|table2|table3|fig1|fig2|fig5|fig6|fig7|fig8|fig9|extended|all [--paper]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Lloyd's k-means with k-means++ initialisation.
+
+use linalg::{ops, rng, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Centroid initialisation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitMethod {
+    /// k-means++ (D² sampling) — the default; gives `O(log k)`-competitive
+    /// starting points and much more stable boundaries across seeds.
+    KMeansPlusPlus,
+    /// Uniformly random distinct samples (Forgy). Kept for ablations.
+    Random,
+}
+
+/// Configuration for a k-means fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters K (the paper fixes K = 5 for all nodes).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on total centroid movement (squared L2).
+    pub tol: f64,
+    /// RNG seed for initialisation.
+    pub seed: u64,
+    /// Initialisation strategy.
+    pub init: InitMethod,
+}
+
+impl KMeansConfig {
+    /// The paper's evaluation configuration: `K = 5`, k-means++.
+    pub fn paper_default(seed: u64) -> Self {
+        Self { k: 5, max_iters: 100, tol: 1e-8, seed, init: InitMethod::KMeansPlusPlus }
+    }
+
+    /// Same defaults with a different K.
+    pub fn with_k(k: usize, seed: u64) -> Self {
+        Self { k, ..Self::paper_default(seed) }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Matrix,
+    assignments: Vec<usize>,
+    inertia: f64,
+    iterations: usize,
+    converged: bool,
+}
+
+impl KMeans {
+    /// Fits k-means to `data` (rows = samples).
+    ///
+    /// If `data` has fewer rows than `config.k`, the effective K is clamped
+    /// to the number of rows (every sample becomes its own cluster) — this
+    /// mirrors how a node with very little data still produces summaries.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or `config.k == 0`.
+    pub fn fit(data: &Matrix, config: &KMeansConfig) -> Self {
+        assert!(config.k > 0, "k must be positive");
+        assert!(data.rows() > 0, "cannot cluster an empty dataset");
+        let k = config.k.min(data.rows());
+        let mut rng = rng::rng_for(config.seed, 0xC1_15_7E_12);
+
+        let mut centroids = match config.init {
+            InitMethod::KMeansPlusPlus => init_plus_plus(data, k, &mut rng),
+            InitMethod::Random => init_random(data, k, &mut rng),
+        };
+
+        let mut assignments = vec![0usize; data.rows()];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for it in 0..config.max_iters {
+            iterations = it + 1;
+            assign(data, &centroids, &mut assignments);
+            let new_centroids = recompute_centroids(data, &assignments, k, &centroids, &mut rng);
+            let movement: f64 = (0..k)
+                .map(|c| ops::squared_distance(centroids.row(c), new_centroids.row(c)))
+                .sum();
+            centroids = new_centroids;
+            if movement <= config.tol {
+                converged = true;
+                break;
+            }
+        }
+        // Final assignment against the final centroids.
+        assign(data, &centroids, &mut assignments);
+        let inertia = compute_inertia(data, &centroids, &assignments);
+        Self { centroids, assignments, inertia, iterations, converged }
+    }
+
+    /// Cluster representatives `u_k`, one per row.
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// Number of clusters actually fitted.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Per-sample cluster assignment.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Quantisation loss (Eq. 1): sum of squared distances of every sample
+    /// to its representative.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Lloyd iterations executed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the fit converged before `max_iters`.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Index of the nearest centroid to `point`.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        nearest_centroid(&self.centroids, point).0
+    }
+
+    /// Sample indices belonging to cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Cluster sizes, indexed by cluster id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+fn nearest_centroid(centroids: &Matrix, point: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, row) in centroids.row_iter().enumerate() {
+        let d = ops::squared_distance(row, point);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+fn assign(data: &Matrix, centroids: &Matrix, assignments: &mut [usize]) {
+    for (i, row) in data.row_iter().enumerate() {
+        assignments[i] = nearest_centroid(centroids, row).0;
+    }
+}
+
+fn compute_inertia(data: &Matrix, centroids: &Matrix, assignments: &[usize]) -> f64 {
+    data.row_iter()
+        .zip(assignments)
+        .map(|(row, &a)| ops::squared_distance(row, centroids.row(a)))
+        .sum()
+}
+
+/// Recomputes centroids as member means; an emptied cluster is re-seeded at
+/// the sample farthest from its current centroid so K never degrades.
+fn recompute_centroids(
+    data: &Matrix,
+    assignments: &[usize],
+    k: usize,
+    old: &Matrix,
+    rng: &mut impl Rng,
+) -> Matrix {
+    let d = data.cols();
+    let mut sums = Matrix::zeros(k, d);
+    let mut counts = vec![0usize; k];
+    for (row, &a) in data.row_iter().zip(assignments) {
+        ops::axpy(1.0, row, sums.row_mut(a));
+        counts[a] += 1;
+    }
+    for (c, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            let inv = 1.0 / count as f64;
+            ops::scale(inv, sums.row_mut(c));
+        } else {
+            // Empty-cluster repair: move it onto the sample farthest from
+            // its previous position (ties broken by a random member).
+            let far = data
+                .row_iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    let da = ops::squared_distance(a, old.row(c));
+                    let db = ops::squared_distance(b, old.row(c));
+                    da.partial_cmp(&db).expect("distances are finite")
+                })
+                .map(|(i, _)| i)
+                .unwrap_or_else(|| rng.gen_range(0..data.rows()));
+            sums.row_mut(c).copy_from_slice(data.row(far));
+        }
+    }
+    sums
+}
+
+fn init_random(data: &Matrix, k: usize, rng: &mut impl Rng) -> Matrix {
+    // Sample k distinct row indices (Floyd's algorithm would be overkill:
+    // k is tiny; rejection sampling over a Vec suffices).
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    while chosen.len() < k {
+        let i = rng.gen_range(0..data.rows());
+        if !chosen.contains(&i) {
+            chosen.push(i);
+        }
+    }
+    data.select_rows(&chosen)
+}
+
+fn init_plus_plus(data: &Matrix, k: usize, rng: &mut impl Rng) -> Matrix {
+    let n = data.rows();
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    chosen.push(rng.gen_range(0..n));
+    // d2[i] = squared distance of sample i to its nearest chosen centre.
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| ops::squared_distance(data.row(i), data.row(chosen[0])))
+        .collect();
+    while chosen.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining mass at distance zero (duplicated points):
+            // fall back to uniform choice.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        chosen.push(next);
+        for (i, best) in d2.iter_mut().enumerate() {
+            let d = ops::squared_distance(data.row(i), data.row(next));
+            if d < *best {
+                *best = d;
+            }
+        }
+    }
+    data.select_rows(&chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::rng::rng_for;
+
+    /// Three well-separated Gaussian blobs in 2-D.
+    fn blobs(seed: u64, per_blob: usize) -> (Matrix, Vec<usize>) {
+        let centers = [[0.0, 0.0], [10.0, 10.0], [-10.0, 8.0]];
+        let mut rng = rng_for(seed, 1);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for _ in 0..per_blob {
+                rows.push(vec![
+                    linalg::rng::normal(&mut rng, c[0], 0.5),
+                    linalg::rng::normal(&mut rng, c[1], 0.5),
+                ]);
+                labels.push(ci);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, labels) = blobs(42, 60);
+        let model = KMeans::fit(&data, &KMeansConfig::with_k(3, 7));
+        assert!(model.converged());
+        // Every blob must map to a single distinct cluster.
+        let mut blob_to_cluster = [usize::MAX; 3];
+        for (i, &lab) in labels.iter().enumerate() {
+            let a = model.assignments()[i];
+            if blob_to_cluster[lab] == usize::MAX {
+                blob_to_cluster[lab] = a;
+            }
+            assert_eq!(blob_to_cluster[lab], a, "blob {lab} split across clusters");
+        }
+        let mut seen = blob_to_cluster.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 3, "two blobs merged");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (data, _) = blobs(1, 40);
+        let cfg = KMeansConfig::paper_default(99);
+        let a = KMeans::fit(&data, &cfg);
+        let b = KMeans::fit(&data, &cfg);
+        assert_eq!(a.centroids(), b.centroids());
+        assert_eq!(a.assignments(), b.assignments());
+        assert_eq!(a.inertia(), b.inertia());
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let (data, _) = blobs(5, 50);
+        let mut last = f64::INFINITY;
+        for k in [1, 2, 3, 5, 8] {
+            let m = KMeans::fit(&data, &KMeansConfig::with_k(k, 3));
+            assert!(m.inertia() <= last + 1e-9, "inertia went up at k={k}");
+            last = m.inertia();
+        }
+    }
+
+    #[test]
+    fn clamps_k_to_sample_count() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let m = KMeans::fit(&data, &KMeansConfig::with_k(5, 0));
+        assert_eq!(m.k(), 2);
+        assert!(m.inertia() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_the_mean() {
+        let data = Matrix::from_rows(&[vec![0.0, 2.0], vec![2.0, 4.0], vec![4.0, 0.0]]);
+        let m = KMeans::fit(&data, &KMeansConfig::with_k(1, 0));
+        assert_eq!(m.centroids().row(0), &[2.0, 2.0]);
+        assert!(m.converged());
+    }
+
+    #[test]
+    fn predict_matches_training_assignments() {
+        let (data, _) = blobs(9, 30);
+        let m = KMeans::fit(&data, &KMeansConfig::with_k(3, 4));
+        for (i, row) in data.row_iter().enumerate() {
+            assert_eq!(m.predict(row), m.assignments()[i]);
+        }
+    }
+
+    #[test]
+    fn members_partition_the_samples() {
+        let (data, _) = blobs(3, 25);
+        let m = KMeans::fit(&data, &KMeansConfig::with_k(3, 11));
+        let mut seen = vec![false; data.rows()];
+        for c in 0..m.k() {
+            for i in m.members(c) {
+                assert!(!seen[i], "sample {i} in two clusters");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(m.sizes().iter().sum::<usize>(), data.rows());
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_init() {
+        let data = Matrix::from_rows(&vec![vec![1.0, 1.0]; 10]);
+        let m = KMeans::fit(&data, &KMeansConfig::with_k(3, 8));
+        assert!(m.inertia() < 1e-12);
+        assert!(m.centroids().all_finite());
+    }
+
+    #[test]
+    fn random_init_also_converges() {
+        let (data, _) = blobs(13, 40);
+        let cfg = KMeansConfig { init: InitMethod::Random, ..KMeansConfig::with_k(3, 21) };
+        let m = KMeans::fit(&data, &cfg);
+        assert!(m.inertia().is_finite());
+        assert_eq!(m.k(), 3);
+    }
+}

@@ -1,0 +1,418 @@
+//! The high-level federation builder and runner.
+
+use airdata::scenario;
+use airdata::Feature;
+use edgesim::{CostModel, EdgeNetwork};
+use fedlearn::{run_query, run_stream, FederationConfig, RoundOutcome, StreamResult};
+use fedlearn::{Aggregation, FederationError, StageOrder};
+use geom::Query;
+use mlkit::{ModelKind, TrainConfig};
+use workload::{generate, QueryWorkload, WorkloadConfig};
+
+use crate::policy_kind::PolicyKind;
+
+/// Where the node population comes from.
+#[derive(Debug, Clone)]
+enum NodeSource {
+    /// Synthetic air-quality stations (§V-A); one or more input features.
+    AirQuality {
+        n_nodes: usize,
+        hours: u64,
+        inputs: Vec<Feature>,
+        label: Feature,
+    },
+    /// The controlled homogeneous regression scenario (§II, Table I).
+    Homogeneous { n_nodes: usize, samples: usize },
+    /// The controlled heterogeneous regression scenario (§II, Table II).
+    Heterogeneous { n_nodes: usize, samples: usize },
+    /// Caller-provided datasets.
+    Datasets(Vec<(String, mlkit::DenseDataset)>),
+}
+
+/// Builder for a [`Federation`].
+///
+/// Defaults mirror the paper's evaluation: `N = 10` air-quality nodes,
+/// `K = 5` clusters, LR model with Table III hyper-parameters, weighted
+/// averaging.
+#[derive(Debug, Clone)]
+pub struct FederationBuilder {
+    source: NodeSource,
+    k: usize,
+    seed: u64,
+    model: ModelKind,
+    epochs: Option<usize>,
+    aggregation: Aggregation,
+    cost: CostModel,
+    capacity_range: Option<(f64, f64)>,
+    rounds: usize,
+    stage_order: StageOrder,
+}
+
+impl Default for FederationBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FederationBuilder {
+    /// A builder with the paper's defaults.
+    pub fn new() -> Self {
+        Self {
+            source: NodeSource::AirQuality {
+                n_nodes: 10,
+                hours: 24 * 120,
+                inputs: vec![Feature::Pm10],
+                label: Feature::Pm25,
+            },
+            k: 5,
+            seed: 42,
+            model: ModelKind::Linear,
+            epochs: None,
+            aggregation: Aggregation::WeightedAveraging,
+            cost: CostModel::default(),
+            capacity_range: None,
+            rounds: 1,
+            stage_order: StageOrder::Sequential,
+        }
+    }
+
+    /// Uses `n` synthetic air-quality stations with `hours` hourly
+    /// records each (§V-A; inputs PM10, labels PM2.5).
+    pub fn air_quality_nodes(mut self, n: usize, hours: u64) -> Self {
+        self.source = NodeSource::AirQuality {
+            n_nodes: n,
+            hours,
+            inputs: vec![Feature::Pm10],
+            label: Feature::Pm25,
+        };
+        self
+    }
+
+    /// Like [`FederationBuilder::air_quality_nodes`] with explicit
+    /// input/label features.
+    pub fn air_quality_features(mut self, n: usize, hours: u64, input: Feature, label: Feature) -> Self {
+        self.source = NodeSource::AirQuality { n_nodes: n, hours, inputs: vec![input], label };
+        self
+    }
+
+    /// Multi-feature air-quality nodes: the joint data space (and the
+    /// query boundary vectors) become `inputs.len() + 1` dimensional.
+    pub fn air_quality_multi(
+        mut self,
+        n: usize,
+        hours: u64,
+        inputs: Vec<Feature>,
+        label: Feature,
+    ) -> Self {
+        self.source = NodeSource::AirQuality { n_nodes: n, hours, inputs, label };
+        self
+    }
+
+    /// Uses the homogeneous synthetic scenario (§II, Table I).
+    pub fn homogeneous_nodes(mut self, n: usize, samples: usize) -> Self {
+        self.source = NodeSource::Homogeneous { n_nodes: n, samples };
+        self
+    }
+
+    /// Uses the heterogeneous synthetic scenario (§II, Table II).
+    pub fn heterogeneous_nodes(mut self, n: usize, samples: usize) -> Self {
+        self.source = NodeSource::Heterogeneous { n_nodes: n, samples };
+        self
+    }
+
+    /// Uses caller-provided `(name, dataset)` pairs.
+    pub fn datasets(mut self, datasets: Vec<(String, mlkit::DenseDataset)>) -> Self {
+        self.source = NodeSource::Datasets(datasets);
+        self
+    }
+
+    /// Clusters per node `K` (the paper fixes 5).
+    pub fn clusters_per_node(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Master seed for data generation, quantisation and training.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Model architecture (Table III: LR or NN).
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Overrides the Table III epoch count (100) — the experiment loops
+    /// use fewer epochs to keep hundreds of queries tractable.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = Some(epochs);
+        self
+    }
+
+    /// Aggregation rule (Eq. 6 or Eq. 7).
+    pub fn aggregation(mut self, aggregation: Aggregation) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    /// FedAvg-style communication rounds (forces weight aggregation when
+    /// above 1; the paper's protocol is single-round).
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Supporting-cluster visit order (sequential per §IV-B, or the
+    /// interleaved §IV-A mini-batch reading).
+    pub fn stage_order(mut self, order: StageOrder) -> Self {
+        self.stage_order = order;
+        self
+    }
+
+    /// Replaces the simulated cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Draws heterogeneous compute capacities from `[lo, hi]`.
+    pub fn capacities(mut self, lo: f64, hi: f64) -> Self {
+        self.capacity_range = Some((lo, hi));
+        self
+    }
+
+    /// Materialises the federation: generates/loads node data, builds the
+    /// network and quantises every node.
+    pub fn build(self) -> Federation {
+        let datasets: Vec<(String, mlkit::DenseDataset)> = match self.source {
+            NodeSource::AirQuality { n_nodes, hours, inputs, label } => {
+                scenario::realistic_nodes_multi(n_nodes, hours, self.seed, &inputs, label)
+                    .into_iter()
+                    .map(|n| (n.name, n.dataset))
+                    .collect()
+            }
+            NodeSource::Homogeneous { n_nodes, samples } => {
+                scenario::homogeneous_nodes(n_nodes, samples, self.seed)
+                    .into_iter()
+                    .map(|n| (n.name, n.dataset))
+                    .collect()
+            }
+            NodeSource::Heterogeneous { n_nodes, samples } => {
+                scenario::heterogeneous_nodes(n_nodes, samples, self.seed)
+                    .into_iter()
+                    .map(|n| (n.name, n.dataset))
+                    .collect()
+            }
+            NodeSource::Datasets(d) => d,
+        };
+        let mut network = EdgeNetwork::from_datasets(datasets).with_cost_model(self.cost);
+        if let Some((lo, hi)) = self.capacity_range {
+            network = network.with_random_capacities(lo, hi, self.seed);
+        }
+        network.quantize_all(self.k, self.seed);
+
+        let mut train = match self.model {
+            ModelKind::Linear => TrainConfig::paper_lr(self.seed),
+            ModelKind::Neural { .. } => TrainConfig::paper_nn(self.seed),
+        };
+        if let Some(e) = self.epochs {
+            train = train.with_epochs(e);
+        }
+        let aggregation = if self.rounds > 1 { Aggregation::FedAvgWeights } else { self.aggregation };
+        let config = FederationConfig {
+            model: self.model,
+            train,
+            aggregation,
+            model_seed: self.seed,
+            parallel: true,
+            stage_order: self.stage_order,
+            rounds: self.rounds,
+        };
+        Federation { network, config, seed: self.seed }
+    }
+}
+
+/// A ready-to-query federation: the node network plus the learning
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct Federation {
+    network: EdgeNetwork,
+    config: FederationConfig,
+    seed: u64,
+}
+
+impl Federation {
+    /// The underlying network (nodes, summaries, cost model).
+    pub fn network(&self) -> &EdgeNetwork {
+        &self.network
+    }
+
+    /// The learning configuration in force.
+    pub fn config(&self) -> &FederationConfig {
+        &self.config
+    }
+
+    /// Builds a query from a joint-space boundary vector
+    /// `[x_1^min, x_1^max, …, y^min, y^max]`.
+    pub fn query_from_bounds(&self, id: u64, bounds: &[f64]) -> Query {
+        Query::from_boundary_vec(id, bounds)
+    }
+
+    /// Generates the paper's 200-query dynamic workload over the
+    /// network's global data space.
+    pub fn paper_workload(&self, seed: u64) -> QueryWorkload {
+        generate(&self.network.global_space(), &WorkloadConfig::paper_default(seed))
+    }
+
+    /// Generates a custom workload over the global space.
+    pub fn workload(&self, config: &WorkloadConfig) -> QueryWorkload {
+        generate(&self.network.global_space(), config)
+    }
+
+    /// Generates a data-anchored workload: query centres sampled from
+    /// actual node data points (`anchors_per_node` per node), so no query
+    /// lands in an empty region. `seed` drives both the anchor sample and
+    /// the query jitter.
+    pub fn anchored_workload(
+        &self,
+        n_queries: usize,
+        anchors_per_node: usize,
+        seed: u64,
+    ) -> QueryWorkload {
+        use rand::seq::SliceRandom;
+        let mut rng = linalg::rng::rng_for(seed, 0xA2C4);
+        let mut anchors: Vec<Vec<f64>> = Vec::new();
+        for node in self.network.nodes() {
+            let mut idx: Vec<usize> = (0..node.len()).collect();
+            idx.shuffle(&mut rng);
+            idx.truncate(anchors_per_node.min(node.len()));
+            for i in idx {
+                anchors.push(node.joint().row(i).to_vec());
+            }
+        }
+        let config = WorkloadConfig {
+            n_queries,
+            kind: workload::WorkloadKind::DataAnchored { anchors, jitter_frac: 0.02 },
+            ..WorkloadConfig::paper_default(seed)
+        };
+        generate(&self.network.global_space(), &config)
+    }
+
+    /// Runs one query under a policy.
+    pub fn run_query(
+        &self,
+        query: &Query,
+        policy: &PolicyKind,
+    ) -> Result<RoundOutcome, FederationError> {
+        run_query(&self.network, query, policy.build().as_ref(), &self.config)
+    }
+
+    /// Runs a whole workload under a policy.
+    pub fn run_workload(&self, workload: &QueryWorkload, policy: &PolicyKind) -> StreamResult {
+        run_stream(&self.network, workload, policy.build().as_ref(), &self.config)
+    }
+
+    /// The federation's master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builder_matches_paper_setup() {
+        let fed = FederationBuilder::new()
+            .air_quality_nodes(10, 200)
+            .epochs(2)
+            .build();
+        assert_eq!(fed.network().len(), 10);
+        for node in fed.network().nodes() {
+            assert!(node.is_quantized());
+            assert!(node.k() <= 5);
+        }
+        assert_eq!(fed.config().model, ModelKind::Linear);
+        assert_eq!(fed.config().aggregation, Aggregation::WeightedAveraging);
+    }
+
+    #[test]
+    fn heterogeneous_build_and_query_round_trip() {
+        let fed = FederationBuilder::new()
+            .heterogeneous_nodes(6, 100)
+            .seed(7)
+            .epochs(5)
+            .build();
+        let q = fed.query_from_bounds(0, &[0.0, 20.0, 0.0, 45.0]);
+        let out = fed.run_query(&q, &PolicyKind::query_driven(3)).unwrap();
+        assert!(out.query_loss(fed.network(), &q).unwrap().is_finite());
+    }
+
+    #[test]
+    fn workload_runs_end_to_end() {
+        let fed = FederationBuilder::new()
+            .homogeneous_nodes(4, 80)
+            .seed(3)
+            .epochs(3)
+            .build();
+        let wl = fed.workload(&WorkloadConfig {
+            n_queries: 5,
+            ..WorkloadConfig::paper_default(9)
+        });
+        let res = fed.run_workload(&wl, &PolicyKind::query_driven(2));
+        assert_eq!(res.per_query.len(), 5);
+    }
+
+    #[test]
+    fn capacities_and_cost_model_are_applied() {
+        let fed = FederationBuilder::new()
+            .homogeneous_nodes(4, 50)
+            .capacities(0.5, 2.0)
+            .cost_model(CostModel { seconds_per_sample_visit: 1e-3, ..CostModel::default() })
+            .epochs(2)
+            .build();
+        assert!((fed.network().cost_model().seconds_per_sample_visit - 1e-3).abs() < 1e-15);
+        assert!(fed.network().nodes().iter().any(|n| n.capacity() != 1.0));
+    }
+
+    #[test]
+    fn anchored_workload_rarely_fails() {
+        let fed = FederationBuilder::new()
+            .heterogeneous_nodes(6, 100)
+            .seed(5)
+            .epochs(3)
+            .build();
+        let wl = fed.anchored_workload(15, 4, 9);
+        assert_eq!(wl.len(), 15);
+        let res = fed.run_workload(&wl, &PolicyKind::query_driven(3));
+        // Anchored queries land on real data, so almost everything runs.
+        assert!(
+            res.failed_queries() <= 1,
+            "{} of 15 anchored queries failed",
+            res.failed_queries()
+        );
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let build = || {
+            FederationBuilder::new()
+                .heterogeneous_nodes(5, 60)
+                .seed(99)
+                .epochs(2)
+                .build()
+        };
+        let a = build();
+        let b = build();
+        let q = a.query_from_bounds(1, &[0.0, 20.0, 0.0, 45.0]);
+        let oa = a.run_query(&q, &PolicyKind::query_driven(2)).unwrap();
+        let ob = b.run_query(&q, &PolicyKind::query_driven(2)).unwrap();
+        assert_eq!(
+            oa.query_loss(a.network(), &q).unwrap(),
+            ob.query_loss(b.network(), &q).unwrap()
+        );
+    }
+}

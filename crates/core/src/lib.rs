@@ -1,0 +1,64 @@
+//! # qens - Query-driven Edge Node Selection
+//!
+//! A Rust implementation of *"Query-driven Edge Node Selection in
+//! Distributed Learning Environments"* (Aladwani, Anagnostopoulos,
+//! Kolomvatsos, Alghamdi, Deligianni - DASC @ IEEE ICDE 2023).
+//!
+//! Edge nodes hold private local datasets with very different ranges,
+//! patterns and volumes. For each incoming analytics query - a
+//! hyper-rectangle over the data space describing the data a model is to
+//! be built over - the leader must pick the participants whose data
+//! actually *supports* the query, and, inside each participant, the data
+//! subsets worth training on. This crate ties the full pipeline together:
+//!
+//! 1. every node quantises its joint data space with k-means and shares
+//!    only per-cluster bounding rectangles (`cluster`, `edgesim`);
+//! 2. the leader ranks nodes by query/cluster data overlap
+//!    (`geom`, `selection`) - Eqs. 2-5 of the paper;
+//! 3. selected participants train the broadcast model incrementally over
+//!    their supporting clusters only (`mlkit`, `fedlearn`);
+//! 4. the leader aggregates by plain or ranking-weighted prediction
+//!    averaging - Eqs. 6-7.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qens::prelude::*;
+//!
+//! // Ten heterogeneous synthetic nodes (see `airdata::scenario`).
+//! let fed = FederationBuilder::new()
+//!     .heterogeneous_nodes(10, 200)
+//!     .clusters_per_node(5)
+//!     .seed(42)
+//!     .epochs(10)
+//!     .build();
+//!
+//! // A query over part of the data space (features then label bounds).
+//! let query = fed.query_from_bounds(0, &[0.0, 20.0, 0.0, 45.0]);
+//! let outcome = fed.run_query(&query, &PolicyKind::query_driven(3)).unwrap();
+//! let loss = outcome.query_loss(fed.network(), &query).unwrap();
+//! assert!(loss.is_finite());
+//! ```
+//!
+//! The sub-crates are re-exported under their own names (`qens::geom`,
+//! `qens::selection`, ...) for direct access; [`prelude`] pulls in the
+//! common surface.
+
+pub use airdata;
+pub use cluster;
+pub use edgesim;
+pub use fedlearn;
+pub use geom;
+pub use linalg;
+pub use mlkit;
+pub use selection;
+pub use workload;
+
+pub mod builder;
+pub mod experiment;
+pub mod policy_kind;
+pub mod prelude;
+
+pub use builder::{Federation, FederationBuilder};
+pub use experiment::{compare_policies, selectivity_comparison, PolicyComparison, SelectivitySeries};
+pub use policy_kind::PolicyKind;

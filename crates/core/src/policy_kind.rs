@@ -1,0 +1,124 @@
+//! Serialisable policy configuration.
+
+use selection::{
+    AllNodes, DataCentric, FairStochastic, GameTheory, QueryDriven, RandomSelection,
+    SelectionPolicy, WithoutSelectivity,
+};
+use serde::{Deserialize, Serialize};
+
+/// A selection policy as configuration — convertible into the trait
+/// object [`PolicyKind::build`] the federation loop consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// The paper's mechanism (§III-C) with top-ℓ capping.
+    QueryDriven {
+        /// Overlap threshold ε.
+        epsilon: f64,
+        /// Participants per query ℓ.
+        l: usize,
+    },
+    /// The paper's mechanism with the ψ-threshold cut (Eq. 5).
+    QueryDrivenThreshold {
+        /// Overlap threshold ε.
+        epsilon: f64,
+        /// Ranking threshold ψ.
+        psi: f64,
+    },
+    /// Query-driven node choice but no per-cluster data selectivity
+    /// (the "without query" arm of Figs. 8–9).
+    QueryDrivenNoSelectivity {
+        /// Overlap threshold ε.
+        epsilon: f64,
+        /// Participants per query ℓ.
+        l: usize,
+    },
+    /// Random selection of ℓ nodes (Ye et al.; ref. 6 of the paper).
+    Random {
+        /// Participants per query ℓ.
+        l: usize,
+        /// Draw seed.
+        seed: u64,
+    },
+    /// Game-theory selection (Hammoud et al.; ref. 7 of the paper).
+    GameTheory {
+        /// Leader node index.
+        leader: usize,
+        /// Participants per query ℓ.
+        l: usize,
+        /// Probe training seed.
+        seed: u64,
+    },
+    /// Every node with all its data.
+    AllNodes,
+    /// Data-centric composite scoring (Saha et al.; ref. 8 of the paper) - query-blind.
+    DataCentric {
+        /// Participants per query ℓ.
+        l: usize,
+    },
+    /// Fairness-aware stochastic selection (Huang et al.; ref. 12 of the paper).
+    FairStochastic {
+        /// Participants per query ℓ.
+        l: usize,
+        /// Draw seed.
+        seed: u64,
+    },
+}
+
+impl PolicyKind {
+    /// The paper's defaults for a query-driven run: ε = 0.05, top-ℓ.
+    pub fn query_driven(l: usize) -> Self {
+        PolicyKind::QueryDriven { epsilon: 0.05, l }
+    }
+
+    /// Builds the runtime policy object.
+    pub fn build(&self) -> Box<dyn SelectionPolicy> {
+        match *self {
+            PolicyKind::QueryDriven { epsilon, l } => {
+                Box::new(QueryDriven { epsilon, ..QueryDriven::top_l(l) })
+            }
+            PolicyKind::QueryDrivenThreshold { epsilon, psi } => {
+                Box::new(QueryDriven::threshold(epsilon, psi))
+            }
+            PolicyKind::QueryDrivenNoSelectivity { epsilon, l } => Box::new(WithoutSelectivity(
+                QueryDriven { epsilon, ..QueryDriven::top_l(l) },
+            )),
+            PolicyKind::Random { l, seed } => Box::new(RandomSelection { l, seed }),
+            PolicyKind::GameTheory { leader, l, seed } => {
+                Box::new(GameTheory::paper_default(leader, l, seed))
+            }
+            PolicyKind::AllNodes => Box::new(AllNodes),
+            PolicyKind::DataCentric { l } => Box::new(DataCentric::equal_weights(l)),
+            PolicyKind::FairStochastic { l, seed } => Box::new(FairStochastic::new(l, seed)),
+        }
+    }
+
+    /// Display name (delegates to the built policy).
+    pub fn name(&self) -> &'static str {
+        self.build().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PolicyKind::query_driven(3).name(), "query-driven");
+        assert_eq!(PolicyKind::Random { l: 2, seed: 0 }.name(), "random");
+        assert_eq!(PolicyKind::AllNodes.name(), "all-nodes");
+        assert_eq!(PolicyKind::GameTheory { leader: 0, l: 2, seed: 0 }.name(), "game-theory");
+        assert_eq!(
+            PolicyKind::QueryDrivenNoSelectivity { epsilon: 0.05, l: 3 }.name(),
+            "without-selectivity"
+        );
+        assert_eq!(PolicyKind::DataCentric { l: 2 }.name(), "data-centric");
+        assert_eq!(PolicyKind::FairStochastic { l: 2, seed: 0 }.name(), "fair-stochastic");
+    }
+
+    #[test]
+    fn variants_carry_their_parameters() {
+        let p = PolicyKind::QueryDriven { epsilon: 0.1, l: 4 };
+        assert_eq!(format!("{p:?}"), "QueryDriven { epsilon: 0.1, l: 4 }");
+    }
+}

@@ -1,0 +1,107 @@
+//! Per-query resource accounting.
+//!
+//! Fig. 8 (training time with/without query-driven selectivity) and
+//! Fig. 9 (fraction of data each query needed) are pure accounting
+//! outputs; this module is the ledger both are read from.
+
+use serde::{Deserialize, Serialize};
+
+/// What one query cost across the whole federation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryAccounting {
+    /// Query id.
+    pub query_id: u64,
+    /// Nodes selected for the query.
+    pub nodes_selected: usize,
+    /// Samples actually used for training (over all selected nodes).
+    pub samples_used: usize,
+    /// Total samples available across *all* nodes (the Fig. 9
+    /// denominator).
+    pub samples_total: usize,
+    /// Sample-visits performed (samples × epochs, summed over nodes).
+    pub sample_visits: usize,
+    /// Simulated wall time of the training round (leader waits for the
+    /// slowest participant), in seconds.
+    pub sim_seconds: f64,
+    /// Simulated *total* training seconds summed over participants (the
+    /// single-machine / sequential view the paper's Fig. 8 plots).
+    pub sim_seconds_total: f64,
+    /// Measured wall-clock seconds spent in local training.
+    pub wall_seconds: f64,
+    /// Bytes shipped (summaries + model weights).
+    pub bytes_transferred: usize,
+}
+
+impl QueryAccounting {
+    /// Fraction of the network's data this query trained on (Fig. 9's
+    /// y-axis). Zero when the network is empty.
+    pub fn data_fraction(&self) -> f64 {
+        if self.samples_total == 0 {
+            0.0
+        } else {
+            self.samples_used as f64 / self.samples_total as f64
+        }
+    }
+}
+
+/// Aggregates accounting rows across a query stream.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamAccounting {
+    /// Per-query rows in issue order.
+    pub rows: Vec<QueryAccounting>,
+}
+
+impl StreamAccounting {
+    /// Adds a row.
+    pub fn push(&mut self, row: QueryAccounting) {
+        self.rows.push(row);
+    }
+
+    /// Mean simulated seconds per query.
+    pub fn mean_sim_seconds(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.sim_seconds).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Mean data fraction per query.
+    pub fn mean_data_fraction(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(QueryAccounting::data_fraction).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Total samples used over the stream.
+    pub fn total_samples_used(&self) -> usize {
+        self.rows.iter().map(|r| r.samples_used).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: u64, used: usize, total: usize, sim: f64) -> QueryAccounting {
+        QueryAccounting { query_id: id, samples_used: used, samples_total: total, sim_seconds: sim, ..Default::default() }
+    }
+
+    #[test]
+    fn data_fraction_is_guarded() {
+        assert_eq!(row(0, 10, 40, 0.0).data_fraction(), 0.25);
+        assert_eq!(row(0, 0, 0, 0.0).data_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stream_means() {
+        let mut s = StreamAccounting::default();
+        assert_eq!(s.mean_sim_seconds(), 0.0);
+        assert_eq!(s.mean_data_fraction(), 0.0);
+        s.push(row(0, 10, 100, 2.0));
+        s.push(row(1, 30, 100, 4.0));
+        assert!((s.mean_sim_seconds() - 3.0).abs() < 1e-12);
+        assert!((s.mean_data_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(s.total_samples_used(), 40);
+    }
+}

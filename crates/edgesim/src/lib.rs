@@ -1,0 +1,28 @@
+//! Edge-computing environment simulation.
+//!
+//! Models the paper's §III-A setting: a set of participant edge nodes,
+//! each with a local dataset `D_k`, a compute capacity `c_k` and a
+//! k-means quantisation of its *joint* data space (features + label - the
+//! space the paper's Figs. 5/6 draw query rectangles over), plus a leader
+//! that only ever sees the nodes' cluster summaries. A deterministic cost
+//! model converts work (samples trained, bytes shipped) into simulated
+//! time so the Fig. 8 "training time" comparison is reproducible on any
+//! machine; wall-clock timing is captured alongside it.
+//!
+//! * [`node`] - [`node::EdgeNode`]: local data, quantisation, summaries.
+//! * [`network`] - [`network::EdgeNetwork`]: the node population + global
+//!   data-space hull.
+//! * [`cost`] - the deterministic compute/communication cost model.
+//! * [`accounting`] - per-query accounting (samples used, time, bytes).
+
+pub mod accounting;
+pub mod cost;
+pub mod network;
+pub mod node;
+pub mod scaling;
+
+pub use accounting::{QueryAccounting, StreamAccounting};
+pub use cost::{CostModel, LinkProfile};
+pub use network::EdgeNetwork;
+pub use node::{EdgeNode, NodeId};
+pub use scaling::SpaceScaler;

@@ -1,0 +1,263 @@
+//! The node population the leader coordinates.
+
+use geom::HyperRect;
+use mlkit::DenseDataset;
+
+use linalg::rng as lrng;
+use rand::Rng;
+
+use crate::cost::{CostModel, LinkProfile};
+use crate::node::{EdgeNode, NodeId};
+
+/// An edge network: the participant population plus the cost model.
+///
+/// The leader itself is stateless in the paper's protocol (it only ranks
+/// summaries and averages models), so the network exposes node state and
+/// the distributed-learning crate implements the leader logic on top.
+#[derive(Debug, Clone)]
+pub struct EdgeNetwork {
+    nodes: Vec<EdgeNode>,
+    cost: CostModel,
+}
+
+impl EdgeNetwork {
+    /// Builds a network from named datasets with unit capacity everywhere.
+    ///
+    /// # Panics
+    /// Panics if `datasets` is empty.
+    pub fn from_datasets(datasets: Vec<(String, DenseDataset)>) -> Self {
+        assert!(!datasets.is_empty(), "network needs at least one node");
+        let nodes = datasets
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, data))| EdgeNode::new(NodeId(i), name, data, 1.0))
+            .collect();
+        Self { nodes, cost: CostModel::default() }
+    }
+
+    /// Assigns heterogeneous capacities drawn uniformly from
+    /// `[lo, hi]` (deterministic in `seed`).
+    ///
+    /// # Panics
+    /// Panics if `lo <= 0` or `lo > hi`.
+    pub fn with_random_capacities(mut self, lo: f64, hi: f64, seed: u64) -> Self {
+        assert!(lo > 0.0 && lo <= hi, "capacity range ({lo}, {hi}) invalid");
+        let mut rng = lrng::rng_for(seed, 0xCAFE);
+        let caps: Vec<f64> = (0..self.nodes.len()).map(|_| rng.gen_range(lo..=hi)).collect();
+        self.nodes = self
+            .nodes
+            .into_iter()
+            .zip(caps)
+            .map(|(n, c)| EdgeNode::new(n.id(), n.name().to_string(), n.data().clone(), c))
+            .collect();
+        self
+    }
+
+    /// Draws heterogeneous per-node uplinks: bandwidth uniform in
+    /// `[bw_lo, bw_hi]` bytes/s and latency uniform in `[lat_lo, lat_hi]`
+    /// seconds (deterministic in `seed`).
+    ///
+    /// # Panics
+    /// Panics on empty or inverted ranges.
+    pub fn with_random_links(
+        mut self,
+        (bw_lo, bw_hi): (f64, f64),
+        (lat_lo, lat_hi): (f64, f64),
+        seed: u64,
+    ) -> Self {
+        assert!(bw_lo > 0.0 && bw_lo <= bw_hi, "bandwidth range ({bw_lo}, {bw_hi}) invalid");
+        assert!(lat_lo >= 0.0 && lat_lo <= lat_hi, "latency range ({lat_lo}, {lat_hi}) invalid");
+        let mut rng = lrng::rng_for(seed, 0x11_4B);
+        self.nodes = self
+            .nodes
+            .into_iter()
+            .map(|n| {
+                let link = LinkProfile {
+                    bytes_per_second: rng.gen_range(bw_lo..=bw_hi),
+                    latency_seconds: rng.gen_range(lat_lo..=lat_hi),
+                };
+                let capacity = n.capacity();
+                EdgeNode::new(n.id(), n.name().to_string(), n.data().clone(), capacity)
+                    .with_link(link)
+            })
+            .collect();
+        self
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Quantises every node (§III-C; the paper uses `k = 5` everywhere
+    /// "to avoid biases"). Each node derives its own k-means seed.
+    pub fn quantize_all(&mut self, k: usize, seed: u64) {
+        for node in &mut self.nodes {
+            node.quantize(k, lrng::derive_seed(seed, node.id().0 as u64));
+        }
+    }
+
+    /// Like [`EdgeNetwork::quantize_all`] but every node releases
+    /// differentially-private summaries at budget ε
+    /// (see [`cluster::privacy`]).
+    pub fn quantize_all_private(&mut self, k: usize, seed: u64, epsilon: f64) {
+        for node in &mut self.nodes {
+            node.quantize_private(k, lrng::derive_seed(seed, node.id().0 as u64), epsilon);
+        }
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[EdgeNode] {
+        &self.nodes
+    }
+
+    /// One node by id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &EdgeNode {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes `N`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the network has no nodes (never post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Total samples across the network (the Fig. 9 denominator).
+    pub fn total_samples(&self) -> usize {
+        self.nodes.iter().map(EdgeNode::len).sum()
+    }
+
+    /// The hull of every node's joint data space — the "whole data space"
+    /// the paper's query workload is generated over.
+    pub fn global_space(&self) -> HyperRect {
+        let mut it = self.nodes.iter().map(EdgeNode::data_space);
+        let first = it.next().expect("network is non-empty");
+        it.fold(first, |acc, s| acc.hull(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Matrix;
+
+    fn dataset(offset: f64, n: usize) -> DenseDataset {
+        let x = Matrix::from_rows(&(0..n).map(|i| vec![offset + i as f64]).collect::<Vec<_>>());
+        let y: Vec<f64> = (0..n).map(|i| offset + i as f64 * 2.0).collect();
+        DenseDataset::new(x, y)
+    }
+
+    fn network() -> EdgeNetwork {
+        EdgeNetwork::from_datasets(vec![
+            ("a".into(), dataset(0.0, 30)),
+            ("b".into(), dataset(100.0, 20)),
+            ("c".into(), dataset(-50.0, 10)),
+        ])
+    }
+
+    #[test]
+    fn construction_assigns_sequential_ids() {
+        let net = network();
+        assert_eq!(net.len(), 3);
+        for (i, n) in net.nodes().iter().enumerate() {
+            assert_eq!(n.id(), NodeId(i));
+            assert_eq!(n.capacity(), 1.0);
+        }
+        assert_eq!(net.node(NodeId(1)).name(), "b");
+        assert_eq!(net.total_samples(), 60);
+    }
+
+    #[test]
+    fn global_space_covers_every_node() {
+        let net = network();
+        let space = net.global_space();
+        for node in net.nodes() {
+            for row in node.joint().row_iter() {
+                assert!(space.contains_point(row));
+            }
+        }
+        // x spans -50..129, y spans -50..138.
+        assert_eq!(space.interval(0).lo(), -50.0);
+        assert_eq!(space.interval(0).hi(), 119.0);
+    }
+
+    #[test]
+    fn quantize_all_touches_every_node() {
+        let mut net = network();
+        net.quantize_all(3, 9);
+        for n in net.nodes() {
+            assert!(n.is_quantized());
+            assert!(n.k() >= 1 && n.k() <= 3);
+        }
+    }
+
+    #[test]
+    fn quantize_all_uses_distinct_per_node_seeds() {
+        let mut net = EdgeNetwork::from_datasets(vec![
+            ("a".into(), dataset(0.0, 30)),
+            ("b".into(), dataset(0.0, 30)), // identical data
+        ]);
+        net.quantize_all(3, 1);
+        // Identical data with distinct seeds still yields valid summaries.
+        assert_eq!(net.node(NodeId(0)).k(), net.node(NodeId(1)).k());
+    }
+
+    #[test]
+    fn random_capacities_are_in_range_and_deterministic() {
+        let a = network().with_random_capacities(0.5, 2.0, 3);
+        let b = network().with_random_capacities(0.5, 2.0, 3);
+        for (x, y) in a.nodes().iter().zip(b.nodes()) {
+            assert_eq!(x.capacity(), y.capacity());
+            assert!((0.5..=2.0).contains(&x.capacity()));
+        }
+        // Capacities actually vary.
+        let caps: Vec<f64> = a.nodes().iter().map(|n| n.capacity()).collect();
+        assert!(caps.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn random_links_are_in_range_and_deterministic() {
+        let a = network().with_random_links((1e6, 20e6), (0.005, 0.1), 7);
+        let b = network().with_random_links((1e6, 20e6), (0.005, 0.1), 7);
+        for (x, y) in a.nodes().iter().zip(b.nodes()) {
+            assert_eq!(x.link(), y.link());
+            assert!((1e6..=20e6).contains(&x.link().bytes_per_second));
+            assert!((0.005..=0.1).contains(&x.link().latency_seconds));
+        }
+        let bws: Vec<f64> = a.nodes().iter().map(|n| n.link().bytes_per_second).collect();
+        assert!(bws.windows(2).any(|w| w[0] != w[1]), "links did not vary");
+    }
+
+    #[test]
+    fn random_links_preserve_capacities() {
+        let net = network()
+            .with_random_capacities(0.5, 2.0, 3)
+            .with_random_links((1e6, 20e6), (0.0, 0.1), 3);
+        assert!(net.nodes().iter().any(|n| n.capacity() != 1.0));
+    }
+
+    #[test]
+    fn link_transfer_time_includes_latency_and_bandwidth() {
+        let link = LinkProfile { bytes_per_second: 1000.0, latency_seconds: 0.5 };
+        assert!((link.transfer_seconds(2000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_network_rejected() {
+        EdgeNetwork::from_datasets(vec![]);
+    }
+}

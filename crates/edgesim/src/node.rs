@@ -1,0 +1,368 @@
+//! Participant edge nodes.
+
+use cluster::{summary, ClusterSummary, KMeans, KMeansConfig};
+use geom::HyperRect;
+use linalg::Matrix;
+use mlkit::DenseDataset;
+use serde::{Deserialize, Serialize};
+
+use crate::cost::LinkProfile;
+
+/// Identifier of a node within its network (`n_i` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A participant edge node: local dataset, compute capacity and (after
+/// [`EdgeNode::quantize`]) its cluster summaries.
+///
+/// The node's *joint space* is the concatenation of its feature columns
+/// and the label column — the d-dimensional space the paper clusters and
+/// expresses query boundaries over.
+#[derive(Debug, Clone)]
+pub struct EdgeNode {
+    id: NodeId,
+    name: String,
+    /// Compute capacity `c_k` (relative training throughput; 1.0 = the
+    /// reference node).
+    capacity: f64,
+    link: LinkProfile,
+    data: DenseDataset,
+    joint: Matrix,
+    kmeans: Option<KMeans>,
+    summaries: Vec<ClusterSummary>,
+}
+
+impl EdgeNode {
+    /// Creates a node over a local dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or `capacity <= 0`.
+    pub fn new(id: NodeId, name: impl Into<String>, data: DenseDataset, capacity: f64) -> Self {
+        assert!(!data.is_empty(), "edge node with no local data");
+        assert!(capacity > 0.0, "capacity must be positive, got {capacity}");
+        let joint = build_joint(&data);
+        Self {
+            id,
+            name: name.into(),
+            capacity,
+            link: LinkProfile::default(),
+            data,
+            joint,
+            kmeans: None,
+            summaries: Vec::new(),
+        }
+    }
+
+    /// Replaces the node's uplink profile.
+    pub fn with_link(mut self, link: LinkProfile) -> Self {
+        assert!(link.bytes_per_second > 0.0, "link bandwidth must be positive");
+        assert!(link.latency_seconds >= 0.0, "link latency cannot be negative");
+        self.link = link;
+        self
+    }
+
+    /// Node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Human-readable name (station name or synthetic label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Compute capacity `c_k`.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// The node's uplink to the leader.
+    pub fn link(&self) -> &LinkProfile {
+        &self.link
+    }
+
+    /// The node's local supervised dataset.
+    pub fn data(&self) -> &DenseDataset {
+        &self.data
+    }
+
+    /// Number of local samples `m`.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the node has no samples (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The joint (features + label) matrix the node clusters over.
+    pub fn joint(&self) -> &Matrix {
+        &self.joint
+    }
+
+    /// Dimensionality of the joint space (features + 1).
+    pub fn joint_dim(&self) -> usize {
+        self.joint.cols()
+    }
+
+    /// Bounding box of the node's whole joint data space.
+    pub fn data_space(&self) -> HyperRect {
+        HyperRect::bounding_points(self.joint.row_iter())
+            .expect("non-empty node always has a bounding box")
+    }
+
+    /// Quantises the local data space with k-means (§III-C, Eq. 1) and
+    /// caches the cluster summaries the node would ship to its leader.
+    pub fn quantize(&mut self, k: usize, seed: u64) {
+        let model = KMeans::fit(&self.joint, &KMeansConfig::with_k(k, seed));
+        self.summaries = summary::summarize(&self.joint, &model);
+        self.kmeans = Some(model);
+    }
+
+    /// Like [`EdgeNode::quantize`] but releases differentially-private
+    /// summaries: the leader-visible rectangles and counts carry Laplace
+    /// noise at budget ε while the node's own cluster memberships (used
+    /// for local training) stay exact.
+    pub fn quantize_private(&mut self, k: usize, seed: u64, epsilon: f64) {
+        self.quantize(k, seed);
+        let budget = cluster::privacy::PrivacyBudget::new(epsilon);
+        self.summaries = cluster::privacy::noise_summaries(&self.summaries, &budget, seed ^ 0xD1FF);
+    }
+
+    /// Whether [`EdgeNode::quantize`] has run.
+    pub fn is_quantized(&self) -> bool {
+        self.kmeans.is_some()
+    }
+
+    /// The fitted quantisation, if any.
+    pub fn kmeans(&self) -> Option<&KMeans> {
+        self.kmeans.as_ref()
+    }
+
+    /// Cluster summaries (empty before quantisation). This is the node's
+    /// entire leader-visible state — `O(K·d)` numbers.
+    pub fn summaries(&self) -> &[ClusterSummary] {
+        &self.summaries
+    }
+
+    /// Number of non-empty clusters `K` the node reports.
+    pub fn k(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// The members of cluster `cluster_id` as a training dataset.
+    ///
+    /// # Panics
+    /// Panics if the node is not quantised.
+    pub fn cluster_dataset(&self, cluster_id: usize) -> DenseDataset {
+        let model = self.kmeans.as_ref().expect("node not quantised");
+        self.data.select(&model.members(cluster_id))
+    }
+
+    /// The whole local dataset as a single training stage (the "without
+    /// query-driven selectivity" baseline of Figs. 8–9).
+    pub fn full_dataset(&self) -> DenseDataset {
+        self.data.clone()
+    }
+
+    /// Absorbs newly collected samples into the node's local dataset.
+    ///
+    /// The cached quantisation becomes stale and is dropped — call
+    /// [`EdgeNode::quantize`] (or use mini-batch maintenance at the
+    /// application level) before the node participates again.
+    ///
+    /// # Panics
+    /// Panics if the new data's width differs from the local data's.
+    pub fn absorb(&mut self, new: &DenseDataset) {
+        assert_eq!(new.dim(), self.data.dim(), "absorbed data width mismatch");
+        if new.is_empty() {
+            return;
+        }
+        self.data = self.data.concat(new);
+        self.joint = build_joint(&self.data);
+        self.kmeans = None;
+        self.summaries.clear();
+    }
+
+    /// Estimated number of local samples inside the query region,
+    /// computed from the summaries only (what the *leader* can estimate;
+    /// see [`cluster::estimate`]).
+    ///
+    /// # Panics
+    /// Panics if the node is not quantised.
+    pub fn estimated_query_cardinality(&self, query: &geom::Query) -> f64 {
+        assert!(self.is_quantized(), "node not quantised");
+        cluster::estimate::node_cardinality(&self.summaries, query)
+    }
+
+    /// Exact number of local samples inside the query region (what the
+    /// node itself can compute).
+    pub fn exact_query_cardinality(&self, query: &geom::Query) -> usize {
+        query.filter_indices(self.joint.row_iter()).len()
+    }
+}
+
+/// Concatenates features and label into the joint clustering matrix.
+fn build_joint(data: &DenseDataset) -> Matrix {
+    let n = data.len();
+    let d = data.dim();
+    let mut out = Matrix::zeros(n, d + 1);
+    for i in 0..n {
+        let row = out.row_mut(i);
+        row[..d].copy_from_slice(data.x().row(i));
+        row[d] = data.y()[i];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> EdgeNode {
+        let x = Matrix::from_rows(&(0..60).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let y: Vec<f64> = (0..60).map(|i| 2.0 * i as f64 + 1.0).collect();
+        EdgeNode::new(NodeId(3), "test", DenseDataset::new(x, y), 1.5)
+    }
+
+    #[test]
+    fn joint_space_concatenates_label() {
+        let n = node();
+        assert_eq!(n.joint_dim(), 2);
+        assert_eq!(n.joint().row(5), &[5.0, 11.0]);
+        assert_eq!(n.len(), 60);
+        assert_eq!(n.capacity(), 1.5);
+        assert_eq!(n.id(), NodeId(3));
+        assert_eq!(format!("{}", n.id()), "n3");
+    }
+
+    #[test]
+    fn data_space_is_the_joint_bounding_box() {
+        let n = node();
+        let s = n.data_space();
+        assert_eq!(s.to_boundary_vec(), vec![0.0, 59.0, 1.0, 119.0]);
+    }
+
+    #[test]
+    fn quantize_builds_summaries_over_joint_space() {
+        let mut n = node();
+        assert!(!n.is_quantized());
+        n.quantize(5, 7);
+        assert!(n.is_quantized());
+        assert_eq!(n.k(), 5);
+        let covered: usize = n.summaries().iter().map(|s| s.size).sum();
+        assert_eq!(covered, 60);
+        for s in n.summaries() {
+            assert_eq!(s.rect.dim(), 2);
+        }
+    }
+
+    #[test]
+    fn cluster_dataset_returns_members() {
+        let mut n = node();
+        n.quantize(4, 1);
+        let mut total = 0;
+        for s in n.summaries().to_vec() {
+            let ds = n.cluster_dataset(s.cluster_id);
+            assert_eq!(ds.len(), s.size);
+            total += ds.len();
+            // Every member's joint point lies inside the summary rect.
+            for (row, &y) in ds.x().row_iter().zip(ds.y()) {
+                let joint = [row[0], y];
+                assert!(s.rect.contains_point(&joint));
+            }
+        }
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "not quantised")]
+    fn cluster_dataset_requires_quantize() {
+        node().cluster_dataset(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no local data")]
+    fn empty_node_rejected() {
+        EdgeNode::new(NodeId(0), "empty", DenseDataset::empty(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn nonpositive_capacity_rejected() {
+        let x = Matrix::from_rows(&[vec![1.0]]);
+        EdgeNode::new(NodeId(0), "bad", DenseDataset::new(x, vec![1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantize_private_noises_leader_visible_state_only() {
+        let mut exact = node();
+        exact.quantize(4, 2);
+        let mut private = node();
+        private.quantize_private(4, 2, 0.1);
+        assert_eq!(exact.k(), private.k());
+        // Leader-visible rectangles differ...
+        let moved = exact
+            .summaries()
+            .iter()
+            .zip(private.summaries())
+            .any(|(a, b)| a.rect != b.rect || a.size != b.size);
+        assert!(moved, "eps=0.1 must perturb the released summaries");
+        // ...but local training data (cluster memberships) is exact.
+        for s in exact.summaries().to_vec() {
+            assert_eq!(
+                exact.cluster_dataset(s.cluster_id),
+                private.cluster_dataset(s.cluster_id)
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_extends_data_and_invalidates_summaries() {
+        let mut n = node();
+        n.quantize(3, 1);
+        assert!(n.is_quantized());
+        let extra = DenseDataset::new(
+            Matrix::from_rows(&[vec![100.0], vec![101.0]]),
+            vec![201.0, 203.0],
+        );
+        n.absorb(&extra);
+        assert_eq!(n.len(), 62);
+        assert!(!n.is_quantized(), "stale quantisation must be dropped");
+        assert_eq!(n.joint().row(61), &[101.0, 203.0]);
+        // Re-quantising covers the new region too.
+        n.quantize(3, 1);
+        assert!(n.data_space().contains_point(&[101.0, 203.0]));
+    }
+
+    #[test]
+    fn absorb_empty_is_a_noop() {
+        let mut n = node();
+        n.quantize(3, 1);
+        n.absorb(&DenseDataset::empty(1));
+        assert!(n.is_quantized());
+        assert_eq!(n.len(), 60);
+    }
+
+    #[test]
+    fn cardinality_estimate_tracks_exact_count() {
+        let mut n = node();
+        n.quantize(4, 2);
+        // Query over the lower half of the node's joint space (y = 2x+1).
+        let q = geom::Query::from_boundary_vec(0, &[0.0, 30.0, 0.0, 61.0]);
+        let exact = n.exact_query_cardinality(&q);
+        let est = n.estimated_query_cardinality(&q);
+        assert_eq!(exact, 31);
+        assert!(
+            (est - exact as f64).abs() < 0.4 * exact as f64,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+}

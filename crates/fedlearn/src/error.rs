@@ -1,0 +1,48 @@
+//! Federation error types.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a query round could not complete.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FederationError {
+    /// The selection policy returned no participants (nothing overlaps
+    /// the query region under the configured thresholds).
+    NoParticipants {
+        /// The query that found no support.
+        query_id: u64,
+    },
+    /// Every selected participant's training set was empty (possible when
+    /// supporting clusters exist but hold no samples after filtering).
+    NoTrainingData {
+        /// The affected query.
+        query_id: u64,
+    },
+}
+
+impl std::fmt::Display for FederationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FederationError::NoParticipants { query_id } => {
+                write!(f, "query {query_id}: no node overlaps the requested data region")
+            }
+            FederationError::NoTrainingData { query_id } => {
+                write!(f, "query {query_id}: selected participants hold no training data")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_query() {
+        let e = FederationError::NoParticipants { query_id: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = FederationError::NoTrainingData { query_id: 7 };
+        assert!(e.to_string().contains("7"));
+    }
+}

@@ -1,0 +1,499 @@
+//! One query's federation round (§IV-B).
+
+use std::time::Instant;
+
+use edgesim::{EdgeNetwork, QueryAccounting, SpaceScaler};
+use geom::Query;
+use linalg::rng as lrng;
+use mlkit::{DenseDataset, Model, ModelKind, Regressor, TrainConfig};
+use parking_lot::Mutex;
+use selection::{Participant, Selection, SelectionContext, SelectionPolicy};
+use serde::{Deserialize, Serialize};
+
+use crate::aggregate::{Aggregation, GlobalModel};
+use crate::error::FederationError;
+
+/// Order in which a participant visits its supporting clusters.
+///
+/// The paper describes both: §IV-B says the model trains `E` rounds on
+/// each cluster *then* moves to the next ([`StageOrder::Sequential`]),
+/// while the §IV-A remark calls each cluster "a mini-batch"
+/// ([`StageOrder::Interleaved`]: every epoch cycles through all
+/// clusters). Sequential is the default; interleaved protects non-linear
+/// models from intra-node forgetting at high epoch counts (see the
+/// `ablation_stage_order` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageOrder {
+    /// E epochs on cluster 1, then E on cluster 2, ... (§IV-B).
+    Sequential,
+    /// Each epoch visits every cluster once (§IV-A's mini-batch reading).
+    Interleaved,
+}
+
+/// Configuration of the distributed-learning mechanism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederationConfig {
+    /// Architecture broadcast to participants.
+    pub model: ModelKind,
+    /// Per-stage local training schedule (`E` epochs per supporting
+    /// cluster, §IV-B).
+    pub train: TrainConfig,
+    /// How the leader folds the local models together.
+    pub aggregation: Aggregation,
+    /// Seed for the initial global model.
+    pub model_seed: u64,
+    /// Train participants on parallel threads (deterministic either way;
+    /// serial mode exists for timing experiments that want one core).
+    pub parallel: bool,
+    /// Supporting-cluster visit order (see [`StageOrder`]).
+    pub stage_order: StageOrder,
+    /// Communication rounds. The paper's protocol is single-round
+    /// (participants train once, the leader aggregates once); values
+    /// above 1 enable FedAvg-style iterative refinement — after each
+    /// aggregation the averaged weights are broadcast back and local
+    /// training repeats — and therefore require
+    /// [`Aggregation::FedAvgWeights`] (prediction ensembles have no
+    /// single weight vector to re-broadcast).
+    pub rounds: usize,
+}
+
+impl FederationConfig {
+    /// The paper's "LR" column with weighted averaging.
+    pub fn paper_lr(seed: u64) -> Self {
+        Self {
+            model: ModelKind::Linear,
+            train: TrainConfig::paper_lr(seed),
+            aggregation: Aggregation::WeightedAveraging,
+            model_seed: seed,
+            parallel: true,
+            stage_order: StageOrder::Sequential,
+            rounds: 1,
+        }
+    }
+
+    /// The paper's "NN" column with weighted averaging.
+    pub fn paper_nn(seed: u64) -> Self {
+        Self {
+            model: ModelKind::PAPER_NN,
+            train: TrainConfig::paper_nn(seed),
+            aggregation: Aggregation::WeightedAveraging,
+            model_seed: seed,
+            parallel: true,
+            stage_order: StageOrder::Sequential,
+            rounds: 1,
+        }
+    }
+
+    /// Swaps the aggregation rule.
+    pub fn with_aggregation(mut self, aggregation: Aggregation) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    /// Enables FedAvg-style multi-round refinement (implies
+    /// [`Aggregation::FedAvgWeights`]).
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        assert!(rounds >= 1, "at least one round is required");
+        self.rounds = rounds;
+        if rounds > 1 {
+            self.aggregation = Aggregation::FedAvgWeights;
+        }
+        self
+    }
+}
+
+/// Everything a completed round produced.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// The aggregated global model.
+    pub global: GlobalModel,
+    /// The scaler broadcast alongside the model (needed to score the
+    /// global model on raw data).
+    pub scaler: SpaceScaler,
+    /// Which nodes participated with which clusters.
+    pub selection: Selection,
+    /// The resource ledger.
+    pub accounting: QueryAccounting,
+}
+
+impl RoundOutcome {
+    /// Evaluates the global model on the query's own data region: the
+    /// union, over *all* nodes, of the samples whose joint point falls
+    /// inside the query rectangle. This is the paper's per-query
+    /// "expected loss" — how well the model serves the data actually
+    /// requested. Losses are in scaled (unit-cube) label units; multiply
+    /// by [`SpaceScaler::unscale_mse`] for raw units.
+    ///
+    /// Returns `None` when no sample falls inside the query region.
+    pub fn query_loss(&self, network: &EdgeNetwork, query: &Query) -> Option<f64> {
+        let test = query_region_dataset(network, query, &self.scaler)?;
+        Some(self.global.mse(&test))
+    }
+}
+
+/// Collects the (scaled) samples inside the query region across the
+/// whole network.
+pub fn query_region_dataset(
+    network: &EdgeNetwork,
+    query: &Query,
+    scaler: &SpaceScaler,
+) -> Option<DenseDataset> {
+    let mut parts: Vec<DenseDataset> = Vec::new();
+    for node in network.nodes() {
+        let idx = query.filter_indices(node.joint().row_iter());
+        if !idx.is_empty() {
+            parts.push(scaler.transform_dataset(&node.data().select(&idx)));
+        }
+    }
+    let mut it = parts.into_iter();
+    let first = it.next()?;
+    Some(it.fold(first, |acc, p| acc.concat(&p)))
+}
+
+/// What one participant's local training produced.
+struct LocalResult {
+    index: usize,
+    model: Model,
+    samples_used: usize,
+    sample_visits: usize,
+    wall_seconds: f64,
+}
+
+/// Runs one complete round: selection → local training → aggregation.
+///
+/// Training is deterministic in the configuration regardless of
+/// `config.parallel`: every participant derives its RNG streams from the
+/// query id and its node id only.
+pub fn run_query(
+    network: &EdgeNetwork,
+    query: &Query,
+    policy: &dyn SelectionPolicy,
+    config: &FederationConfig,
+) -> Result<RoundOutcome, FederationError> {
+    assert!(
+        config.rounds == 1 || config.aggregation == Aggregation::FedAvgWeights,
+        "multi-round refinement requires FedAvg weight aggregation"
+    );
+    let ctx = SelectionContext::new(network, query);
+    let selection = policy.select(&ctx);
+    if selection.is_empty() {
+        return Err(FederationError::NoParticipants { query_id: query.id() });
+    }
+    let overhead = policy.overhead(&ctx);
+    let scaler = SpaceScaler::from_space(&network.global_space());
+
+    // The leader's initial global model, broadcast to every participant.
+    let dim = network.nodes()[0].data().dim();
+    let mut initial = config.model.build(dim, config.model_seed);
+
+    // Per-participant training stages (scaled).
+    let jobs: Vec<(usize, &Participant, Vec<DenseDataset>)> = selection
+        .participants
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let node = network.node(p.node);
+            let stages: Vec<DenseDataset> = if p.supporting_clusters.is_empty() {
+                vec![scaler.transform_dataset(&node.full_dataset())]
+            } else {
+                p.supporting_clusters
+                    .iter()
+                    .map(|c| scaler.transform_dataset(&node.cluster_dataset(c.cluster_id)))
+                    .collect()
+            };
+            (i, p, stages)
+        })
+        .collect();
+
+    let nonempty: Vec<&(usize, &Participant, Vec<DenseDataset>)> =
+        jobs.iter().filter(|(_, _, stages)| stages.iter().any(|s| !s.is_empty())).collect();
+    if nonempty.is_empty() {
+        return Err(FederationError::NoTrainingData { query_id: query.id() });
+    }
+
+    let cost = network.cost_model();
+    let model_bytes = initial.num_weights() * 8;
+    let overhead_seconds: f64 = overhead
+        .per_node_visits
+        .iter()
+        .map(|&(id, visits)| cost.training_seconds(visits, network.node(id).capacity()))
+        .fold(0.0, f64::max)
+        + if overhead.bytes > 0 { cost.transfer_seconds(overhead.bytes) } else { 0.0 };
+    let mut accounting = QueryAccounting {
+        query_id: query.id(),
+        nodes_selected: nonempty.len(),
+        samples_total: network.total_samples(),
+        sample_visits: overhead.per_node_visits.iter().map(|&(_, v)| v).sum::<usize>(),
+        sim_seconds: overhead_seconds,
+        sim_seconds_total: overhead_seconds,
+        bytes_transferred: overhead.bytes,
+        ..QueryAccounting::default()
+    };
+
+    let mut global = None;
+    for round in 0..config.rounds {
+        let results: Mutex<Vec<LocalResult>> = Mutex::new(Vec::with_capacity(nonempty.len()));
+        let broadcast = &initial;
+        let train_one = |(index, participant, stages): &(usize, &Participant, Vec<DenseDataset>)| {
+            let node = network.node(participant.node);
+            let mut model = broadcast.clone();
+            let train_cfg = TrainConfig {
+                seed: lrng::derive_seed(
+                    config.train.seed,
+                    query.id() ^ ((node.id().0 as u64) << 32) ^ ((round as u64) << 48),
+                ),
+                ..config.train.clone()
+            };
+            let samples_used: usize = stages.iter().map(DenseDataset::len).sum();
+            let start = Instant::now();
+            let report = match config.stage_order {
+                StageOrder::Sequential => mlkit::train_incremental(&mut model, stages, &train_cfg),
+                StageOrder::Interleaved => mlkit::train_interleaved(&mut model, stages, &train_cfg),
+            };
+            let wall = start.elapsed().as_secs_f64();
+            results.lock().push(LocalResult {
+                index: *index,
+                model,
+                samples_used,
+                sample_visits: report.samples_seen,
+                wall_seconds: wall,
+            });
+        };
+
+        if config.parallel && nonempty.len() > 1 {
+            crossbeam::thread::scope(|scope| {
+                for job in &nonempty {
+                    scope.spawn(move |_| train_one(job));
+                }
+            })
+            .expect("participant training thread panicked");
+        } else {
+            for job in &nonempty {
+                train_one(job);
+            }
+        }
+
+        let mut results = results.into_inner();
+        results.sort_by_key(|r| r.index);
+
+        // Aggregate this round's local models.
+        let lambdas: Vec<f64> = results
+            .iter()
+            .map(|r| selection.participants[r.index].ranking)
+            .collect();
+        let samples: Vec<usize> = results.iter().map(|r| r.samples_used).collect();
+        let models: Vec<Model> = results.iter().map(|r| r.model.clone()).collect();
+        let aggregated = GlobalModel::aggregate(config.aggregation, models, &lambdas, &samples);
+
+        // Accounting: every round pays training on the slowest node plus
+        // two model transfers per participant, each at the node's own
+        // uplink speed.
+        let per_node_seconds: Vec<f64> = results
+            .iter()
+            .map(|r| {
+                let node = network.node(selection.participants[r.index].node);
+                cost.training_seconds(r.sample_visits, node.capacity())
+                    + node.link().transfer_seconds(2 * model_bytes)
+            })
+            .collect();
+        accounting.samples_used = results.iter().map(|r| r.samples_used).sum();
+        accounting.sample_visits += results.iter().map(|r| r.sample_visits).sum::<usize>();
+        accounting.sim_seconds += per_node_seconds.iter().copied().fold(0.0, f64::max);
+        accounting.sim_seconds_total += per_node_seconds.iter().sum::<f64>();
+        accounting.wall_seconds += results.iter().map(|r| r.wall_seconds).fold(0.0, f64::max);
+        accounting.bytes_transferred += results.len() * 2 * model_bytes;
+
+        // Broadcast the averaged weights back for the next round.
+        if let GlobalModel::Single(model) = &aggregated {
+            initial = model.clone();
+        }
+        global = Some(aggregated);
+    }
+
+    let global = global.expect("at least one round ran");
+    Ok(RoundOutcome { global, scaler, selection, accounting })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airdata::scenario;
+    use selection::{AllNodes, QueryDriven, RandomSelection};
+
+    fn network(hetero: bool) -> EdgeNetwork {
+        let nodes = if hetero {
+            scenario::heterogeneous_nodes(5, 120, 3)
+        } else {
+            scenario::homogeneous_nodes(5, 120, 3)
+        };
+        let mut net = EdgeNetwork::from_datasets(
+            nodes.into_iter().map(|n| (n.name, n.dataset)).collect(),
+        );
+        net.quantize_all(5, 1);
+        net
+    }
+
+    fn fast_cfg(seed: u64) -> FederationConfig {
+        FederationConfig {
+            train: TrainConfig::paper_lr(seed).with_epochs(15),
+            ..FederationConfig::paper_lr(seed)
+        }
+    }
+
+    /// A query over the leader-like region of the heterogeneous scenario
+    /// (x in [0,20], y = 2x+3 -> joint region [0,20] x [0,45]).
+    fn leader_query() -> Query {
+        Query::from_boundary_vec(0, &[0.0, 20.0, 0.0, 45.0])
+    }
+
+    #[test]
+    fn round_produces_a_finite_model_and_sane_accounting() {
+        let net = network(true);
+        let out = run_query(&net, &leader_query(), &QueryDriven::top_l(3), &fast_cfg(1)).unwrap();
+        assert!(out.accounting.nodes_selected >= 1);
+        assert!(out.accounting.samples_used <= net.total_samples());
+        assert!(out.accounting.sim_seconds > 0.0);
+        assert!(out.accounting.bytes_transferred > 0);
+        let loss = out.query_loss(&net, &leader_query()).unwrap();
+        assert!(loss.is_finite() && loss >= 0.0);
+    }
+
+    #[test]
+    fn query_driven_beats_random_on_heterogeneous_nodes() {
+        // Averaged over several queries: a single random draw can get
+        // lucky and pick the compatible nodes, but on average it trains
+        // on the wrong data (only 2 of 5 nodes match the leader region).
+        let net = network(true);
+        let mut ours_total = 0.0;
+        let mut random_total = 0.0;
+        for qid in 0..8u64 {
+            let q = Query::from_boundary_vec(qid, &[0.0, 20.0, 0.0, 45.0]);
+            let ours = run_query(&net, &q, &QueryDriven::top_l(2), &fast_cfg(5)).unwrap();
+            let random =
+                run_query(&net, &q, &RandomSelection { l: 2, seed: 999 }, &fast_cfg(5)).unwrap();
+            ours_total += ours.query_loss(&net, &q).unwrap();
+            random_total += random.query_loss(&net, &q).unwrap();
+        }
+        assert!(
+            ours_total < random_total,
+            "query-driven mean loss {ours_total} should beat random {random_total}"
+        );
+    }
+
+    #[test]
+    fn query_driven_uses_less_data_than_all_nodes() {
+        let net = network(true);
+        // A query over *part* of the leader region: only some clusters of
+        // the matching nodes support it, so data selectivity bites.
+        let q = Query::from_boundary_vec(0, &[0.0, 10.0, 0.0, 25.0]);
+        let ours = run_query(&net, &q, &QueryDriven::top_l(3), &fast_cfg(2)).unwrap();
+        let all = run_query(&net, &q, &AllNodes, &fast_cfg(2)).unwrap();
+        assert!(ours.accounting.samples_used < all.accounting.samples_used);
+        assert!(
+            ours.accounting.sim_seconds < all.accounting.sim_seconds,
+            "ours {} vs all {}",
+            ours.accounting.sim_seconds,
+            all.accounting.sim_seconds
+        );
+        assert_eq!(all.accounting.samples_used, net.total_samples());
+    }
+
+    #[test]
+    fn parallel_and_serial_rounds_agree() {
+        let net = network(true);
+        let q = leader_query();
+        let par = run_query(&net, &q, &QueryDriven::top_l(3), &fast_cfg(7)).unwrap();
+        let ser = run_query(
+            &net,
+            &q,
+            &QueryDriven::top_l(3),
+            &FederationConfig { parallel: false, ..fast_cfg(7) },
+        )
+        .unwrap();
+        match (&par.global, &ser.global) {
+            (
+                GlobalModel::Ensemble { members: a, lambdas: la },
+                GlobalModel::Ensemble { members: b, lambdas: lb },
+            ) => {
+                assert_eq!(a, b);
+                assert_eq!(la, lb);
+            }
+            other => panic!("unexpected global models: {other:?}"),
+        }
+        assert_eq!(par.accounting.samples_used, ser.accounting.samples_used);
+        assert_eq!(par.accounting.sample_visits, ser.accounting.sample_visits);
+    }
+
+    #[test]
+    fn disjoint_query_yields_no_participants() {
+        let net = network(true);
+        let q = Query::from_boundary_vec(9, &[1e6, 2e6, 1e6, 2e6]);
+        let err = run_query(&net, &q, &QueryDriven::top_l(3), &fast_cfg(0)).unwrap_err();
+        assert_eq!(err, FederationError::NoParticipants { query_id: 9 });
+    }
+
+    #[test]
+    fn weighted_averaging_weights_follow_rankings() {
+        let net = network(true);
+        let q = leader_query();
+        let out = run_query(&net, &q, &QueryDriven::top_l(3), &fast_cfg(3)).unwrap();
+        if let GlobalModel::Ensemble { lambdas, .. } = &out.global {
+            let rankings: Vec<f64> =
+                out.selection.participants.iter().map(|p| p.ranking).collect();
+            let total: f64 = rankings.iter().sum();
+            for (l, r) in lambdas.iter().zip(&rankings) {
+                assert!((l - r / total).abs() < 1e-12);
+            }
+        } else {
+            panic!("expected ensemble");
+        }
+    }
+
+    #[test]
+    fn multi_round_fedavg_refines_the_single_model() {
+        let net = network(false);
+        let q = Query::from_boundary_vec(0, &[0.0, 50.0, 0.0, 100.0]);
+        let one = run_query(
+            &net,
+            &q,
+            &QueryDriven::top_l(3),
+            &fast_cfg(3).with_aggregation(Aggregation::FedAvgWeights),
+        )
+        .unwrap();
+        let three = run_query(&net, &q, &QueryDriven::top_l(3), &fast_cfg(3).with_rounds(3)).unwrap();
+        // Multi-round pays proportionally more and never does worse on a
+        // homogeneous population.
+        assert!(three.accounting.sample_visits > 2 * one.accounting.sample_visits);
+        assert!(three.accounting.bytes_transferred > 2 * one.accounting.bytes_transferred);
+        let l1 = one.query_loss(&net, &q).unwrap();
+        let l3 = three.query_loss(&net, &q).unwrap();
+        assert!(l3 <= l1 * 1.2, "3 rounds ({l3}) regressed badly vs 1 round ({l1})");
+        assert!(matches!(three.global, GlobalModel::Single(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-round refinement requires FedAvg")]
+    fn multi_round_with_ensemble_rejected() {
+        let net = network(false);
+        let q = Query::from_boundary_vec(0, &[0.0, 50.0, 0.0, 100.0]);
+        let mut cfg = fast_cfg(1);
+        cfg.rounds = 2; // without switching the aggregation rule
+        let _ = run_query(&net, &q, &QueryDriven::top_l(2), &cfg);
+    }
+
+    #[test]
+    fn query_region_dataset_collects_only_inside_points() {
+        let net = network(false);
+        let q = Query::from_boundary_vec(0, &[0.0, 10.0, -100.0, 200.0]);
+        let scaler = SpaceScaler::from_space(&net.global_space());
+        let ds = query_region_dataset(&net, &q, &scaler).unwrap();
+        assert!(!ds.is_empty());
+        // Every collected x (scaled) maps back inside [0, 10].
+        let space = net.global_space();
+        for row in ds.x().row_iter() {
+            let raw = space.interval(0).lo()
+                + row[0] * (space.interval(0).hi() - space.interval(0).lo());
+            assert!((-1e-9..=10.0 + 1e-9).contains(&raw));
+        }
+    }
+}

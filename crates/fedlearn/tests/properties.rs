@@ -1,0 +1,120 @@
+//! Property-based tests for the distributed-learning mechanism.
+
+use airdata::scenario::{nodes_from_specs, NodeSpec};
+use edgesim::EdgeNetwork;
+use fedlearn::{run_query, Aggregation, FederationConfig, FederationError, GlobalModel, StageOrder};
+use geom::Query;
+use mlkit::TrainConfig;
+use proptest::prelude::*;
+use selection::QueryDriven;
+
+fn specs_strategy() -> impl Strategy<Value = Vec<NodeSpec>> {
+    prop::collection::vec(
+        (-40.0_f64..40.0, 10.0_f64..40.0, -2.0_f64..2.0).prop_map(|(lo, span, slope)| NodeSpec {
+            x_range: (lo, lo + span),
+            slope,
+            intercept: 0.0,
+            noise_std: 1.0,
+        }),
+        2..5,
+    )
+}
+
+fn build(specs: &[NodeSpec], seed: u64) -> EdgeNetwork {
+    let nodes = nodes_from_specs(specs, 40, seed);
+    let mut net =
+        EdgeNetwork::from_datasets(nodes.into_iter().map(|n| (n.name, n.dataset)).collect());
+    net.quantize_all(3, seed);
+    net
+}
+
+fn fast_cfg(seed: u64, agg: Aggregation, order: StageOrder) -> FederationConfig {
+    FederationConfig {
+        train: TrainConfig::paper_lr(seed).with_epochs(3),
+        stage_order: order,
+        ..FederationConfig::paper_lr(seed)
+    }
+    .with_aggregation(agg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A completed round's accounting and model are always well-formed,
+    /// under every aggregation rule and stage order.
+    #[test]
+    fn round_outputs_are_well_formed(
+        specs in specs_strategy(),
+        seed in 0_u64..50,
+        agg_idx in 0_usize..3,
+        order_idx in 0_usize..2,
+    ) {
+        let agg = [Aggregation::ModelAveraging, Aggregation::WeightedAveraging, Aggregation::FedAvgWeights][agg_idx];
+        let order = [StageOrder::Sequential, StageOrder::Interleaved][order_idx];
+        let net = build(&specs, seed);
+        let q = Query::new(0, net.global_space());
+        match run_query(&net, &q, &QueryDriven::top_l(3), &fast_cfg(seed, agg, order)) {
+            Err(FederationError::NoParticipants { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+            Ok(out) => {
+                prop_assert!(out.accounting.samples_used <= out.accounting.samples_total);
+                prop_assert!(out.accounting.sample_visits > 0);
+                prop_assert!(out.accounting.sim_seconds > 0.0);
+                prop_assert!(out.accounting.sim_seconds <= out.accounting.sim_seconds_total + 1e-12);
+                match (&out.global, agg) {
+                    (GlobalModel::Single(_), Aggregation::FedAvgWeights) => {}
+                    (GlobalModel::Ensemble { members, lambdas }, _) => {
+                        prop_assert_eq!(members.len(), lambdas.len());
+                        prop_assert!((lambdas.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                    }
+                    other => return Err(TestCaseError::fail(format!("wrong model shape {other:?}"))),
+                }
+                // Predictions over the unit cube stay finite.
+                for x in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                    prop_assert!(out.global.predict_row(&[x]).is_finite());
+                }
+                if let Some(loss) = out.query_loss(&net, &q) {
+                    prop_assert!(loss.is_finite() && loss >= 0.0);
+                }
+            }
+        }
+    }
+
+    /// Parallel and serial execution agree bit-for-bit.
+    #[test]
+    fn parallel_matches_serial(specs in specs_strategy(), seed in 0_u64..50) {
+        let net = build(&specs, seed);
+        let q = Query::new(0, net.global_space());
+        let par_cfg = fast_cfg(seed, Aggregation::WeightedAveraging, StageOrder::Sequential);
+        let ser_cfg = FederationConfig { parallel: false, ..par_cfg.clone() };
+        let par = run_query(&net, &q, &QueryDriven::top_l(3), &par_cfg);
+        let ser = run_query(&net, &q, &QueryDriven::top_l(3), &ser_cfg);
+        match (par, ser) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.query_loss(&net, &q), b.query_loss(&net, &q));
+                prop_assert_eq!(a.accounting.sample_visits, b.accounting.sample_visits);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            other => return Err(TestCaseError::fail(format!("parallel/serial diverged: {other:?}"))),
+        }
+    }
+
+    /// Extra FedAvg rounds scale the paid cost linearly.
+    #[test]
+    fn multi_round_cost_scales(specs in specs_strategy(), seed in 0_u64..50, rounds in 2_usize..4) {
+        let net = build(&specs, seed);
+        let q = Query::new(0, net.global_space());
+        let one = fast_cfg(seed, Aggregation::FedAvgWeights, StageOrder::Sequential);
+        let many = FederationConfig { rounds, ..one.clone() };
+        if let (Ok(a), Ok(b)) = (
+            run_query(&net, &q, &QueryDriven::top_l(3), &one),
+            run_query(&net, &q, &QueryDriven::top_l(3), &many),
+        ) {
+            let ratio = b.accounting.sample_visits as f64 / a.accounting.sample_visits as f64;
+            prop_assert!(
+                (ratio - rounds as f64).abs() < 0.6,
+                "visits ratio {ratio} for {rounds} rounds"
+            );
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Descriptive statistics over slices and matrix columns.
+
+use crate::Matrix;
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum; `None` for an empty slice, NaNs are ignored.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().filter(|x| !x.is_nan()).copied().fold(None, |acc, x| {
+        Some(match acc {
+            None => x,
+            Some(m) => m.min(x),
+        })
+    })
+}
+
+/// Maximum; `None` for an empty slice, NaNs are ignored.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().filter(|x| !x.is_nan()).copied().fold(None, |acc, x| {
+        Some(match acc {
+            None => x,
+            Some(m) => m.max(x),
+        })
+    })
+}
+
+/// `(min, max)` over a slice; `None` if empty or all-NaN.
+pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
+    Some((min(xs)?, max(xs)?))
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0,100]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered above"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Population covariance of two equal-length slices.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "covariance length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / xs.len() as f64
+}
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+///
+/// The paper's §II motivates the selection mechanism by observing that the
+/// same feature pair can correlate *positively* in one node and *negatively*
+/// in another; this function is how the examples surface that.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let sx = std_dev(xs);
+    let sy = std_dev(ys);
+    if sx == 0.0 || sy == 0.0 {
+        return 0.0;
+    }
+    covariance(xs, ys) / (sx * sy)
+}
+
+/// Ordinary-least-squares slope and intercept of `y` on `x`.
+///
+/// Returns `(slope, intercept)`; slope is 0 when `x` is constant.
+pub fn ols_line(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let vx = variance(xs);
+    if vx == 0.0 {
+        return (0.0, mean(ys));
+    }
+    let slope = covariance(xs, ys) / vx;
+    let intercept = mean(ys) - slope * mean(xs);
+    (slope, intercept)
+}
+
+/// Per-column mean of a matrix.
+pub fn column_means(m: &Matrix) -> Vec<f64> {
+    let mut out = vec![0.0; m.cols()];
+    for row in m.row_iter() {
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+    if m.rows() > 0 {
+        let inv = 1.0 / m.rows() as f64;
+        for o in &mut out {
+            *o *= inv;
+        }
+    }
+    out
+}
+
+/// Per-column population standard deviation of a matrix.
+pub fn column_std_devs(m: &Matrix) -> Vec<f64> {
+    let means = column_means(m);
+    let mut out = vec![0.0; m.cols()];
+    for row in m.row_iter() {
+        for ((o, &x), &mu) in out.iter_mut().zip(row).zip(&means) {
+            let d = x - mu;
+            *o += d * d;
+        }
+    }
+    if m.rows() > 1 {
+        let inv = 1.0 / m.rows() as f64;
+        for o in &mut out {
+            *o = (*o * inv).sqrt();
+        }
+    } else {
+        out.fill(0.0);
+    }
+    out
+}
+
+/// Per-column `(min, max)` of a matrix.
+///
+/// # Panics
+/// Panics if the matrix has no rows.
+pub fn column_min_max(m: &Matrix) -> Vec<(f64, f64)> {
+    assert!(m.rows() > 0, "column_min_max on an empty matrix");
+    let mut out: Vec<(f64, f64)> = m.row(0).iter().map(|&x| (x, x)).collect();
+    for row in m.row_iter().skip(1) {
+        for (o, &x) in out.iter_mut().zip(row) {
+            o.0 = o.0.min(x);
+            o.1 = o.1.max(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn min_max_ignores_nans() {
+        let xs = [f64::NAN, 2.0, -1.0, f64::NAN];
+        assert_eq!(min_max(&xs), Some((-1.0, 2.0)));
+        assert_eq!(min_max(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(median(&xs), Some(2.5));
+        assert_eq!(percentile(&xs, 25.0), Some(1.75));
+    }
+
+    #[test]
+    fn pearson_detects_sign() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn ols_line_recovers_exact_linear_relation() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let (slope, intercept) = ols_line(&xs, &ys);
+        assert!((slope - 3.0).abs() < 1e-12);
+        assert!((intercept + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ols_line_constant_x_degenerates_to_mean() {
+        let (slope, intercept) = ols_line(&[2.0, 2.0], &[1.0, 3.0]);
+        assert_eq!(slope, 0.0);
+        assert_eq!(intercept, 2.0);
+    }
+
+    #[test]
+    fn column_stats_match_per_column_slices() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 20.0]]);
+        assert_eq!(column_means(&m), vec![3.0, 20.0]);
+        let mm = column_min_max(&m);
+        assert_eq!(mm, vec![(1.0, 5.0), (10.0, 30.0)]);
+        let sds = column_std_devs(&m);
+        assert!((sds[0] - std_dev(&[1.0, 3.0, 5.0])).abs() < 1e-12);
+        assert!((sds[1] - std_dev(&[10.0, 30.0, 20.0])).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the linalg substrate.
+
+use linalg::{matrix::Matrix, ops, scale::MinMaxScaler, scale::StandardScaler, stats};
+use proptest::prelude::*;
+
+/// Strategy: a non-empty matrix with bounded dimensions and finite values.
+fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-1e6_f64..1e6, r * c).prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn vec_pair(max_len: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1..=max_len).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-1e6_f64..1e6, n),
+            prop::collection::vec(-1e6_f64..1e6, n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_an_involution(m in matrix_strategy(12, 12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_with_identity_is_identity(m in matrix_strategy(8, 8)) {
+        let i = Matrix::identity(m.cols());
+        let p = m.matmul(&i);
+        for (a, b) in p.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in (1..=6usize, 1..=6usize, 1..=6usize).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec(-1e3_f64..1e3, m * k).prop_map(move |d| Matrix::from_vec(m, k, d)),
+            prop::collection::vec(-1e3_f64..1e3, k * n).prop_map(move |d| Matrix::from_vec(k, n, d)),
+        )
+    })) {
+        // (A B)^T == B^T A^T.
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert_eq!(lhs.shape(), rhs.shape());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-6 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn dot_is_commutative((a, b) in vec_pair(64)) {
+        let ab = ops::dot(&a, &b);
+        let ba = ops::dot(&b, &a);
+        prop_assert!((ab - ba).abs() <= 1e-9 * ab.abs().max(1.0));
+    }
+
+    #[test]
+    fn squared_distance_is_symmetric_and_nonnegative((a, b) in vec_pair(64)) {
+        let d1 = ops::squared_distance(&a, &b);
+        let d2 = ops::squared_distance(&b, &a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() <= 1e-9 * d1.max(1.0));
+        prop_assert_eq!(ops::squared_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality((a, b) in vec_pair(32), t in 0.0_f64..1.0) {
+        let mid = ops::lerp(&a, &b, t);
+        let direct = ops::distance(&a, &b);
+        let via = ops::distance(&a, &mid) + ops::distance(&mid, &b);
+        prop_assert!(via <= direct + 1e-6 * direct.max(1.0));
+    }
+
+    #[test]
+    fn standard_scaler_round_trip(m in matrix_strategy(16, 8)) {
+        let sc = StandardScaler::fit(&m);
+        let back = sc.inverse_transform(&sc.transform(&m));
+        for (a, b) in back.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-6 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn minmax_scaler_output_in_unit_interval(m in matrix_strategy(16, 8)) {
+        let sc = MinMaxScaler::fit(&m);
+        let t = sc.transform(&m);
+        for &x in t.as_slice() {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&x), "{x} outside [0,1]");
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone(xs in prop::collection::vec(-1e6_f64..1e6, 1..128),
+                              p1 in 0.0_f64..100.0, p2 in 0.0_f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = stats::percentile(&xs, lo).unwrap();
+        let b = stats::percentile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn pearson_is_bounded((a, b) in vec_pair(64)) {
+        let r = stats::pearson(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+    }
+
+    #[test]
+    fn column_stats_consistent_with_slice_stats(m in matrix_strategy(16, 4)) {
+        let means = stats::column_means(&m);
+        for (c, &mu) in means.iter().enumerate() {
+            let col = m.col(c);
+            prop_assert!((mu - stats::mean(&col)).abs() <= 1e-9 * mu.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Supervised regression datasets: a feature matrix plus a target vector.
+
+use linalg::{rng, Matrix};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// A dense supervised dataset: `x` has one sample per row, `y` one target
+/// per sample (`ξ = (x, y)` in the paper's notation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseDataset {
+    x: Matrix,
+    y: Vec<f64>,
+}
+
+impl DenseDataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != y.len()`.
+    pub fn new(x: Matrix, y: Vec<f64>) -> Self {
+        assert_eq!(x.rows(), y.len(), "feature rows ({}) != targets ({})", x.rows(), y.len());
+        Self { x, y }
+    }
+
+    /// An empty dataset of the given feature width.
+    pub fn empty(dim: usize) -> Self {
+        Self { x: Matrix::zeros(0, dim), y: Vec::new() }
+    }
+
+    /// Feature matrix.
+    #[inline]
+    pub fn x(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// Target vector.
+    #[inline]
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the dataset has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// A new dataset containing the listed sample indices, in order.
+    pub fn select(&self, indices: &[usize]) -> DenseDataset {
+        let x = self.x.select_rows(indices);
+        let y = indices.iter().map(|&i| self.y[i]).collect();
+        DenseDataset::new(x, y)
+    }
+
+    /// Concatenates two datasets (same feature width).
+    pub fn concat(&self, other: &DenseDataset) -> DenseDataset {
+        assert_eq!(self.dim(), other.dim(), "concat dimensionality mismatch");
+        let x = self.x.vstack(&other.x);
+        let mut y = self.y.clone();
+        y.extend_from_slice(&other.y);
+        DenseDataset::new(x, y)
+    }
+
+    /// Deterministically shuffles the samples.
+    pub fn shuffled(&self, seed: u64) -> DenseDataset {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut rng::rng_for(seed, 0xDA7A));
+        self.select(&idx)
+    }
+
+    /// Splits into `(train, validation)` with the given validation
+    /// fraction, after a deterministic shuffle.
+    ///
+    /// The split never leaves the training side empty unless the dataset
+    /// itself has fewer than 2 samples.
+    ///
+    /// # Panics
+    /// Panics if `val_fraction` is outside `[0, 1)`.
+    pub fn split(&self, val_fraction: f64, seed: u64) -> (DenseDataset, DenseDataset) {
+        assert!((0.0..1.0).contains(&val_fraction), "val_fraction {val_fraction} outside [0,1)");
+        let shuffled = self.shuffled(seed);
+        let n = shuffled.len();
+        let n_val = ((n as f64 * val_fraction).round() as usize).min(n.saturating_sub(1));
+        let split_at = n - n_val;
+        let train_idx: Vec<usize> = (0..split_at).collect();
+        let val_idx: Vec<usize> = (split_at..n).collect();
+        (shuffled.select(&train_idx), shuffled.select(&val_idx))
+    }
+
+    /// Yields `(x_batch, y_batch)` index ranges of at most `batch_size`
+    /// samples, in order.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = DenseDataset> + '_ {
+        assert!(batch_size > 0, "batch_size must be positive");
+        (0..self.len()).step_by(batch_size).map(move |start| {
+            let end = (start + batch_size).min(self.len());
+            let idx: Vec<usize> = (start..end).collect();
+            self.select(&idx)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> DenseDataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (2 * i) as f64]).collect();
+        let y: Vec<f64> = (0..n).map(|i| i as f64 * 10.0).collect();
+        DenseDataset::new(Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn construction_checks_lengths() {
+        let ds = toy(5);
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.dim(), 2);
+        assert!(!ds.is_empty());
+        assert!(DenseDataset::empty(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows")]
+    fn mismatched_lengths_rejected() {
+        DenseDataset::new(Matrix::zeros(3, 2), vec![1.0]);
+    }
+
+    #[test]
+    fn select_keeps_pairs_aligned() {
+        let ds = toy(6);
+        let s = ds.select(&[5, 0, 3]);
+        assert_eq!(s.y(), &[50.0, 0.0, 30.0]);
+        assert_eq!(s.x().row(0), &[5.0, 10.0]);
+        assert_eq!(s.x().row(2), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let ds = toy(20);
+        let a = ds.shuffled(9);
+        let b = ds.shuffled(9);
+        assert_eq!(a, b);
+        let mut ys = a.y().to_vec();
+        ys.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let mut want = ds.y().to_vec();
+        want.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        assert_eq!(ys, want);
+        // Pairs stay aligned after shuffling: y == 10 * x[0] everywhere.
+        for (row, &y) in a.x().row_iter().zip(a.y()) {
+            assert_eq!(y, row[0] * 10.0);
+        }
+    }
+
+    #[test]
+    fn split_fractions_are_respected() {
+        let ds = toy(10);
+        let (train, val) = ds.split(0.2, 1);
+        assert_eq!(train.len(), 8);
+        assert_eq!(val.len(), 2);
+        let (train, val) = ds.split(0.0, 1);
+        assert_eq!((train.len(), val.len()), (10, 0));
+    }
+
+    #[test]
+    fn split_never_empties_training_side() {
+        let ds = toy(2);
+        let (train, val) = ds.split(0.9, 3);
+        assert_eq!(train.len(), 1);
+        assert_eq!(val.len(), 1);
+        let one = toy(1);
+        let (train, val) = one.split(0.5, 3);
+        assert_eq!((train.len(), val.len()), (1, 0));
+    }
+
+    #[test]
+    fn batches_cover_everything_in_order() {
+        let ds = toy(7);
+        let batches: Vec<DenseDataset> = ds.batches(3).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 3);
+        assert_eq!(batches[2].len(), 1);
+        let all: Vec<f64> = batches.iter().flat_map(|b| b.y().to_vec()).collect();
+        assert_eq!(all, ds.y());
+    }
+
+    #[test]
+    fn concat_appends_samples() {
+        let a = toy(2);
+        let b = toy(3);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.y()[2..], b.y()[..]);
+    }
+}

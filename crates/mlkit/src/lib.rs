@@ -1,0 +1,42 @@
+//! Minimal ML substrate replacing the paper's Keras models.
+//!
+//! The evaluation (§V, Table III) trains two regressors per query: a
+//! linear regression (a single dense unit) and a small neural network
+//! (one dense layer of 64 ReLU units), both under MSE loss with a 0.2
+//! validation split and 100 epochs. This crate implements exactly those
+//! models from scratch - dense forward/backward passes, SGD/momentum/Adam
+//! optimisers, losses, metrics, mini-batch and *incremental* training
+//! (the paper trains one supporting cluster after another, treating each
+//! cluster as a mini-batch stage) - with flat weight vectors exposed for
+//! federated aggregation.
+//!
+//! * [`data`] - `DenseDataset` (feature matrix + target vector), splits,
+//!   batching.
+//! * [`loss`] - MSE / MAE / Huber with gradients.
+//! * [`metrics`] - MSE, RMSE, MAE, R².
+//! * [`optim`] - SGD, momentum, Adam.
+//! * [`model`] - the [`model::Regressor`] trait and the clonable
+//!   [`model::Model`] enum over the two paper architectures.
+//! * [`linear`] - linear regression (Table III "LR": Dense 1, lr 0.03).
+//! * [`mlp`] - one-hidden-layer MLP (Table III "NN": Dense 64 ReLU, lr 0.001).
+//! * [`mod@train`] - epoch/batch training loops, validation split, incremental
+//!   per-cluster training.
+
+pub mod data;
+pub mod linear;
+pub mod loss;
+pub mod metrics;
+pub mod mlp;
+pub mod model;
+pub mod optim;
+pub mod schedule;
+pub mod train;
+
+pub use data::DenseDataset;
+pub use linear::LinearRegression;
+pub use loss::Loss;
+pub use mlp::Mlp;
+pub use model::{Model, ModelKind, Regressor};
+pub use optim::{Optimizer, OptimizerKind};
+pub use schedule::LrSchedule;
+pub use train::{train, train_incremental, train_interleaved, TrainConfig, TrainReport};

@@ -1,0 +1,180 @@
+//! The regressor abstraction shared by the training loops and the
+//! federated aggregation code.
+
+use linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::data::DenseDataset;
+use crate::linear::LinearRegression;
+use crate::loss::Loss;
+use crate::mlp::Mlp;
+
+/// A trainable regression model with a flat parameter vector.
+///
+/// The flat vector view is what federated weight aggregation operates on:
+/// the leader averages `weights()` across participants and pushes the
+/// result back with `set_weights`.
+pub trait Regressor {
+    /// Predicts a single sample.
+    fn predict_row(&self, x: &[f64]) -> f64;
+
+    /// Predicts every row of a feature matrix.
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        x.row_iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Number of trainable parameters.
+    fn num_weights(&self) -> usize;
+
+    /// Copies the parameters into a flat vector.
+    fn weights(&self) -> Vec<f64>;
+
+    /// Overwrites the parameters from a flat vector.
+    ///
+    /// # Panics
+    /// Panics if `w.len() != num_weights()`.
+    fn set_weights(&mut self, w: &[f64]);
+
+    /// Computes `(flat gradient, mean loss)` of `loss` over a batch.
+    ///
+    /// # Panics
+    /// Panics if the batch is empty or its width differs from the model's
+    /// input dimension.
+    fn grad_batch(&self, batch: &DenseDataset, loss: Loss) -> (Vec<f64>, f64);
+
+    /// Mean loss over a dataset without computing gradients.
+    fn evaluate(&self, data: &DenseDataset, loss: Loss) -> f64 {
+        let preds = self.predict(data.x());
+        loss.mean(&preds, data.y())
+    }
+}
+
+/// Which of the paper's two architectures to build (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// "LR": a single dense unit — linear regression.
+    Linear,
+    /// "NN": one hidden dense layer of `hidden` ReLU units (64 in the
+    /// paper) feeding a linear output unit.
+    Neural {
+        /// Hidden-layer width.
+        hidden: usize,
+    },
+}
+
+impl ModelKind {
+    /// The paper's NN architecture (Dense 64, ReLU).
+    pub const PAPER_NN: ModelKind = ModelKind::Neural { hidden: 64 };
+
+    /// Instantiates a model for `dim` input features with deterministic
+    /// weight initialisation.
+    pub fn build(&self, dim: usize, seed: u64) -> Model {
+        match *self {
+            ModelKind::Linear => Model::Linear(LinearRegression::new(dim)),
+            ModelKind::Neural { hidden } => Model::Neural(Mlp::new(dim, hidden, seed)),
+        }
+    }
+
+    /// Short display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Linear => "LR",
+            ModelKind::Neural { .. } => "NN",
+        }
+    }
+}
+
+/// A clonable, serialisable regressor: one of the two paper architectures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Model {
+    /// Linear regression.
+    Linear(LinearRegression),
+    /// One-hidden-layer MLP.
+    Neural(Mlp),
+}
+
+impl Model {
+    /// The architecture tag of this model.
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            Model::Linear(_) => ModelKind::Linear,
+            Model::Neural(m) => ModelKind::Neural { hidden: m.hidden() },
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn dim(&self) -> usize {
+        match self {
+            Model::Linear(m) => m.dim(),
+            Model::Neural(m) => m.dim(),
+        }
+    }
+}
+
+impl Regressor for Model {
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        match self {
+            Model::Linear(m) => m.predict_row(x),
+            Model::Neural(m) => m.predict_row(x),
+        }
+    }
+
+    fn num_weights(&self) -> usize {
+        match self {
+            Model::Linear(m) => m.num_weights(),
+            Model::Neural(m) => m.num_weights(),
+        }
+    }
+
+    fn weights(&self) -> Vec<f64> {
+        match self {
+            Model::Linear(m) => m.weights(),
+            Model::Neural(m) => m.weights(),
+        }
+    }
+
+    fn set_weights(&mut self, w: &[f64]) {
+        match self {
+            Model::Linear(m) => m.set_weights(w),
+            Model::Neural(m) => m.set_weights(w),
+        }
+    }
+
+    fn grad_batch(&self, batch: &DenseDataset, loss: Loss) -> (Vec<f64>, f64) {
+        match self {
+            Model::Linear(m) => m.grad_batch(batch, loss),
+            Model::Neural(m) => m.grad_batch(batch, loss),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_build() {
+        let lr = ModelKind::Linear.build(3, 0);
+        assert_eq!(lr.kind(), ModelKind::Linear);
+        assert_eq!(lr.dim(), 3);
+        let nn = ModelKind::PAPER_NN.build(3, 0);
+        assert_eq!(nn.kind(), ModelKind::Neural { hidden: 64 });
+        assert_eq!(nn.dim(), 3);
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        assert_eq!(ModelKind::Linear.name(), "LR");
+        assert_eq!(ModelKind::PAPER_NN.name(), "NN");
+    }
+
+    #[test]
+    fn weight_round_trip_preserves_predictions() {
+        let mut a = ModelKind::Neural { hidden: 8 }.build(2, 42);
+        let b = ModelKind::Neural { hidden: 8 }.build(2, 43);
+        let x = [0.3, -0.7];
+        let before = b.predict_row(&x);
+        a.set_weights(&b.weights());
+        assert_eq!(a.predict_row(&x), before);
+    }
+}

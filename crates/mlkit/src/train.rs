@@ -1,0 +1,531 @@
+//! Training loops: epoch/batch descent and the paper's *incremental*
+//! per-cluster training (§IV-A remark: "each cluster represents a
+//! mini-batch", trained for `E` rounds each, producing one model per node).
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::DenseDataset;
+use crate::loss::Loss;
+use crate::model::Regressor;
+use crate::optim::OptimizerKind;
+use crate::schedule::LrSchedule;
+
+/// Hyper-parameters of a training run (Table III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Epochs over the training split.
+    pub epochs: usize,
+    /// Mini-batch size inside an epoch (full-batch when it exceeds the
+    /// dataset length).
+    pub batch_size: usize,
+    /// Fraction of data held out for validation (Table III: 0.2).
+    pub validation_split: f64,
+    /// Optimiser and learning rate.
+    pub optimizer: OptimizerKind,
+    /// Loss to minimise (Table III: MSE).
+    pub loss: Loss,
+    /// Stop early when validation loss has not improved for this many
+    /// epochs; `None` disables early stopping.
+    pub patience: Option<usize>,
+    /// L2 weight decay coefficient added to every gradient
+    /// (`g += weight_decay * w`); 0 disables it (the paper's setting).
+    pub weight_decay: f64,
+    /// Clip the global gradient L2 norm to this value before the
+    /// optimiser step; `None` disables clipping.
+    pub grad_clip: Option<f64>,
+    /// Learning-rate schedule over epochs (constant in the paper).
+    pub schedule: LrSchedule,
+    /// Seed for the shuffles/splits.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// Table III column "LR": 100 epochs, validation split 0.2, learning
+    /// rate 0.03, MSE.
+    pub fn paper_lr(seed: u64) -> Self {
+        Self {
+            epochs: 100,
+            batch_size: 32,
+            validation_split: 0.2,
+            optimizer: OptimizerKind::Sgd { lr: 0.03 },
+            loss: Loss::Mse,
+            patience: None,
+            weight_decay: 0.0,
+            grad_clip: None,
+            schedule: LrSchedule::Constant,
+            seed,
+        }
+    }
+
+    /// Table III column "NN": 100 epochs, validation split 0.2, learning
+    /// rate 0.001 (Adam, matching the Keras default optimiser family),
+    /// MSE.
+    pub fn paper_nn(seed: u64) -> Self {
+        Self {
+            epochs: 100,
+            batch_size: 32,
+            validation_split: 0.2,
+            optimizer: OptimizerKind::adam(0.001),
+            loss: Loss::Mse,
+            patience: None,
+            weight_decay: 0.0,
+            grad_clip: None,
+            schedule: LrSchedule::Constant,
+            seed,
+        }
+    }
+
+    /// A faster variant with fewer epochs, used where the experiment loop
+    /// repeats training hundreds of times.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+}
+
+/// What a training run measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss after each epoch.
+    pub train_loss: Vec<f64>,
+    /// Mean validation loss after each epoch (empty when the validation
+    /// split is 0 or the dataset was too small to split).
+    pub val_loss: Vec<f64>,
+    /// Total number of sample-visits (samples × epochs actually run).
+    pub samples_seen: usize,
+    /// Whether early stopping triggered.
+    pub early_stopped: bool,
+}
+
+impl TrainReport {
+    /// The last recorded training loss.
+    pub fn final_train_loss(&self) -> Option<f64> {
+        self.train_loss.last().copied()
+    }
+
+    /// The best (minimum) validation loss seen.
+    pub fn best_val_loss(&self) -> Option<f64> {
+        self.val_loss.iter().copied().fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(m) => m.min(x),
+            })
+        })
+    }
+
+    /// Merges a follow-on report (incremental training stages).
+    fn extend(&mut self, other: TrainReport) {
+        self.train_loss.extend(other.train_loss);
+        self.val_loss.extend(other.val_loss);
+        self.samples_seen += other.samples_seen;
+        self.early_stopped |= other.early_stopped;
+    }
+}
+
+/// Trains `model` on `data` for `config.epochs` epochs of mini-batch
+/// descent, with an optional validation split and early stopping.
+///
+/// Returns the report; the model is updated in place.
+///
+/// # Panics
+/// Panics if `data` is empty.
+pub fn train<M: Regressor>(model: &mut M, data: &DenseDataset, config: &TrainConfig) -> TrainReport {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert!(
+        data.x().all_finite() && data.y().iter().all(|v| v.is_finite()),
+        "training data contains NaN/inf - impute missing values first (see airdata::impute)"
+    );
+    let (train_set, val_set) = if config.validation_split > 0.0 && data.len() >= 2 {
+        data.split(config.validation_split, config.seed)
+    } else {
+        (data.clone(), DenseDataset::empty(data.dim()))
+    };
+
+    let mut opt = config.optimizer.build(model.num_weights());
+    let base_lr = config.optimizer.learning_rate();
+    let mut report = TrainReport {
+        train_loss: Vec::with_capacity(config.epochs),
+        val_loss: Vec::new(),
+        samples_seen: 0,
+        early_stopped: false,
+    };
+    let mut best_val = f64::INFINITY;
+    let mut since_best = 0usize;
+
+    for epoch in 0..config.epochs {
+        opt.set_learning_rate(config.schedule.rate(epoch, base_lr));
+        let shuffled = train_set.shuffled(config.seed.wrapping_add(epoch as u64 + 1));
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
+        for batch in shuffled.batches(config.batch_size) {
+            let (mut grad, loss) = model.grad_batch(&batch, config.loss);
+            let mut w = model.weights();
+            if config.weight_decay > 0.0 {
+                linalg::ops::axpy(config.weight_decay, &w, &mut grad);
+            }
+            if let Some(max_norm) = config.grad_clip {
+                let norm = linalg::ops::norm(&grad);
+                if norm > max_norm {
+                    linalg::ops::scale(max_norm / norm, &mut grad);
+                }
+            }
+            opt.step(&mut w, &grad);
+            model.set_weights(&w);
+            epoch_loss += loss;
+            batches += 1;
+            report.samples_seen += batch.len();
+        }
+        report.train_loss.push(epoch_loss / batches.max(1) as f64);
+
+        if !val_set.is_empty() {
+            let vl = model.evaluate(&val_set, config.loss);
+            report.val_loss.push(vl);
+            if let Some(patience) = config.patience {
+                if vl + 1e-12 < best_val {
+                    best_val = vl;
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if since_best >= patience {
+                        report.early_stopped = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// The paper's incremental per-cluster training (§IV-A/§IV-B): the model
+/// visits each supporting cluster's data in turn, running the full
+/// `config` schedule on each stage, and carries its weights across stages
+/// so "each node produces only one model including all the training
+/// obtained by the K' supporting clusters".
+///
+/// Empty stages are skipped. Returns the concatenated report.
+///
+/// Note: with many epochs per stage this *sequential* order lets the last
+/// cluster overwrite what earlier clusters taught (intra-node
+/// forgetting), which bites non-linear models in particular — see
+/// [`train_interleaved`] for the §IV-A "each cluster represents a
+/// mini-batch" reading that rotates through the clusters every epoch.
+///
+/// # Panics
+/// Panics if every stage is empty.
+pub fn train_incremental<M: Regressor>(
+    model: &mut M,
+    stages: &[DenseDataset],
+    config: &TrainConfig,
+) -> TrainReport {
+    let mut combined: Option<TrainReport> = None;
+    for (i, stage) in stages.iter().enumerate() {
+        if stage.is_empty() {
+            continue;
+        }
+        let stage_cfg = TrainConfig { seed: config.seed.wrapping_add(i as u64 * 7919), ..config.clone() };
+        let rep = train(model, stage, &stage_cfg);
+        match &mut combined {
+            None => combined = Some(rep),
+            Some(c) => c.extend(rep),
+        }
+    }
+    combined.expect("train_incremental requires at least one non-empty stage")
+}
+
+/// Interleaved per-cluster training — the §IV-A mini-batch reading of the
+/// paper's scheme: every epoch visits *each* supporting cluster for one
+/// epoch of mini-batch descent, repeating for `config.epochs` cycles.
+/// Total work equals [`train_incremental`]'s, but no cluster gets the
+/// final word, which protects non-linear models from intra-node
+/// forgetting.
+///
+/// Early stopping and validation splits are per-cluster-epoch and
+/// therefore disabled here; the report carries the per-cycle mean
+/// training loss across stages.
+///
+/// # Panics
+/// Panics if every stage is empty.
+pub fn train_interleaved<M: Regressor>(
+    model: &mut M,
+    stages: &[DenseDataset],
+    config: &TrainConfig,
+) -> TrainReport {
+    let nonempty: Vec<&DenseDataset> = stages.iter().filter(|s| !s.is_empty()).collect();
+    assert!(!nonempty.is_empty(), "train_interleaved requires at least one non-empty stage");
+    let mut report = TrainReport {
+        train_loss: Vec::with_capacity(config.epochs),
+        val_loss: Vec::new(),
+        samples_seen: 0,
+        early_stopped: false,
+    };
+    // One optimiser across the whole run so moments persist over cycles.
+    let mut opt = config.optimizer.build(model.num_weights());
+    let base_lr = config.optimizer.learning_rate();
+    for epoch in 0..config.epochs {
+        opt.set_learning_rate(config.schedule.rate(epoch, base_lr));
+        let mut cycle_loss = 0.0;
+        let mut batches = 0usize;
+        for (si, stage) in nonempty.iter().enumerate() {
+            let shuffled = stage.shuffled(
+                config.seed.wrapping_add(epoch as u64 + 1).wrapping_add(si as u64 * 7919),
+            );
+            for batch in shuffled.batches(config.batch_size) {
+                let (mut grad, loss) = model.grad_batch(&batch, config.loss);
+                let mut w = model.weights();
+                if config.weight_decay > 0.0 {
+                    linalg::ops::axpy(config.weight_decay, &w, &mut grad);
+                }
+                if let Some(max_norm) = config.grad_clip {
+                    let norm = linalg::ops::norm(&grad);
+                    if norm > max_norm {
+                        linalg::ops::scale(max_norm / norm, &mut grad);
+                    }
+                }
+                opt.step(&mut w, &grad);
+                model.set_weights(&w);
+                cycle_loss += loss;
+                batches += 1;
+                report.samples_seen += batch.len();
+            }
+        }
+        report.train_loss.push(cycle_loss / batches.max(1) as f64);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, ModelKind};
+    use linalg::Matrix;
+
+    fn linear_data(n: usize, seed: u64) -> DenseDataset {
+        let mut rng = linalg::rng::rng_for(seed, 55);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![linalg::rng::normal(&mut rng, 0.0, 1.0), linalg::rng::normal(&mut rng, 0.0, 1.0)])
+            .collect();
+        let y: Vec<f64> =
+            rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0 + linalg::rng::normal(&mut rng, 0.0, 0.01)).collect();
+        DenseDataset::new(Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn paper_lr_config_matches_table_iii() {
+        let c = TrainConfig::paper_lr(0);
+        assert_eq!(c.epochs, 100);
+        assert_eq!(c.validation_split, 0.2);
+        assert_eq!(c.optimizer.learning_rate(), 0.03);
+        assert_eq!(c.loss, Loss::Mse);
+    }
+
+    #[test]
+    fn paper_nn_config_matches_table_iii() {
+        let c = TrainConfig::paper_nn(0);
+        assert_eq!(c.epochs, 100);
+        assert_eq!(c.validation_split, 0.2);
+        assert_eq!(c.optimizer.learning_rate(), 0.001);
+        assert_eq!(c.loss, Loss::Mse);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = linear_data(200, 1);
+        let mut model = ModelKind::Linear.build(2, 0);
+        let report = train(&mut model, &data, &TrainConfig::paper_lr(3));
+        assert_eq!(report.train_loss.len(), 100);
+        assert_eq!(report.val_loss.len(), 100);
+        let first = report.train_loss[0];
+        let last = report.final_train_loss().unwrap();
+        assert!(last < first * 0.1, "loss {first} -> {last} did not drop");
+        assert!(report.best_val_loss().unwrap() < 0.1);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = linear_data(100, 2);
+        let cfg = TrainConfig::paper_lr(17).with_epochs(20);
+        let mut a = ModelKind::Linear.build(2, 0);
+        let mut b = ModelKind::Linear.build(2, 0);
+        let ra = train(&mut a, &data, &cfg);
+        let rb = train(&mut b, &data, &cfg);
+        assert_eq!(ra, rb);
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn early_stopping_halts_on_plateau() {
+        let data = linear_data(120, 4);
+        let mut model = ModelKind::Linear.build(2, 0);
+        let cfg = TrainConfig { patience: Some(3), epochs: 400, ..TrainConfig::paper_lr(5) };
+        let report = train(&mut model, &data, &cfg);
+        assert!(report.early_stopped);
+        assert!(report.train_loss.len() < 400);
+    }
+
+    #[test]
+    fn zero_validation_split_trains_on_everything() {
+        let data = linear_data(50, 6);
+        let mut model = ModelKind::Linear.build(2, 0);
+        let cfg = TrainConfig { validation_split: 0.0, ..TrainConfig::paper_lr(7) }.with_epochs(5);
+        let report = train(&mut model, &data, &cfg);
+        assert!(report.val_loss.is_empty());
+        assert_eq!(report.samples_seen, 50 * 5);
+    }
+
+    #[test]
+    fn incremental_training_carries_weights_across_stages() {
+        let data = linear_data(300, 8);
+        let idx_a: Vec<usize> = (0..100).collect();
+        let idx_b: Vec<usize> = (100..300).collect();
+        let stages = vec![data.select(&idx_a), data.select(&idx_b)];
+        let mut model = ModelKind::Linear.build(2, 0);
+        let cfg = TrainConfig::paper_lr(9).with_epochs(30);
+        let report = train_incremental(&mut model, &stages, &cfg);
+        assert_eq!(report.train_loss.len(), 60);
+        // Having seen both stages, the model fits the whole set well.
+        assert!(model.evaluate(&data, Loss::Mse) < 0.5);
+    }
+
+    #[test]
+    fn incremental_training_skips_empty_stages() {
+        let data = linear_data(60, 10);
+        let stages = vec![DenseDataset::empty(2), data.clone(), DenseDataset::empty(2)];
+        let mut model = ModelKind::Linear.build(2, 0);
+        let report = train_incremental(&mut model, &stages, &TrainConfig::paper_lr(1).with_epochs(10));
+        assert_eq!(report.train_loss.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one non-empty stage")]
+    fn incremental_all_empty_panics() {
+        let mut model = ModelKind::Linear.build(2, 0);
+        train_incremental(&mut model, &[DenseDataset::empty(2)], &TrainConfig::paper_lr(0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_coefficients() {
+        let data = linear_data(150, 12);
+        let plain_cfg = TrainConfig::paper_lr(3).with_epochs(40);
+        let decayed_cfg = TrainConfig { weight_decay: 0.5, ..plain_cfg.clone() };
+        let mut plain = ModelKind::Linear.build(2, 0);
+        let mut decayed = ModelKind::Linear.build(2, 0);
+        train(&mut plain, &data, &plain_cfg);
+        train(&mut decayed, &data, &decayed_cfg);
+        let norm = |m: &Model| m.weights().iter().map(|w| w * w).sum::<f64>().sqrt();
+        assert!(
+            norm(&decayed) < norm(&plain) * 0.95,
+            "decay {} should shrink weights vs {}",
+            norm(&decayed),
+            norm(&plain)
+        );
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_each_step() {
+        // Exploding setting: big targets, big learning rate. With a tight
+        // clip the weights stay bounded by lr * clip * steps.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| 1e6 * i as f64).collect();
+        let data = DenseDataset::new(Matrix::from_rows(&rows), y);
+        let cfg = TrainConfig {
+            grad_clip: Some(1.0),
+            validation_split: 0.0,
+            ..TrainConfig::paper_lr(1).with_epochs(5)
+        };
+        let mut model = ModelKind::Linear.build(1, 0);
+        train(&mut model, &data, &cfg);
+        // 5 epochs * 1 batch, lr 0.03, clip 1 => |w| <= 0.15 + eps.
+        assert!(model.weights().iter().all(|w| w.abs() <= 0.2), "{:?}", model.weights());
+    }
+
+    #[test]
+    fn cosine_schedule_trains_to_convergence() {
+        let data = linear_data(150, 14);
+        let cfg = TrainConfig {
+            schedule: crate::schedule::LrSchedule::Cosine { total: 60, min_lr: 1e-4 },
+            ..TrainConfig::paper_lr(5).with_epochs(60)
+        };
+        let mut model = ModelKind::Linear.build(2, 0);
+        let report = train(&mut model, &data, &cfg);
+        assert!(report.final_train_loss().unwrap() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "contains NaN")]
+    fn nan_training_data_rejected() {
+        let data = DenseDataset::new(
+            Matrix::from_rows(&[vec![1.0, f64::NAN], vec![2.0, 3.0]]),
+            vec![1.0, 2.0],
+        );
+        let mut model = ModelKind::Linear.build(2, 0);
+        train(&mut model, &data, &TrainConfig::paper_lr(0));
+    }
+
+    #[test]
+    fn interleaved_training_covers_all_stages() {
+        let data = linear_data(200, 20);
+        let idx_a: Vec<usize> = (0..100).collect();
+        let idx_b: Vec<usize> = (100..200).collect();
+        let stages = vec![data.select(&idx_a), DenseDataset::empty(2), data.select(&idx_b)];
+        let mut model = ModelKind::Linear.build(2, 0);
+        let cfg = TrainConfig::paper_lr(4).with_epochs(25);
+        let report = train_interleaved(&mut model, &stages, &cfg);
+        assert_eq!(report.train_loss.len(), 25);
+        assert!(model.evaluate(&data, Loss::Mse) < 0.2);
+    }
+
+    #[test]
+    fn interleaved_resists_intra_node_forgetting_where_sequential_does_not() {
+        // Two stages teaching *different* relations: stage A (x in [0,1],
+        // y = 5x), stage B (x in [2,3], y = -5x + 20). An NN trained
+        // sequentially with many epochs per stage forgets stage A; the
+        // interleaved order retains both.
+        use rand::Rng;
+        let mk = |lo: f64, slope: f64, b: f64, seed: u64| {
+            let mut rng = linalg::rng::rng_for(seed, 9);
+            let rows: Vec<Vec<f64>> =
+                (0..120).map(|_| vec![lo + rng.gen_range(0.0..1.0)]).collect();
+            let y: Vec<f64> = rows.iter().map(|r| slope * r[0] + b).collect();
+            DenseDataset::new(Matrix::from_rows(&rows), y)
+        };
+        let stage_a = mk(0.0, 5.0, 0.0, 1);
+        let stage_b = mk(2.0, -5.0, 20.0, 2);
+        let stages = vec![stage_a.clone(), stage_b];
+        let cfg = TrainConfig {
+            optimizer: crate::optim::OptimizerKind::adam(0.02),
+            validation_split: 0.0,
+            ..TrainConfig::paper_nn(7).with_epochs(120)
+        };
+        let mut sequential = ModelKind::Neural { hidden: 12 }.build(1, 3);
+        train_incremental(&mut sequential, &stages, &cfg);
+        let mut interleaved = ModelKind::Neural { hidden: 12 }.build(1, 3);
+        train_interleaved(&mut interleaved, &stages, &cfg);
+        let seq_a = sequential.evaluate(&stage_a, Loss::Mse);
+        let int_a = interleaved.evaluate(&stage_a, Loss::Mse);
+        assert!(
+            int_a < seq_a,
+            "interleaved ({int_a}) should retain stage A better than sequential ({seq_a})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one non-empty stage")]
+    fn interleaved_all_empty_panics() {
+        let mut model = ModelKind::Linear.build(2, 0);
+        train_interleaved(&mut model, &[DenseDataset::empty(2)], &TrainConfig::paper_lr(0));
+    }
+
+    #[test]
+    fn nn_trains_on_nonlinear_target() {
+        // Small NN + Adam on y = x^2.
+        let mut rng = linalg::rng::rng_for(3, 66);
+        let rows: Vec<Vec<f64>> = (0..200).map(|_| vec![linalg::rng::normal(&mut rng, 0.0, 1.0)]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * r[0]).collect();
+        let data = DenseDataset::new(Matrix::from_rows(&rows), y);
+        let mut model: Model = ModelKind::Neural { hidden: 16 }.build(1, 5);
+        let cfg = TrainConfig { optimizer: OptimizerKind::adam(0.01), ..TrainConfig::paper_nn(2) };
+        let report = train(&mut model, &data, &cfg);
+        assert!(report.final_train_loss().unwrap() < 0.1, "loss {:?}", report.final_train_loss());
+    }
+}

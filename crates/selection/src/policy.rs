@@ -1,0 +1,219 @@
+//! The policy abstraction shared by all selection mechanisms.
+
+use edgesim::{EdgeNetwork, NodeId};
+use geom::Query;
+use serde::{Deserialize, Serialize};
+
+/// Everything a policy may look at when selecting participants.
+///
+/// The query-driven policy only reads the nodes' *summaries* (the
+/// leader-visible state); the game-theory baseline additionally evaluates
+/// a probe model against node data, which in the real deployment happens
+/// on the nodes themselves — the context hands both out and each policy
+/// documents what it touches.
+pub struct SelectionContext<'a> {
+    /// The participant population.
+    pub network: &'a EdgeNetwork,
+    /// The incoming analytics query (in the nodes' joint space).
+    pub query: &'a Query,
+}
+
+impl<'a> SelectionContext<'a> {
+    /// Creates a context, validating that the query lives in the nodes'
+    /// joint space.
+    ///
+    /// # Panics
+    /// Panics if the query dimensionality differs from the network's
+    /// joint dimensionality.
+    pub fn new(network: &'a EdgeNetwork, query: &'a Query) -> Self {
+        let joint = network.nodes()[0].joint_dim();
+        assert_eq!(
+            query.dim(),
+            joint,
+            "query dim {} != joint data dim {joint}",
+            query.dim()
+        );
+        Self { network, query }
+    }
+}
+
+/// A cluster that supports the query on some node (`h_ik >= ε`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupportingCluster {
+    /// Cluster id within the node.
+    pub cluster_id: usize,
+    /// The data-overlap rate `h_ik` (Eq. 2).
+    pub overlap: f64,
+    /// Member count (data-volume accounting).
+    pub size: usize,
+}
+
+/// One selected participant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Participant {
+    /// The node.
+    pub node: NodeId,
+    /// The ranking `r_i` used for weighted averaging (Eq. 7); baselines
+    /// that have no ranking report 1.0 (uniform weights).
+    pub ranking: f64,
+    /// The supporting clusters the node should train over, in the order
+    /// training visits them. Empty means "train on the whole local
+    /// dataset" (the baselines' behaviour).
+    pub supporting_clusters: Vec<SupportingCluster>,
+}
+
+impl Participant {
+    /// Samples this participant will train on.
+    pub fn training_samples(&self, network: &EdgeNetwork) -> usize {
+        if self.supporting_clusters.is_empty() {
+            network.node(self.node).len()
+        } else {
+            self.supporting_clusters.iter().map(|c| c.size).sum()
+        }
+    }
+}
+
+/// The outcome of a selection round, ordered best-ranked first.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Selection {
+    /// Selected participants (possibly empty when nothing overlaps the
+    /// query).
+    pub participants: Vec<Participant>,
+}
+
+impl Selection {
+    /// Number of participants ℓ.
+    pub fn len(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// True when no node was selected.
+    pub fn is_empty(&self) -> bool {
+        self.participants.is_empty()
+    }
+
+    /// The ranking-proportional aggregation weights λ_i of Eq. 7
+    /// (uniform when every ranking is equal, e.g. for the baselines).
+    pub fn lambda_weights(&self) -> Vec<f64> {
+        let total: f64 = self.participants.iter().map(|p| p.ranking).sum();
+        if total <= 0.0 {
+            let n = self.participants.len().max(1);
+            return vec![1.0 / n as f64; self.participants.len()];
+        }
+        self.participants.iter().map(|p| p.ranking / total).collect()
+    }
+
+    /// Total training samples over all participants.
+    pub fn total_training_samples(&self, network: &EdgeNetwork) -> usize {
+        self.participants.iter().map(|p| p.training_samples(network)).sum()
+    }
+}
+
+/// Work a policy performs *before* training can start.
+///
+/// The query-driven mechanism costs the leader a handful of arithmetic
+/// operations over summaries (no entry here); the game-theory baseline
+/// trains and ships a probe model first, which the paper identifies as
+/// "the slowest" mechanism — this struct is how that cost reaches the
+/// Fig. 8 accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SelectionOverhead {
+    /// Extra sample-visits per node: `(node, visits)`.
+    pub per_node_visits: Vec<(NodeId, usize)>,
+    /// Extra bytes on the wire (probe model broadcasts, reports, ...).
+    pub bytes: usize,
+}
+
+/// A node-selection mechanism.
+pub trait SelectionPolicy {
+    /// Display name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Selects participants for a query.
+    fn select(&self, ctx: &SelectionContext<'_>) -> Selection;
+
+    /// Pre-selection work the mechanism performs (see
+    /// [`SelectionOverhead`]). Defaults to none.
+    fn overhead(&self, _ctx: &SelectionContext<'_>) -> SelectionOverhead {
+        SelectionOverhead::default()
+    }
+}
+
+/// Wrapper that keeps the inner policy's *node* choices but drops the
+/// per-cluster data selectivity, so every participant trains on its whole
+/// local dataset.
+///
+/// This is the "without considering the incoming queries" arm of Figs. 8
+/// and 9: identical participants, identical aggregation weights, but no
+/// query-driven data selection inside each node.
+#[derive(Debug, Clone)]
+pub struct WithoutSelectivity<P>(pub P);
+
+impl<P: SelectionPolicy> SelectionPolicy for WithoutSelectivity<P> {
+    fn name(&self) -> &'static str {
+        "without-selectivity"
+    }
+
+    fn select(&self, ctx: &SelectionContext<'_>) -> Selection {
+        let mut sel = self.0.select(ctx);
+        for p in &mut sel.participants {
+            p.supporting_clusters.clear();
+        }
+        sel
+    }
+
+    fn overhead(&self, ctx: &SelectionContext<'_>) -> SelectionOverhead {
+        self.0.overhead(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn participant(node: usize, ranking: f64, clusters: &[(usize, f64, usize)]) -> Participant {
+        Participant {
+            node: NodeId(node),
+            ranking,
+            supporting_clusters: clusters
+                .iter()
+                .map(|&(cluster_id, overlap, size)| SupportingCluster { cluster_id, overlap, size })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn lambda_weights_are_ranking_proportional_and_normalised() {
+        let sel = Selection {
+            participants: vec![participant(0, 3.0, &[]), participant(1, 1.0, &[])],
+        };
+        let w = sel.lambda_weights();
+        assert!((w[0] - 0.75).abs() < 1e-12);
+        assert!((w[1] - 0.25).abs() < 1e-12);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rankings_fall_back_to_uniform() {
+        let sel = Selection {
+            participants: vec![participant(0, 0.0, &[]), participant(1, 0.0, &[])],
+        };
+        assert_eq!(sel.lambda_weights(), vec![0.5, 0.5]);
+        assert!(Selection::default().lambda_weights().is_empty());
+    }
+
+    #[test]
+    fn supporting_cluster_samples_are_summed() {
+        let p = participant(0, 1.0, &[(0, 0.5, 10), (2, 0.9, 25)]);
+        // training_samples needs a network only for the empty case; build
+        // a minimal one to exercise both paths.
+        let data = mlkit::DenseDataset::new(
+            linalg::Matrix::from_rows(&(0..7).map(|i| vec![i as f64]).collect::<Vec<_>>()),
+            (0..7).map(|i| i as f64).collect(),
+        );
+        let net = edgesim::EdgeNetwork::from_datasets(vec![("x".into(), data)]);
+        assert_eq!(p.training_samples(&net), 35);
+        let full = participant(0, 1.0, &[]);
+        assert_eq!(full.training_samples(&net), 7);
+    }
+}

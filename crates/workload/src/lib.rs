@@ -1,0 +1,15 @@
+//! Dynamic analytics-query workload generation.
+//!
+//! §V-A issues 200 queries "randomly created over the whole data space
+//! based on the dynamic query workload method" of Savva et al. \[18\]: query
+//! centres follow an evolving distribution over the data space and each
+//! query requests a bounded range around its centre. Some queries overlap
+//! many nodes' data, others only a few - exactly the variance the node
+//! ranking has to cope with.
+//!
+//! * [`generator`] - workload kinds (uniform, drifting, hotspot) and the
+//!   seeded query-stream generator.
+
+pub mod generator;
+
+pub use generator::{generate, QueryWorkload, WorkloadConfig, WorkloadKind};

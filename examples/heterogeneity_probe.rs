@@ -1,0 +1,80 @@
+//! The §II pre-test: do the participants even *need* a selection
+//! mechanism?
+//!
+//! Replicates the paper's Figs. 1-2 / Tables I-II reasoning: on a
+//! homogeneous population any node looks like any other (random selection
+//! is fine); on a heterogeneous population the same feature pair can
+//! correlate positively on one node and negatively on another, and the
+//! leader's probe model exposes that immediately.
+//!
+//! ```text
+//! cargo run --release -p qens --example heterogeneity_probe
+//! ```
+
+use qens::linalg::stats;
+use qens::prelude::*;
+
+fn probe(fed: &Federation, label: &str) {
+    println!("\n== {label} population ==");
+    println!("{:<14} {:>10} {:>12} {:>14}", "node", "slope", "x-range", "probe loss");
+
+    // Per-node OLS line (what the paper's scatter plots visualise).
+    let slopes: Vec<f64> = fed
+        .network()
+        .nodes()
+        .iter()
+        .map(|n| {
+            let xs = n.data().x().col(0);
+            stats::ols_line(&xs, n.data().y()).0
+        })
+        .collect();
+
+    // The leader's probe: train on node 0, evaluate everywhere
+    // (the game-theory pre-test reused as a diagnosis tool).
+    let gt = GameTheory::paper_default(0, fed.network().len(), 99);
+    let any_query = {
+        let b = fed.network().global_space().to_boundary_vec();
+        Query::from_boundary_vec(0, &b)
+    };
+    let ctx = SelectionContext::new(fed.network(), &any_query);
+    let losses = gt.probe_losses(&ctx);
+
+    for ((node, slope), loss) in fed.network().nodes().iter().zip(&slopes).zip(&losses) {
+        let xs = node.data().x().col(0);
+        let (lo, hi) = stats::min_max(&xs).unwrap();
+        println!(
+            "{:<14} {:>10.2} {:>5.0}..{:<6.0} {:>14.6}",
+            format!("{} {}", node.id(), node.name()),
+            slope,
+            lo,
+            hi,
+            loss
+        );
+    }
+
+    // The verdict: how much do probe losses vary across nodes?
+    let spread = stats::max(&losses).unwrap() / stats::min(&losses).unwrap().max(1e-12);
+    let sign_flips = slopes.iter().any(|&s| s < 0.0) && slopes.iter().any(|&s| s > 0.0);
+    println!("probe-loss spread (max/min): {spread:.1}x; opposite-sign regressions: {sign_flips}");
+    if spread > 10.0 || sign_flips {
+        println!("verdict: HETEROGENEOUS - use the query-driven selection mechanism.");
+    } else {
+        println!("verdict: homogeneous - random selection will do (Table I).");
+    }
+}
+
+fn main() {
+    let homogeneous = FederationBuilder::new()
+        .homogeneous_nodes(10, 300)
+        .seed(1)
+        .epochs(10)
+        .build();
+    probe(&homogeneous, "homogeneous");
+
+    let heterogeneous = FederationBuilder::new()
+        .heterogeneous_nodes(10, 300)
+        .seed(1)
+        .epochs(10)
+        .build();
+    probe(&heterogeneous, "heterogeneous");
+}

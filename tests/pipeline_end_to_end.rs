@@ -1,0 +1,153 @@
+//! End-to-end reproductions of the paper's experimental *shapes* at
+//! test-suite scale (fewer epochs/queries than the bench harness, same
+//! qualitative claims).
+
+use qens::prelude::*;
+
+/// Table I shape: on a homogeneous population, all-node selection and
+/// random selection land within a few percent of each other.
+#[test]
+fn table1_shape_homogeneous_random_matches_all() {
+    let fed = FederationBuilder::new()
+        .homogeneous_nodes(10, 200)
+        .seed(1)
+        .epochs(12)
+        .build();
+    let wl = fed.workload(&WorkloadConfig { n_queries: 10, ..WorkloadConfig::paper_default(8) });
+    let rows = compare_policies(
+        &fed,
+        &wl,
+        &[PolicyKind::AllNodes, PolicyKind::Random { l: 3, seed: 6 }],
+    );
+    let all = rows[0].mean_loss.expect("all-nodes completed");
+    let random = rows[1].mean_loss.expect("random completed");
+    let ratio = random / all;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "homogeneous population: random ({random}) and all ({all}) should be comparable"
+    );
+}
+
+/// Table II shape: on a heterogeneous population, selecting a compatible
+/// node gives an order-of-magnitude smaller loss than a random node.
+#[test]
+fn table2_shape_heterogeneous_compatible_vs_random() {
+    let fed = FederationBuilder::new()
+        .heterogeneous_nodes(10, 200)
+        .seed(2)
+        .epochs(12)
+        .build();
+    // Queries over the leader pattern; ours picks the compatible node,
+    // random picks anything. Average across queries.
+    let mut ours_sum = 0.0;
+    let mut random_sum = 0.0;
+    let mut n = 0;
+    for qid in 0..6u64 {
+        let q = fed.query_from_bounds(qid, &[0.0, 20.0, 0.0, 45.0]);
+        let ours = fed.run_query(&q, &PolicyKind::query_driven(1)).unwrap();
+        let random = fed.run_query(&q, &PolicyKind::Random { l: 1, seed: 31 }).unwrap();
+        ours_sum += ours.query_loss(fed.network(), &q).unwrap();
+        random_sum += random.query_loss(fed.network(), &q).unwrap();
+        n += 1;
+    }
+    assert!(n > 0);
+    assert!(
+        random_sum > 5.0 * ours_sum,
+        "heterogeneous population: random ({random_sum}) should be far worse than compatible ({ours_sum})"
+    );
+}
+
+/// Fig. 7 shape: mean loss ordering Weighted <= Averaging < Random, and
+/// ours beats GT, on the heterogeneous population.
+#[test]
+fn fig7_shape_loss_ordering() {
+    let base = FederationBuilder::new().heterogeneous_nodes(10, 150).seed(3).epochs(8);
+    let weighted = base.clone().aggregation(Aggregation::WeightedAveraging).build();
+    let plain = base.clone().aggregation(Aggregation::ModelAveraging).build();
+    let wl =
+        weighted.workload(&WorkloadConfig { n_queries: 20, ..WorkloadConfig::paper_default(17) });
+
+    let w = weighted
+        .run_workload(&wl, &PolicyKind::query_driven(3))
+        .mean_loss()
+        .expect("weighted completed");
+    let a = plain
+        .run_workload(&wl, &PolicyKind::query_driven(3))
+        .mean_loss()
+        .expect("averaging completed");
+    let r = weighted
+        .run_workload(&wl, &PolicyKind::Random { l: 3, seed: 5 })
+        .mean_loss()
+        .expect("random completed");
+    let g = weighted
+        .run_workload(&wl, &PolicyKind::GameTheory { leader: 0, l: 3, seed: 5 })
+        .mean_loss()
+        .expect("gt completed");
+
+    assert!(w < r, "weighted {w} must beat random {r}");
+    assert!(a < r, "averaging {a} must beat random {r}");
+    assert!(w < g, "weighted {w} must beat game-theory {g}");
+    assert!(w <= a * 1.25, "weighted {w} should not trail plain averaging {a} by much");
+}
+
+/// Fig. 8 shape: with query-driven data selectivity, per-query training
+/// time is never higher and is lower overall.
+#[test]
+fn fig8_shape_training_time_savings() {
+    let fed = FederationBuilder::new()
+        .heterogeneous_nodes(8, 200)
+        .seed(4)
+        .epochs(6)
+        .build();
+    let wl = fed.workload(&WorkloadConfig { n_queries: 12, ..WorkloadConfig::paper_default(23) });
+    let series = selectivity_comparison(&fed, &wl, 0.05, 4);
+    assert!(series.query_ids.len() >= 6, "too few comparable queries");
+    for i in 0..series.query_ids.len() {
+        assert!(series.with_seconds[i] <= series.without_seconds[i] + 1e-12);
+    }
+    let speedup = series.mean_speedup().expect("non-empty series");
+    assert!(speedup > 1.2, "expected a visible speedup, got {speedup}");
+}
+
+/// Fig. 9 shape: the query-driven mechanism needs a small fraction of
+/// the total data per query; without it the same nodes contribute all
+/// their data.
+#[test]
+fn fig9_shape_data_fraction_savings() {
+    let fed = FederationBuilder::new()
+        .heterogeneous_nodes(8, 200)
+        .seed(5)
+        .epochs(6)
+        .build();
+    let wl = fed.workload(&WorkloadConfig { n_queries: 12, ..WorkloadConfig::paper_default(29) });
+    let series = selectivity_comparison(&fed, &wl, 0.05, 4);
+    let mean_with: f64 =
+        series.with_fraction.iter().sum::<f64>() / series.with_fraction.len() as f64;
+    let mean_without: f64 =
+        series.without_fraction.iter().sum::<f64>() / series.without_fraction.len() as f64;
+    assert!(mean_with < mean_without, "selectivity must reduce data use");
+    assert!(mean_with < 0.5, "query-driven should need a minority of the data, got {mean_with}");
+}
+
+/// The §II pre-test experiment: probe losses separate the two regimes.
+#[test]
+fn pretest_distinguishes_homogeneous_from_heterogeneous() {
+    let spread = |fed: &Federation| {
+        let gt = GameTheory::paper_default(0, fed.network().len(), 7);
+        let bounds = fed.network().global_space().to_boundary_vec();
+        let q = Query::from_boundary_vec(0, &bounds);
+        let ctx = SelectionContext::new(fed.network(), &q);
+        let losses = gt.probe_losses(&ctx);
+        let max = losses.iter().cloned().fold(f64::MIN, f64::max);
+        let min = losses.iter().cloned().fold(f64::MAX, f64::min);
+        max / min.max(1e-12)
+    };
+    let homo =
+        FederationBuilder::new().homogeneous_nodes(8, 150).seed(6).epochs(6).build();
+    let hetero =
+        FederationBuilder::new().heterogeneous_nodes(8, 150).seed(6).epochs(6).build();
+    let s_homo = spread(&homo);
+    let s_hetero = spread(&hetero);
+    assert!(s_homo < 5.0, "homogeneous probe spread {s_homo} too high");
+    assert!(s_hetero > 20.0, "heterogeneous probe spread {s_hetero} too low");
+}

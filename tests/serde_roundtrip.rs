@@ -1,0 +1,122 @@
+//! Serde round-trip tests for the workspace's public data types.
+//!
+//! Every exchange in the system — summaries to the leader, models back
+//! from participants, accounting rows into result files — is a
+//! serialisable type. Derives compile even when they would fail at
+//! runtime (e.g. a type whose invariants a default deserialiser cannot
+//! rebuild), so these tests push the real types through JSON and back.
+
+use qens::prelude::*;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialise");
+    serde_json::from_str(&json).expect("deserialise")
+}
+
+#[test]
+fn models_round_trip_with_identical_predictions() {
+    for kind in [ModelKind::Linear, ModelKind::Neural { hidden: 6 }] {
+        let mut model = kind.build(3, 9);
+        // Nudge weights away from init so the test is not trivial.
+        let mut w = model.weights();
+        for (i, wi) in w.iter_mut().enumerate() {
+            *wi += 0.01 * i as f64;
+        }
+        model.set_weights(&w);
+        let back: Model = round_trip(&model);
+        let probe = [0.3, -1.2, 2.5];
+        assert_eq!(back.predict_row(&probe), model.predict_row(&probe));
+        assert_eq!(back.kind(), model.kind());
+    }
+}
+
+#[test]
+fn cluster_summaries_round_trip() {
+    let fed = FederationBuilder::new().heterogeneous_nodes(3, 60).seed(1).epochs(1).build();
+    for node in fed.network().nodes() {
+        for s in node.summaries() {
+            let back: qens::cluster::ClusterSummary = round_trip(s);
+            assert_eq!(&back, s);
+        }
+    }
+}
+
+#[test]
+fn selections_round_trip() {
+    let fed = FederationBuilder::new().heterogeneous_nodes(4, 80).seed(2).epochs(1).build();
+    let q = fed.query_from_bounds(0, &[0.0, 20.0, 0.0, 45.0]);
+    let ctx = SelectionContext::new(fed.network(), &q);
+    let sel = QueryDriven::top_l(3).select(&ctx);
+    let back: Selection = round_trip(&sel);
+    assert_eq!(back, sel);
+    assert_eq!(back.lambda_weights(), sel.lambda_weights());
+}
+
+#[test]
+fn queries_and_rects_round_trip() {
+    let q = Query::from_boundary_vec(7, &[0.0, 1.5, -2.0, 3.0, 10.0, 20.0]);
+    let back: Query = round_trip(&q);
+    assert_eq!(back, q);
+    let r = HyperRect::from_boundary_vec(&[0.0, 4.0, -1.0, 1.0]);
+    let back: HyperRect = round_trip(&r);
+    assert_eq!(back, r);
+}
+
+#[test]
+fn accounting_and_stream_results_round_trip() {
+    let fed = FederationBuilder::new().heterogeneous_nodes(4, 60).seed(3).epochs(2).build();
+    let wl = fed.workload(&WorkloadConfig { n_queries: 4, ..WorkloadConfig::paper_default(5) });
+    let res = fed.run_workload(&wl, &PolicyKind::query_driven(2));
+    let back: StreamResult = round_trip(&res);
+    assert_eq!(back, res);
+    assert_eq!(back.mean_loss(), res.mean_loss());
+}
+
+#[test]
+fn global_model_round_trips_through_json() {
+    let fed = FederationBuilder::new().heterogeneous_nodes(4, 60).seed(4).epochs(2).build();
+    let q = fed.query_from_bounds(0, &[0.0, 20.0, 0.0, 45.0]);
+    let out = fed.run_query(&q, &PolicyKind::query_driven(2)).unwrap();
+    let back: GlobalModel = round_trip(&out.global);
+    let probe = [0.42];
+    assert_eq!(back.predict_row(&probe), out.global.predict_row(&probe));
+}
+
+#[test]
+fn policy_kinds_round_trip() {
+    for p in [
+        PolicyKind::query_driven(3),
+        PolicyKind::QueryDrivenThreshold { epsilon: 0.1, psi: 0.4 },
+        PolicyKind::Random { l: 2, seed: 9 },
+        PolicyKind::GameTheory { leader: 1, l: 2, seed: 9 },
+        PolicyKind::DataCentric { l: 2 },
+        PolicyKind::FairStochastic { l: 2, seed: 9 },
+        PolicyKind::AllNodes,
+    ] {
+        let back: PolicyKind = round_trip(&p);
+        assert_eq!(back, p);
+        // The rebuilt policy keeps working.
+        assert!(!back.name().is_empty());
+    }
+}
+
+#[test]
+fn station_records_round_trip_including_missing_cells() {
+    use qens::airdata::{generate, profile};
+    let data = generate::generate_station(
+        &profile::StationProfile::of("Shunyi"),
+        &generate::GeneratorConfig { missing_rate: 0.2, ..generate::GeneratorConfig::short(50, 8) },
+    );
+    let json = serde_json::to_string(&data).expect("serialise");
+    let back: generate::StationData = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(back.records.len(), data.records.len());
+    for (a, b) in back.records.iter().zip(&data.records) {
+        for (x, y) in a.values.iter().zip(&b.values) {
+            // NaN (missing) must survive the round trip as NaN.
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
