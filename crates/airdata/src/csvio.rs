@@ -16,7 +16,8 @@ use crate::generate::StationData;
 use crate::schema::{Feature, Record, NUM_FEATURES};
 
 /// The UCI column header.
-pub const HEADER: &str = "No,year,month,day,hour,PM2.5,PM10,SO2,NO2,CO,O3,TEMP,PRES,DEWP,RAIN,wd,WSPM,station";
+pub const HEADER: &str =
+    "No,year,month,day,hour,PM2.5,PM10,SO2,NO2,CO,O3,TEMP,PRES,DEWP,RAIN,wd,WSPM,station";
 
 const WIND_DIRECTIONS: [&str; 16] = [
     "N", "NNE", "NE", "ENE", "E", "ESE", "SE", "SSE", "S", "SSW", "SW", "WSW", "W", "WNW", "NW",
@@ -56,7 +57,12 @@ pub fn to_csv_string(data: &StationData) -> String {
         ] {
             let _ = write!(out, ",{}", format_value(r.get(f)));
         }
-        let _ = write!(out, ",{wd},{},{}", format_value(r.get(Feature::Wspm)), data.station);
+        let _ = write!(
+            out,
+            ",{wd},{},{}",
+            format_value(r.get(Feature::Wspm)),
+            data.station
+        );
         out.push('\n');
     }
     out
@@ -111,13 +117,18 @@ fn parse_cell(cell: &str, line_no: usize) -> Result<f64, CsvError> {
 /// parse.
 pub fn from_csv_reader(reader: impl BufRead) -> Result<StationData, CsvError> {
     let mut lines = reader.lines();
-    let header = lines.next().ok_or_else(|| CsvError::Parse("empty file".into(), 1))??;
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::Parse("empty file".into(), 1))??;
     let columns: Vec<&str> = header.trim().split(',').collect();
     let col_of = |name: &str| columns.iter().position(|&c| c == name);
-    let year_col = col_of("year").ok_or_else(|| CsvError::Parse("missing 'year' column".into(), 1))?;
-    let month_col = col_of("month").ok_or_else(|| CsvError::Parse("missing 'month' column".into(), 1))?;
+    let year_col =
+        col_of("year").ok_or_else(|| CsvError::Parse("missing 'year' column".into(), 1))?;
+    let month_col =
+        col_of("month").ok_or_else(|| CsvError::Parse("missing 'month' column".into(), 1))?;
     let day_col = col_of("day").ok_or_else(|| CsvError::Parse("missing 'day' column".into(), 1))?;
-    let hour_col = col_of("hour").ok_or_else(|| CsvError::Parse("missing 'hour' column".into(), 1))?;
+    let hour_col =
+        col_of("hour").ok_or_else(|| CsvError::Parse("missing 'hour' column".into(), 1))?;
     let station_col = col_of("station");
     let feature_cols: Vec<(Feature, usize)> = Feature::ALL
         .iter()
@@ -181,7 +192,10 @@ mod tests {
     use crate::profile::StationProfile;
 
     fn sample() -> StationData {
-        generate_station(&StationProfile::of("Dongsi"), &GeneratorConfig::short(100, 5))
+        generate_station(
+            &StationProfile::of("Dongsi"),
+            &GeneratorConfig::short(100, 5),
+        )
     }
 
     #[test]
@@ -192,7 +206,10 @@ mod tests {
         assert_eq!(parsed.station, "Dongsi");
         assert_eq!(parsed.records.len(), data.records.len());
         for (a, b) in parsed.records.iter().zip(&data.records) {
-            assert_eq!((a.year, a.month, a.day, a.hour), (b.year, b.month, b.day, b.hour));
+            assert_eq!(
+                (a.year, a.month, a.day, a.hour),
+                (b.year, b.month, b.day, b.hour)
+            );
             for (x, y) in a.values.iter().zip(&b.values) {
                 if y.is_nan() {
                     assert!(x.is_nan());
@@ -245,7 +262,8 @@ mod tests {
 
     #[test]
     fn header_without_wd_column_parses() {
-        let csv = "No,year,month,day,hour,PM2.5,PM10,SO2,NO2,CO,O3,TEMP,PRES,DEWP,RAIN,WSPM,station\n\
+        let csv =
+            "No,year,month,day,hour,PM2.5,PM10,SO2,NO2,CO,O3,TEMP,PRES,DEWP,RAIN,WSPM,station\n\
                    1,2013,3,1,0,10,20,3,40,500,60,7,1010,2,0,3,Tiantan\n";
         let parsed = from_csv_reader(csv.as_bytes()).unwrap();
         assert_eq!(parsed.station, "Tiantan");

@@ -9,8 +9,7 @@
 //! published ranges of the UCI dataset (PM2.5 mean ≈ 80 µg/m³ with
 //! episodes beyond 400, TEMP −15…40 °C, PRES ≈ 990…1040 hPa).
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use linalg::rng::Rng;
 
 use linalg::rng as lrng;
 use linalg::Matrix;
@@ -20,7 +19,8 @@ use crate::schema::{Feature, Record, NUM_FEATURES};
 use crate::time;
 
 /// Configuration of one generation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GeneratorConfig {
     /// First timestamp: `(year, month, day)`, hour 0. The UCI span starts
     /// at 2013-03-01.
@@ -39,17 +39,28 @@ pub struct GeneratorConfig {
 impl GeneratorConfig {
     /// The dataset-faithful configuration: full four-year hourly span.
     pub fn full(seed: u64) -> Self {
-        Self { start: (2013, 3, 1), hours: time::DATASET_HOURS, seed, missing_rate: 0.02 }
+        Self {
+            start: (2013, 3, 1),
+            hours: time::DATASET_HOURS,
+            seed,
+            missing_rate: 0.02,
+        }
     }
 
     /// A shorter span for tests and quick experiments.
     pub fn short(hours: u64, seed: u64) -> Self {
-        Self { start: (2013, 3, 1), hours, seed, missing_rate: 0.02 }
+        Self {
+            start: (2013, 3, 1),
+            hours,
+            seed,
+            missing_rate: 0.02,
+        }
     }
 }
 
 /// A generated (or loaded) station series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StationData {
     /// Station name.
     pub station: String,
@@ -89,15 +100,20 @@ impl StationData {
         if self.records.is_empty() {
             return 0.0;
         }
-        let missing: usize =
-            self.records.iter().map(|r| r.values.iter().filter(|v| v.is_nan()).count()).sum();
+        let missing: usize = self
+            .records
+            .iter()
+            .map(|r| r.values.iter().filter(|v| v.is_nan()).count())
+            .sum();
         missing as f64 / (self.records.len() * NUM_FEATURES) as f64
     }
 }
 
 /// Deterministic per-station stream id derived from the station name.
 fn station_stream(name: &str) -> u64 {
-    name.bytes().fold(0xA17_u64, |acc, b| acc.wrapping_mul(131).wrapping_add(u64::from(b)))
+    name.bytes().fold(0xA17_u64, |acc, b| {
+        acc.wrapping_mul(131).wrapping_add(u64::from(b))
+    })
 }
 
 /// Generates one station's hourly series.
@@ -111,16 +127,20 @@ pub fn generate_station(profile: &StationProfile, config: &GeneratorConfig) -> S
     let mut wind_ar = 0.0_f64;
 
     for t in 0..config.hours {
-        let (year, month, day, hour) = time::timestamp_at(config.start.0, config.start.1, config.start.2, t);
+        let (year, month, day, hour) =
+            time::timestamp_at(config.start.0, config.start.1, config.start.2, t);
         let doy = time::day_of_year(year, month, day) as f64;
         // Seasonal phases: `winter` peaks mid-January, `summer` mid-July.
         let winter = (2.0 * std::f64::consts::PI * (doy - 15.0) / 365.25).cos();
         let summer = -winter;
         let hour_f = f64::from(hour);
         // Diurnal phases.
-        let rush = ((hour_f - 8.0) / 1.8).powi(2).exp().recip() + ((hour_f - 19.0) / 1.8).powi(2).exp().recip();
+        let rush = ((hour_f - 8.0) / 1.8).powi(2).exp().recip()
+            + ((hour_f - 19.0) / 1.8).powi(2).exp().recip();
         let afternoon = (-((hour_f - 14.0) / 3.5).powi(2)).exp();
-        let daylight = (std::f64::consts::PI * (hour_f - 5.0) / 14.0).sin().max(0.0);
+        let daylight = (std::f64::consts::PI * (hour_f - 5.0) / 14.0)
+            .sin()
+            .max(0.0);
 
         // Advance slow processes.
         episode = 0.97 * episode + 0.24 * lrng::standard_normal(&mut rng);
@@ -128,25 +148,42 @@ pub fn generate_station(profile: &StationProfile, config: &GeneratorConfig) -> S
         wind_ar = 0.90 * wind_ar + 0.30 * lrng::standard_normal(&mut rng);
 
         // --- Meteorology ---
-        let temp = 13.0 + 14.5 * summer + 4.5 * (afternoon - 0.35) + profile.temp_offset
+        let temp = 13.0
+            + 14.5 * summer
+            + 4.5 * (afternoon - 0.35)
+            + profile.temp_offset
             + 3.0 * temp_anom
             + lrng::normal(&mut rng, 0.0, 0.6);
         let pres = 1012.5 + 9.0 * winter - 0.12 * (temp - 13.0) + lrng::normal(&mut rng, 0.0, 1.5);
         let spread = (2.0 + 9.0 * (0.5 + 0.5 * winter) + 2.0 * wind_ar.abs()).max(0.5);
         let dewp = temp - spread + lrng::normal(&mut rng, 0.0, 1.0);
-        let wind = (1.9 * profile.wind_level * (1.0 + 0.25 * winter) * (0.55 + 0.45 * daylight)
+        let wind = (1.9
+            * profile.wind_level
+            * (1.0 + 0.25 * winter)
+            * (0.55 + 0.45 * daylight)
             * (wind_ar * 0.45).exp())
         .max(0.0);
         let raining = rng.gen::<f64>() < 0.012 + 0.05 * summer.max(0.0);
-        let rain = if raining { -2.0 * rng.gen::<f64>().max(1e-9).ln() } else { 0.0 };
+        let rain = if raining {
+            -2.0 * rng.gen::<f64>().max(1e-9).ln()
+        } else {
+            0.0
+        };
 
         // Stagnation: calm, cold-season hours let pollutants accumulate.
-        let stagnation = (0.8 * episode - 0.35 * (wind - 2.0)).exp().clamp(0.05, 12.0);
+        let stagnation = (0.8 * episode - 0.35 * (wind - 2.0))
+            .exp()
+            .clamp(0.05, 12.0);
         let washout = if rain > 0.5 { 0.55 } else { 1.0 };
 
         // --- Pollutants ---
         let pl = profile.pollution_level;
-        let pm25 = (58.0 * pl * stagnation * (1.0 + 0.38 * winter) * (0.85 + 0.35 * rush) * washout
+        let pm25 = (58.0
+            * pl
+            * stagnation
+            * (1.0 + 0.38 * winter)
+            * (0.85 + 0.35 * rush)
+            * washout
             * lrng::normal(&mut rng, 1.0, 0.10).max(0.3))
         .max(2.0);
         let dust = if (60.0..150.0).contains(&doy) && rng.gen::<f64>() < 0.01 {
@@ -159,17 +196,26 @@ pub fn generate_station(profile: &StationProfile, config: &GeneratorConfig) -> S
         // site-dependent direction (see `StationProfile::coarse_curve`).
         let effective_ratio =
             (profile.coarse_ratio + profile.coarse_curve * (pm25 / 300.0).min(2.0)).max(1.02);
-        let pm10 = (effective_ratio * pm25 * lrng::normal(&mut rng, 1.0, 0.08).max(0.5)
-            + dust
-            + 6.0)
-            .max(2.0);
-        let so2 = (13.0 * pl * (1.0 + 1.25 * winter.max(0.0)) * stagnation.powf(0.6)
+        let pm10 =
+            (effective_ratio * pm25 * lrng::normal(&mut rng, 1.0, 0.08).max(0.5) + dust + 6.0)
+                .max(2.0);
+        let so2 = (13.0
+            * pl
+            * (1.0 + 1.25 * winter.max(0.0))
+            * stagnation.powf(0.6)
             * lrng::normal(&mut rng, 1.0, 0.18).max(0.2))
         .max(0.5);
-        let no2 = (42.0 * pl * (0.7 + 0.8 * rush) * stagnation.powf(0.5) * (1.0 - 0.25 * daylight)
+        let no2 = (42.0
+            * pl
+            * (0.7 + 0.8 * rush)
+            * stagnation.powf(0.5)
+            * (1.0 - 0.25 * daylight)
             * lrng::normal(&mut rng, 1.0, 0.12).max(0.3))
         .max(2.0);
-        let co = (950.0 * pl * (1.0 + 0.75 * winter.max(0.0)) * stagnation.powf(0.8)
+        let co = (950.0
+            * pl
+            * (1.0 + 0.75 * winter.max(0.0))
+            * stagnation.powf(0.8)
             * lrng::normal(&mut rng, 1.0, 0.10).max(0.3))
         .max(100.0);
         let o3 = (profile.ozone_level
@@ -194,12 +240,18 @@ pub fn generate_station(profile: &StationProfile, config: &GeneratorConfig) -> S
         records.push(record);
     }
 
-    StationData { station: profile.name.clone(), records }
+    StationData {
+        station: profile.name.clone(),
+        records,
+    }
 }
 
 /// Generates all 12 stations with the same configuration.
 pub fn generate_all(config: &GeneratorConfig) -> Vec<StationData> {
-    StationProfile::all().iter().map(|p| generate_station(p, config)).collect()
+    StationProfile::all()
+        .iter()
+        .map(|p| generate_station(p, config))
+        .collect()
 }
 
 #[cfg(test)]
@@ -208,7 +260,10 @@ mod tests {
     use linalg::stats;
 
     fn gen(name: &str, hours: u64, seed: u64) -> StationData {
-        generate_station(&StationProfile::of(name), &GeneratorConfig::short(hours, seed))
+        generate_station(
+            &StationProfile::of(name),
+            &GeneratorConfig::short(hours, seed),
+        )
     }
 
     fn complete(col: &[f64]) -> Vec<f64> {
@@ -219,7 +274,15 @@ mod tests {
     fn generates_requested_length_and_timestamps() {
         let s = gen("Dongsi", 50, 1);
         assert_eq!(s.len(), 50);
-        assert_eq!((s.records[0].year, s.records[0].month, s.records[0].day, s.records[0].hour), (2013, 3, 1, 0));
+        assert_eq!(
+            (
+                s.records[0].year,
+                s.records[0].month,
+                s.records[0].day,
+                s.records[0].hour
+            ),
+            (2013, 3, 1, 0)
+        );
         assert_eq!(s.records[25].hour, 1);
         assert_eq!(s.records[25].day, 2);
     }
@@ -260,10 +323,16 @@ mod tests {
         let pres = complete(&s.feature_column(Feature::Pres));
         let m = stats::mean(&pm25);
         assert!((30.0..180.0).contains(&m), "PM2.5 mean {m}");
-        assert!(stats::max(&pm25).unwrap() > 150.0, "no pollution episodes generated");
+        assert!(
+            stats::max(&pm25).unwrap() > 150.0,
+            "no pollution episodes generated"
+        );
         assert!(stats::min(&pm25).unwrap() >= 2.0);
         let (tmin, tmax) = stats::min_max(&temp).unwrap();
-        assert!(tmin < 5.0 && tmax > 22.0, "temperature seasonal span {tmin}..{tmax}");
+        assert!(
+            tmin < 5.0 && tmax > 22.0,
+            "temperature seasonal span {tmin}..{tmax}"
+        );
         let (pmin, pmax) = stats::min_max(&pres).unwrap();
         assert!(pmin > 960.0 && pmax < 1060.0, "pressure {pmin}..{pmax}");
     }
@@ -307,7 +376,10 @@ mod tests {
         assert!((0.01..0.035).contains(&frac), "missing fraction {frac}");
         let clean = generate_station(
             &StationProfile::of("Huairou"),
-            &GeneratorConfig { missing_rate: 0.0, ..GeneratorConfig::short(100, 13) },
+            &GeneratorConfig {
+                missing_rate: 0.0,
+                ..GeneratorConfig::short(100, 13)
+            },
         );
         assert_eq!(clean.missing_fraction(), 0.0);
     }
@@ -316,7 +388,10 @@ mod tests {
     fn seasonal_cycle_present_in_temperature() {
         let s = generate_station(
             &StationProfile::of("Changping"),
-            &GeneratorConfig { missing_rate: 0.0, ..GeneratorConfig::short(time::DATASET_HOURS, 2) },
+            &GeneratorConfig {
+                missing_rate: 0.0,
+                ..GeneratorConfig::short(time::DATASET_HOURS, 2)
+            },
         );
         let temp = s.feature_column(Feature::Temp);
         // July (2013) vs January (2014) means.

@@ -56,7 +56,10 @@ pub fn drop_incomplete(data: &mut StationData) -> usize {
 
 /// Fraction of missing cells remaining.
 pub fn missing_cells(data: &StationData) -> usize {
-    data.records.iter().map(|r| r.values.iter().filter(|v| v.is_nan()).count()).sum()
+    data.records
+        .iter()
+        .map(|r| r.values.iter().filter(|v| v.is_nan()).count())
+        .sum()
 }
 
 /// Convenience check used by tests and examples.
@@ -74,7 +77,10 @@ mod tests {
     fn noisy() -> StationData {
         generate_station(
             &StationProfile::of("Changping"),
-            &GeneratorConfig { missing_rate: 0.1, ..GeneratorConfig::short(500, 3) },
+            &GeneratorConfig {
+                missing_rate: 0.1,
+                ..GeneratorConfig::short(500, 3)
+            },
         )
     }
 
@@ -111,9 +117,27 @@ mod tests {
         let mut data = StationData {
             station: "T".into(),
             records: vec![
-                Record { year: 2013, month: 3, day: 1, hour: 0, values: [f64::NAN; NUM_FEATURES] },
-                Record { year: 2013, month: 3, day: 1, hour: 1, values: [2.0; NUM_FEATURES] },
-                Record { year: 2013, month: 3, day: 1, hour: 2, values: [4.0; NUM_FEATURES] },
+                Record {
+                    year: 2013,
+                    month: 3,
+                    day: 1,
+                    hour: 0,
+                    values: [f64::NAN; NUM_FEATURES],
+                },
+                Record {
+                    year: 2013,
+                    month: 3,
+                    day: 1,
+                    hour: 1,
+                    values: [2.0; NUM_FEATURES],
+                },
+                Record {
+                    year: 2013,
+                    month: 3,
+                    day: 1,
+                    hour: 2,
+                    values: [4.0; NUM_FEATURES],
+                },
             ],
         };
         forward_fill(&mut data);
@@ -124,7 +148,13 @@ mod tests {
     fn fully_missing_column_falls_back_to_zero() {
         let mut data = StationData {
             station: "T".into(),
-            records: vec![Record { year: 2013, month: 3, day: 1, hour: 0, values: [f64::NAN; NUM_FEATURES] }],
+            records: vec![Record {
+                year: 2013,
+                month: 3,
+                day: 1,
+                hour: 0,
+                values: [f64::NAN; NUM_FEATURES],
+            }],
         };
         forward_fill(&mut data);
         assert!(is_fully_observed(&data));

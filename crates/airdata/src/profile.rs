@@ -7,12 +7,11 @@
 //! These profiles encode that cross-station heterogeneity — the property
 //! the node-selection mechanism exists to exploit.
 
-use serde::{Deserialize, Serialize};
-
 use crate::schema::STATIONS;
 
 /// Broad land-use class of a monitoring site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SiteClass {
     /// Dense inner-city site: high primary pollutants.
     Urban,
@@ -23,7 +22,8 @@ pub enum SiteClass {
 }
 
 /// The generation profile of one station.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StationProfile {
     /// Station name (one of [`STATIONS`]).
     pub name: String,
@@ -124,7 +124,10 @@ mod tests {
     #[test]
     fn pollution_levels_span_a_meaningful_range() {
         let all = StationProfile::all();
-        let min = all.iter().map(|p| p.pollution_level).fold(f64::INFINITY, f64::min);
+        let min = all
+            .iter()
+            .map(|p| p.pollution_level)
+            .fold(f64::INFINITY, f64::min);
         let max = all.iter().map(|p| p.pollution_level).fold(0.0, f64::max);
         assert!(max / min > 1.5, "stations too homogeneous: {min}..{max}");
     }

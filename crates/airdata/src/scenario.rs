@@ -13,7 +13,6 @@
 //!   catastrophic.
 
 use mlkit::DenseDataset;
-use serde::{Deserialize, Serialize};
 
 use linalg::rng as lrng;
 use linalg::Matrix;
@@ -68,7 +67,10 @@ pub fn realistic_nodes_multi(
         "the dataset has 12 stations; {n_nodes} nodes requested"
     );
     assert!(!inputs.is_empty(), "need at least one input feature");
-    assert!(!inputs.contains(&label), "label {label:?} cannot also be an input");
+    assert!(
+        !inputs.contains(&label),
+        "label {label:?} cannot also be an input"
+    );
     let profiles = StationProfile::all();
     profiles[..n_nodes]
         .iter()
@@ -77,13 +79,17 @@ pub fn realistic_nodes_multi(
             impute::forward_fill(&mut data);
             let x = data.to_matrix(inputs);
             let y = data.feature_column(label);
-            NodeData { name: p.name.clone(), dataset: DenseDataset::new(x, y) }
+            NodeData {
+                name: p.name.clone(),
+                dataset: DenseDataset::new(x, y),
+            }
         })
         .collect()
 }
 
 /// Generation spec for one synthetic regression node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeSpec {
     /// Uniform input range `[lo, hi)`.
     pub x_range: (f64, f64),
@@ -98,7 +104,7 @@ pub struct NodeSpec {
 impl NodeSpec {
     /// Samples `n` points from the spec.
     pub fn sample(&self, n: usize, seed: u64) -> DenseDataset {
-        use rand::Rng;
+        use linalg::rng::Rng;
         let mut rng = lrng::rng_for(seed, 0x5CE_EA10);
         let mut xs = Vec::with_capacity(n);
         let mut ys = Vec::with_capacity(n);
@@ -117,7 +123,12 @@ impl NodeSpec {
 pub fn homogeneous_specs(n_nodes: usize) -> Vec<NodeSpec> {
     assert!(n_nodes > 0, "need at least one node");
     (0..n_nodes)
-        .map(|_| NodeSpec { x_range: (0.0, 50.0), slope: 1.8, intercept: 5.0, noise_std: 5.0 })
+        .map(|_| NodeSpec {
+            x_range: (0.0, 50.0),
+            slope: 1.8,
+            intercept: 5.0,
+            noise_std: 5.0,
+        })
         .collect()
 }
 
@@ -128,21 +139,74 @@ pub fn homogeneous_specs(n_nodes: usize) -> Vec<NodeSpec> {
 /// in range, slope sign and magnitude — the paper's "negative in one
 /// participant and positive in the other" observation.
 pub fn heterogeneous_specs(n_nodes: usize) -> Vec<NodeSpec> {
-    assert!(n_nodes >= 2, "heterogeneous scenario needs at least leader + one node");
+    assert!(
+        n_nodes >= 2,
+        "heterogeneous scenario needs at least leader + one node"
+    );
     let mut specs = Vec::with_capacity(n_nodes);
     // Leader pattern and its compatible twin.
-    specs.push(NodeSpec { x_range: (0.0, 20.0), slope: 2.0, intercept: 3.0, noise_std: 2.0 });
-    specs.push(NodeSpec { x_range: (1.0, 21.0), slope: 2.0, intercept: 3.5, noise_std: 2.0 });
+    specs.push(NodeSpec {
+        x_range: (0.0, 20.0),
+        slope: 2.0,
+        intercept: 3.0,
+        noise_std: 2.0,
+    });
+    specs.push(NodeSpec {
+        x_range: (1.0, 21.0),
+        slope: 2.0,
+        intercept: 3.5,
+        noise_std: 2.0,
+    });
     // Everything else: progressively shifted, scaled and sign-flipped.
     let templates = [
-        NodeSpec { x_range: (30.0, 55.0), slope: -2.5, intercept: 120.0, noise_std: 3.0 },
-        NodeSpec { x_range: (60.0, 90.0), slope: 0.4, intercept: -40.0, noise_std: 4.0 },
-        NodeSpec { x_range: (-40.0, -10.0), slope: -4.0, intercept: -15.0, noise_std: 3.0 },
-        NodeSpec { x_range: (100.0, 140.0), slope: 6.0, intercept: 300.0, noise_std: 8.0 },
-        NodeSpec { x_range: (15.0, 45.0), slope: -1.0, intercept: 60.0, noise_std: 2.5 },
-        NodeSpec { x_range: (-80.0, -50.0), slope: 3.0, intercept: 200.0, noise_std: 5.0 },
-        NodeSpec { x_range: (200.0, 260.0), slope: -0.8, intercept: 250.0, noise_std: 6.0 },
-        NodeSpec { x_range: (50.0, 70.0), slope: 5.0, intercept: -150.0, noise_std: 4.0 },
+        NodeSpec {
+            x_range: (30.0, 55.0),
+            slope: -2.5,
+            intercept: 120.0,
+            noise_std: 3.0,
+        },
+        NodeSpec {
+            x_range: (60.0, 90.0),
+            slope: 0.4,
+            intercept: -40.0,
+            noise_std: 4.0,
+        },
+        NodeSpec {
+            x_range: (-40.0, -10.0),
+            slope: -4.0,
+            intercept: -15.0,
+            noise_std: 3.0,
+        },
+        NodeSpec {
+            x_range: (100.0, 140.0),
+            slope: 6.0,
+            intercept: 300.0,
+            noise_std: 8.0,
+        },
+        NodeSpec {
+            x_range: (15.0, 45.0),
+            slope: -1.0,
+            intercept: 60.0,
+            noise_std: 2.5,
+        },
+        NodeSpec {
+            x_range: (-80.0, -50.0),
+            slope: 3.0,
+            intercept: 200.0,
+            noise_std: 5.0,
+        },
+        NodeSpec {
+            x_range: (200.0, 260.0),
+            slope: -0.8,
+            intercept: 250.0,
+            noise_std: 6.0,
+        },
+        NodeSpec {
+            x_range: (50.0, 70.0),
+            slope: 5.0,
+            intercept: -150.0,
+            noise_std: 4.0,
+        },
     ];
     for i in 2..n_nodes {
         let t = &templates[(i - 2) % templates.len()];
@@ -190,7 +254,11 @@ mod tests {
         for n in &nodes {
             assert_eq!(n.dataset.len(), 500);
             assert_eq!(n.dataset.dim(), 1);
-            assert!(n.dataset.x().all_finite(), "{} has NaNs after imputation", n.name);
+            assert!(
+                n.dataset.x().all_finite(),
+                "{} has NaNs after imputation",
+                n.name
+            );
             assert!(n.dataset.y().iter().all(|v| v.is_finite()));
         }
         // Distinct stations -> distinct data.
@@ -215,7 +283,10 @@ mod tests {
             })
             .collect();
         for s in &slopes {
-            assert!((s - 1.8).abs() < 0.15, "slope {s} strays from the shared pattern");
+            assert!(
+                (s - 1.8).abs() < 0.15,
+                "slope {s} strays from the shared pattern"
+            );
         }
     }
 
@@ -256,7 +327,12 @@ mod tests {
 
     #[test]
     fn spec_sampling_respects_noise() {
-        let spec = NodeSpec { x_range: (0.0, 10.0), slope: 1.0, intercept: 0.0, noise_std: 0.0 };
+        let spec = NodeSpec {
+            x_range: (0.0, 10.0),
+            slope: 1.0,
+            intercept: 0.0,
+            noise_std: 0.0,
+        };
         let ds = spec.sample(50, 1);
         for (row, &y) in ds.x().row_iter().zip(ds.y()) {
             assert!((y - row[0]).abs() < 1e-12, "noise-free spec must be exact");

@@ -1,7 +1,5 @@
 //! Schema of the Beijing Multi-Site Air-Quality dataset.
 
-use serde::{Deserialize, Serialize};
-
 /// The 12 monitoring stations of the UCI dataset. The paper selects 10
 /// files; [`crate::scenario::realistic_nodes`] does the same.
 pub const STATIONS: [&str; 12] = [
@@ -23,7 +21,8 @@ pub const STATIONS: [&str; 12] = [
 pub const NUM_FEATURES: usize = 11;
 
 /// One numeric feature column of the dataset, in CSV column order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Feature {
     /// PM2.5 concentration (µg/m³) — the usual prediction target.
     Pm25,
@@ -67,7 +66,10 @@ impl Feature {
 
     /// Column index within a record's value array.
     pub fn index(self) -> usize {
-        Feature::ALL.iter().position(|&f| f == self).expect("feature present in ALL")
+        Feature::ALL
+            .iter()
+            .position(|&f| f == self)
+            .expect("feature present in ALL")
     }
 
     /// The CSV header name used by the UCI files.
@@ -103,7 +105,8 @@ impl Feature {
 }
 
 /// One hourly observation at one station.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Record {
     /// Calendar year.
     pub year: i32,
@@ -116,12 +119,13 @@ pub struct Record {
     /// Feature values in [`Feature::ALL`] order; `NaN` marks a missing
     /// measurement (serialised as "NA" in the CSV form and as `null` in
     /// self-describing formats like JSON, which cannot represent NaN).
-    #[serde(with = "nan_as_null")]
+    #[cfg_attr(feature = "serde", serde(with = "nan_as_null"))]
     pub values: [f64; NUM_FEATURES],
 }
 
 /// Serialises the value array with missing (NaN) cells as `None`/`null`,
 /// so records survive formats without NaN support.
+#[cfg(feature = "serde")]
 mod nan_as_null {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
@@ -131,8 +135,10 @@ mod nan_as_null {
         values: &[f64; NUM_FEATURES],
         serializer: S,
     ) -> Result<S::Ok, S::Error> {
-        let opts: Vec<Option<f64>> =
-            values.iter().map(|v| if v.is_nan() { None } else { Some(*v) }).collect();
+        let opts: Vec<Option<f64>> = values
+            .iter()
+            .map(|v| if v.is_nan() { None } else { Some(*v) })
+            .collect();
         opts.serialize(serializer)
     }
 
@@ -200,7 +206,13 @@ mod tests {
 
     #[test]
     fn record_get_set() {
-        let mut r = Record { year: 2013, month: 3, day: 1, hour: 0, values: [0.0; NUM_FEATURES] };
+        let mut r = Record {
+            year: 2013,
+            month: 3,
+            day: 1,
+            hour: 0,
+            values: [0.0; NUM_FEATURES],
+        };
         r.set(Feature::O3, 42.0);
         assert_eq!(r.get(Feature::O3), 42.0);
         assert!(r.is_complete());

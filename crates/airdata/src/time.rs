@@ -34,7 +34,12 @@ pub fn civil_from_days(mut z: i64) -> (i32, u32, u32) {
 
 /// An hourly timestamp: `(year, month, day, hour)` at `hours` hours after
 /// the given civil start date (hour 0).
-pub fn timestamp_at(start_year: i32, start_month: u32, start_day: u32, hours: u64) -> (i32, u32, u32, u32) {
+pub fn timestamp_at(
+    start_year: i32,
+    start_month: u32,
+    start_day: u32,
+    hours: u64,
+) -> (i32, u32, u32, u32) {
     let start_days = days_from_civil(start_year, start_month, start_day);
     let total_hours = start_days * 24 + hours as i64;
     let days = total_hours.div_euclid(24);
@@ -89,7 +94,10 @@ mod tests {
         assert_eq!(timestamp_at(2013, 3, 1, 23), (2013, 3, 1, 23));
         assert_eq!(timestamp_at(2013, 3, 1, 24), (2013, 3, 2, 0));
         // Last record of the dataset.
-        assert_eq!(timestamp_at(2013, 3, 1, DATASET_HOURS - 1), (2017, 2, 28, 23));
+        assert_eq!(
+            timestamp_at(2013, 3, 1, DATASET_HOURS - 1),
+            (2017, 2, 28, 23)
+        );
     }
 
     #[test]

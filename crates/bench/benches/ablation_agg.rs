@@ -18,11 +18,19 @@ fn cfg(agg: Aggregation) -> FederationConfig {
 
 fn bench_ablation_agg(c: &mut Criterion) {
     let fed = heterogeneous_federation(ExperimentScale::Quick);
-    let wl = fed.workload(&WorkloadConfig { n_queries: 20, ..WorkloadConfig::paper_default(SEED) });
-    let policy = QueryDriven { epsilon: EPSILON, ..QueryDriven::top_l(L_SELECT) };
-    for agg in
-        [Aggregation::ModelAveraging, Aggregation::WeightedAveraging, Aggregation::FedAvgWeights]
-    {
+    let wl = fed.workload(&WorkloadConfig {
+        n_queries: 20,
+        ..WorkloadConfig::paper_default(SEED)
+    });
+    let policy = QueryDriven {
+        epsilon: EPSILON,
+        ..QueryDriven::top_l(L_SELECT)
+    };
+    for agg in [
+        Aggregation::ModelAveraging,
+        Aggregation::WeightedAveraging,
+        Aggregation::FedAvgWeights,
+    ] {
         let res = run_stream(fed.network(), &wl, &policy, &cfg(agg));
         eprintln!(
             "[ablation_agg] {:<16}: mean loss {:.6}, failed {}",
@@ -34,8 +42,13 @@ fn bench_ablation_agg(c: &mut Criterion) {
 
     // Prediction cost of the resulting global model.
     let q = fed.query_from_bounds(0, &[0.0, 25.0, 0.0, 55.0]);
-    let ensemble = run_query(fed.network(), &q, &policy, &cfg(Aggregation::WeightedAveraging))
-        .expect("round completes");
+    let ensemble = run_query(
+        fed.network(),
+        &q,
+        &policy,
+        &cfg(Aggregation::WeightedAveraging),
+    )
+    .expect("round completes");
     let single = run_query(fed.network(), &q, &policy, &cfg(Aggregation::FedAvgWeights))
         .expect("round completes");
     let probe = [0.4_f64];

@@ -24,13 +24,18 @@ fn bench_ablation_k(c: &mut Criterion) {
     let ks = [1usize, 3, 5, 8, 13];
     for &k in &ks {
         let fed = federation_with_k(k);
-        let wl =
-            fed.workload(&WorkloadConfig { n_queries: 20, ..WorkloadConfig::paper_default(SEED) });
+        let wl = fed.workload(&WorkloadConfig {
+            n_queries: 20,
+            ..WorkloadConfig::paper_default(SEED)
+        });
         let cfg = FederationConfig {
             train: TrainConfig::paper_lr(SEED).with_epochs(8),
             ..FederationConfig::paper_lr(SEED)
         };
-        let policy = QueryDriven { epsilon: EPSILON, ..QueryDriven::top_l(L_SELECT) };
+        let policy = QueryDriven {
+            epsilon: EPSILON,
+            ..QueryDriven::top_l(L_SELECT)
+        };
         let res = run_stream(fed.network(), &wl, &policy, &cfg);
         eprintln!(
             "[ablation_k] K={k:>2}: mean loss {:.6}, mean data fraction {:.3}, failed {}",
@@ -47,7 +52,10 @@ fn bench_ablation_k(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
                 let mut net = EdgeNetwork::from_datasets(
-                    nodes.iter().map(|n| (n.name.clone(), n.dataset.clone())).collect(),
+                    nodes
+                        .iter()
+                        .map(|n| (n.name.clone(), n.dataset.clone()))
+                        .collect(),
                 );
                 net.quantize_all(k, SEED);
                 net

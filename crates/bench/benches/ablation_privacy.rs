@@ -18,9 +18,8 @@ fn private_federation(dp_epsilon: Option<f64>) -> EdgeNetwork {
         ExperimentScale::Quick.samples_per_node(),
         SEED,
     );
-    let mut net = EdgeNetwork::from_datasets(
-        nodes.into_iter().map(|n| (n.name, n.dataset)).collect(),
-    );
+    let mut net =
+        EdgeNetwork::from_datasets(nodes.into_iter().map(|n| (n.name, n.dataset)).collect());
     match dp_epsilon {
         Some(eps) => net.quantize_all_private(5, SEED, eps),
         None => net.quantize_all(5, SEED),
@@ -33,12 +32,18 @@ fn bench_ablation_privacy(c: &mut Criterion) {
         train: TrainConfig::paper_lr(SEED).with_epochs(8),
         ..FederationConfig::paper_lr(SEED)
     };
-    let policy = QueryDriven { epsilon: EPSILON, ..QueryDriven::top_l(L_SELECT) };
+    let policy = QueryDriven {
+        epsilon: EPSILON,
+        ..QueryDriven::top_l(L_SELECT)
+    };
 
     let exact = private_federation(None);
     let wl = workload::generate(
         &exact.global_space(),
-        &WorkloadConfig { n_queries: 20, ..WorkloadConfig::paper_default(SEED) },
+        &WorkloadConfig {
+            n_queries: 20,
+            ..WorkloadConfig::paper_default(SEED)
+        },
     );
     let base = run_stream(&exact, &wl, &policy, &cfg);
     eprintln!(

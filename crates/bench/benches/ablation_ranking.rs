@@ -9,17 +9,28 @@ use qens::prelude::*;
 use qens::selection::{RankingRule, SelectionCap};
 
 fn policy(rule: RankingRule) -> QueryDriven {
-    QueryDriven { epsilon: EPSILON, cap: SelectionCap::TopL(L_SELECT), rule }
+    QueryDriven {
+        epsilon: EPSILON,
+        cap: SelectionCap::TopL(L_SELECT),
+        rule,
+    }
 }
 
 fn bench_ablation_ranking(c: &mut Criterion) {
     let fed = heterogeneous_federation(ExperimentScale::Quick);
-    let wl = fed.workload(&WorkloadConfig { n_queries: 25, ..WorkloadConfig::paper_default(SEED) });
+    let wl = fed.workload(&WorkloadConfig {
+        n_queries: 25,
+        ..WorkloadConfig::paper_default(SEED)
+    });
     let cfg = FederationConfig {
         train: TrainConfig::paper_lr(SEED).with_epochs(8),
         ..FederationConfig::paper_lr(SEED)
     };
-    for rule in [RankingRule::PaperEq4, RankingRule::PotentialOnly, RankingRule::CountOnly] {
+    for rule in [
+        RankingRule::PaperEq4,
+        RankingRule::PotentialOnly,
+        RankingRule::CountOnly,
+    ] {
         let res = run_stream(fed.network(), &wl, &policy(rule), &cfg);
         eprintln!(
             "[ablation_ranking] {:?}: mean loss {:.6}, mean data fraction {:.3}, failed {}",

@@ -14,16 +14,25 @@ use qens::prelude::*;
 fn bench_ablation_stage_order(c: &mut Criterion) {
     let fed = paper_federation(
         ExperimentScale::Quick,
-        ModelKind::Neural { hidden: ExperimentScale::Quick.nn_hidden() },
+        ModelKind::Neural {
+            hidden: ExperimentScale::Quick.nn_hidden(),
+        },
         Aggregation::WeightedAveraging,
     );
-    let wl = fed.workload(&WorkloadConfig { n_queries: 15, ..WorkloadConfig::paper_default(SEED) });
-    let policy = QueryDriven { epsilon: EPSILON, ..QueryDriven::top_l(L_SELECT) };
+    let wl = fed.workload(&WorkloadConfig {
+        n_queries: 15,
+        ..WorkloadConfig::paper_default(SEED)
+    });
+    let policy = QueryDriven {
+        epsilon: EPSILON,
+        ..QueryDriven::top_l(L_SELECT)
+    };
 
     for epochs in [10usize, 40] {
-        for (label, order) in
-            [("sequential", StageOrder::Sequential), ("interleaved", StageOrder::Interleaved)]
-        {
+        for (label, order) in [
+            ("sequential", StageOrder::Sequential),
+            ("interleaved", StageOrder::Interleaved),
+        ] {
             let cfg = FederationConfig {
                 train: TrainConfig::paper_nn(SEED).with_epochs(epochs),
                 stage_order: order,
@@ -44,14 +53,20 @@ fn bench_ablation_stage_order(c: &mut Criterion) {
         let y = space.interval(1);
         Query::from_boundary_vec(
             0,
-            &[x.lo(), x.lo() + 0.3 * x.length(), y.lo(), y.lo() + 0.3 * y.length()],
+            &[
+                x.lo(),
+                x.lo() + 0.3 * x.length(),
+                y.lo(),
+                y.lo() + 0.3 * y.length(),
+            ],
         )
     };
     let mut group = c.benchmark_group("stage_order_round");
     group.sample_size(10);
-    for (label, order) in
-        [("sequential", StageOrder::Sequential), ("interleaved", StageOrder::Interleaved)]
-    {
+    for (label, order) in [
+        ("sequential", StageOrder::Sequential),
+        ("interleaved", StageOrder::Interleaved),
+    ] {
         let cfg = FederationConfig {
             train: TrainConfig::paper_nn(SEED).with_epochs(10),
             stage_order: order,

@@ -12,7 +12,10 @@ use qens::selection::SelectionCap;
 
 fn bench_ablation_thresholds(c: &mut Criterion) {
     let fed = heterogeneous_federation(ExperimentScale::Quick);
-    let wl = fed.workload(&WorkloadConfig { n_queries: 20, ..WorkloadConfig::paper_default(SEED) });
+    let wl = fed.workload(&WorkloadConfig {
+        n_queries: 20,
+        ..WorkloadConfig::paper_default(SEED)
+    });
     let cfg = FederationConfig {
         train: TrainConfig::paper_lr(SEED).with_epochs(8),
         ..FederationConfig::paper_lr(SEED)
@@ -20,7 +23,10 @@ fn bench_ablation_thresholds(c: &mut Criterion) {
 
     // ε sweep (top-ℓ cut held fixed).
     for eps in [0.01, 0.05, 0.1, 0.2, 0.4] {
-        let policy = QueryDriven { epsilon: eps, ..QueryDriven::top_l(L_SELECT) };
+        let policy = QueryDriven {
+            epsilon: eps,
+            ..QueryDriven::top_l(L_SELECT)
+        };
         let res = run_stream(fed.network(), &wl, &policy, &cfg);
         eprintln!(
             "[ablation_eps] eps={eps:<5}: mean loss {:.6}, data fraction {:.3}, failed {}",
@@ -32,7 +38,11 @@ fn bench_ablation_thresholds(c: &mut Criterion) {
 
     // ψ sweep (Eq. 5 threshold cut instead of top-ℓ).
     for psi in [0.05, 0.2, 0.5, 1.0] {
-        let policy = QueryDriven { epsilon: 0.05, cap: SelectionCap::Threshold(psi), ..QueryDriven::top_l(0) };
+        let policy = QueryDriven {
+            epsilon: 0.05,
+            cap: SelectionCap::Threshold(psi),
+            ..QueryDriven::top_l(0)
+        };
         let res = run_stream(fed.network(), &wl, &policy, &cfg);
         let mean_nodes: f64 = res
             .per_query
@@ -52,7 +62,10 @@ fn bench_ablation_thresholds(c: &mut Criterion) {
     let q = fed.query_from_bounds(0, &[0.0, 25.0, 0.0, 55.0]);
     let mut group = c.benchmark_group("ablation_eps_select");
     for eps in [0.01_f64, 0.1, 0.4] {
-        let policy = QueryDriven { epsilon: eps, ..QueryDriven::top_l(L_SELECT) };
+        let policy = QueryDriven {
+            epsilon: eps,
+            ..QueryDriven::top_l(L_SELECT)
+        };
         group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, _| {
             b.iter(|| {
                 let ctx = SelectionContext::new(fed.network(), &q);

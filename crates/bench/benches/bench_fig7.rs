@@ -9,7 +9,9 @@ use qens::prelude::*;
 
 fn bench_fig7(c: &mut Criterion) {
     let rows = bench::figures::fig7(ExperimentScale::Quick, ModelKind::Linear);
-    eprintln!("[fig7/LR] mean loss per mechanism (paper ordering: weighted <= averaging < GT < random):");
+    eprintln!(
+        "[fig7/LR] mean loss per mechanism (paper ordering: weighted <= averaging < GT < random):"
+    );
     for r in &rows {
         eprintln!(
             "[fig7/LR]   {:<18} loss {:.6}  data {:.3}  sim {:.4}s",
@@ -20,7 +22,11 @@ fn bench_fig7(c: &mut Criterion) {
         );
     }
 
-    let fed = paper_federation(ExperimentScale::Quick, ModelKind::Linear, Aggregation::WeightedAveraging);
+    let fed = paper_federation(
+        ExperimentScale::Quick,
+        ModelKind::Linear,
+        Aggregation::WeightedAveraging,
+    );
     let q = {
         let space = fed.network().global_space();
         let mk = |iv: &Interval, lo: f64, hi: f64| {
@@ -34,13 +40,41 @@ fn bench_fig7(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_round_lr");
     group.sample_size(10);
     group.bench_function("query_driven", |b| {
-        b.iter(|| fed.run_query(&q, &PolicyKind::QueryDriven { epsilon: EPSILON, l: L_SELECT }).unwrap())
+        b.iter(|| {
+            fed.run_query(
+                &q,
+                &PolicyKind::QueryDriven {
+                    epsilon: EPSILON,
+                    l: L_SELECT,
+                },
+            )
+            .unwrap()
+        })
     });
     group.bench_function("random", |b| {
-        b.iter(|| fed.run_query(&q, &PolicyKind::Random { l: L_SELECT, seed: SEED }).unwrap())
+        b.iter(|| {
+            fed.run_query(
+                &q,
+                &PolicyKind::Random {
+                    l: L_SELECT,
+                    seed: SEED,
+                },
+            )
+            .unwrap()
+        })
     });
     group.bench_function("game_theory", |b| {
-        b.iter(|| fed.run_query(&q, &PolicyKind::GameTheory { leader: 0, l: L_SELECT, seed: SEED }).unwrap())
+        b.iter(|| {
+            fed.run_query(
+                &q,
+                &PolicyKind::GameTheory {
+                    leader: 0,
+                    l: L_SELECT,
+                    seed: SEED,
+                },
+            )
+            .unwrap()
+        })
     });
     group.bench_function("all_nodes", |b| {
         b.iter(|| fed.run_query(&q, &PolicyKind::AllNodes).unwrap())

@@ -10,10 +10,17 @@ use qens::prelude::*;
 fn bench_fig8(c: &mut Criterion) {
     let series = bench::figures::fig8_fig9(ExperimentScale::Quick);
     if let Some(s) = series.mean_speedup() {
-        eprintln!("[fig8] simulated mean training-time saving: {s:.2}x over {} queries", series.query_ids.len());
+        eprintln!(
+            "[fig8] simulated mean training-time saving: {s:.2}x over {} queries",
+            series.query_ids.len()
+        );
     }
 
-    let fed = paper_federation(ExperimentScale::Quick, ModelKind::Linear, Aggregation::WeightedAveraging);
+    let fed = paper_federation(
+        ExperimentScale::Quick,
+        ModelKind::Linear,
+        Aggregation::WeightedAveraging,
+    );
     let q = {
         let space = fed.network().global_space();
         let x = space.interval(0);
@@ -32,12 +39,27 @@ fn bench_fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_training_time");
     group.sample_size(10);
     group.bench_function("with_query_selectivity", |b| {
-        b.iter(|| fed.run_query(&q, &PolicyKind::QueryDriven { epsilon: EPSILON, l: L_SELECT }).unwrap())
+        b.iter(|| {
+            fed.run_query(
+                &q,
+                &PolicyKind::QueryDriven {
+                    epsilon: EPSILON,
+                    l: L_SELECT,
+                },
+            )
+            .unwrap()
+        })
     });
     group.bench_function("without_query_selectivity", |b| {
         b.iter(|| {
-            fed.run_query(&q, &PolicyKind::QueryDrivenNoSelectivity { epsilon: EPSILON, l: L_SELECT })
-                .unwrap()
+            fed.run_query(
+                &q,
+                &PolicyKind::QueryDrivenNoSelectivity {
+                    epsilon: EPSILON,
+                    l: L_SELECT,
+                },
+            )
+            .unwrap()
         })
     });
     group.finish();

@@ -19,7 +19,11 @@ fn bench_fig9(c: &mut Criterion) {
         100.0 * mean_without
     );
 
-    let fed = paper_federation(ExperimentScale::Quick, ModelKind::Linear, Aggregation::WeightedAveraging);
+    let fed = paper_federation(
+        ExperimentScale::Quick,
+        ModelKind::Linear,
+        Aggregation::WeightedAveraging,
+    );
     let space = fed.network().global_space();
     let x = space.interval(0);
     let y = space.interval(1);
@@ -37,7 +41,10 @@ fn bench_fig9(c: &mut Criterion) {
             )
         })
         .collect();
-    let policy = QueryDriven { epsilon: EPSILON, ..QueryDriven::top_l(usize::MAX) };
+    let policy = QueryDriven {
+        epsilon: EPSILON,
+        ..QueryDriven::top_l(usize::MAX)
+    };
 
     c.bench_function("fig9_data_need_20_queries", |b| {
         b.iter(|| {

@@ -27,7 +27,16 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| fed.run_query(&q, &PolicyKind::AllNodes).unwrap())
     });
     group.bench_function("random", |b| {
-        b.iter(|| fed.run_query(&q, &PolicyKind::Random { l: L_SELECT, seed: SEED }).unwrap())
+        b.iter(|| {
+            fed.run_query(
+                &q,
+                &PolicyKind::Random {
+                    l: L_SELECT,
+                    seed: SEED,
+                },
+            )
+            .unwrap()
+        })
     });
     group.finish();
 }

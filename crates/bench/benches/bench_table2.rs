@@ -23,7 +23,10 @@ fn bench_table2(c: &mut Criterion) {
         b.iter(|| fed.run_query(&q, &PolicyKind::query_driven(1)).unwrap())
     });
     group.bench_function("random_node", |b| {
-        b.iter(|| fed.run_query(&q, &PolicyKind::Random { l: 1, seed: SEED }).unwrap())
+        b.iter(|| {
+            fed.run_query(&q, &PolicyKind::Random { l: 1, seed: SEED })
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -1,43 +1,72 @@
 //! Micro-benchmarks of the mechanism's hot kernels: the per-dimension
 //! overlap ratio, Eq. 2 over rectangles, node scoring (Eqs. 3–4),
-//! k-means quantisation and a training epoch.
+//! k-means quantisation, a training epoch — and the cost of the
+//! telemetry layer itself (disabled vs enabled).
+//!
+//! Runs on the in-tree [`bench::harness`] so the default offline build
+//! needs no Criterion. `cargo bench -p bench --bench kernels` measures;
+//! `cargo test` smoke-runs every kernel once.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::harness::{black_box, Harness};
 use qens::cluster::{KMeans, KMeansConfig};
 use qens::linalg::Matrix;
 use qens::prelude::*;
 
-fn bench_overlap(c: &mut Criterion) {
+fn bench_overlap(h: &mut Harness) {
     let q = Interval::new(3.0, 18.0);
     let k = Interval::new(0.0, 11.0);
-    c.bench_function("interval_overlap_ratio", |b| {
-        b.iter(|| black_box(q).overlap_ratio(black_box(&k)))
+    h.bench("interval_overlap_ratio", || {
+        black_box(black_box(&q).overlap_ratio(black_box(&k)));
     });
 
     let qr = HyperRect::from_boundary_vec(&[0.0, 10.0, 5.0, 25.0, -3.0, 3.0, 0.0, 1.0]);
     let kr = HyperRect::from_boundary_vec(&[2.0, 14.0, 0.0, 20.0, -1.0, 5.0, 0.2, 0.9]);
-    c.bench_function("rect_overlap_rate_d4", |b| {
-        b.iter(|| black_box(&qr).overlap_rate(black_box(&kr)))
+    h.bench("rect_overlap_rate_d4", || {
+        black_box(black_box(&qr).overlap_rate(black_box(&kr)));
     });
 }
 
-fn bench_node_scoring(c: &mut Criterion) {
-    let fed = FederationBuilder::new().heterogeneous_nodes(10, 500).seed(1).epochs(1).build();
+fn bench_node_scoring(h: &mut Harness) {
+    let fed = FederationBuilder::new()
+        .heterogeneous_nodes(10, 500)
+        .seed(1)
+        .epochs(1)
+        .build();
     let q = fed.query_from_bounds(0, &[0.0, 20.0, 0.0, 45.0]);
     let policy = QueryDriven::top_l(4);
     let node = &fed.network().nodes()[0];
-    c.bench_function("score_one_node_k5", |b| {
-        b.iter(|| policy.score_node(black_box(node), black_box(&q)))
+    h.bench("score_one_node_k5", || {
+        black_box(policy.score_node(black_box(node), black_box(&q)));
     });
-    c.bench_function("select_10_nodes", |b| {
-        b.iter(|| {
+
+    // The telemetry-overhead guard: the same selection kernel with the
+    // registry off (default) and on. The disabled path is a single
+    // relaxed atomic load per call site, so the two numbers should be
+    // statistically indistinguishable.
+    qens::telemetry::set_enabled(false);
+    let off = h
+        .bench("select_10_nodes_telemetry_off", || {
             let ctx = SelectionContext::new(fed.network(), &q);
-            policy.select(black_box(&ctx))
+            black_box(policy.select(black_box(&ctx)));
         })
-    });
+        .min_nanos;
+    qens::telemetry::set_enabled(true);
+    let on = h
+        .bench("select_10_nodes_telemetry_on", || {
+            let ctx = SelectionContext::new(fed.network(), &q);
+            black_box(policy.select(black_box(&ctx)));
+        })
+        .min_nanos;
+    qens::telemetry::set_enabled(false);
+    if !h.is_fast() {
+        println!(
+            "telemetry overhead on select_10_nodes: {:+.1}% (off {off:.0} ns, on {on:.0} ns)",
+            (on - off) / off * 100.0
+        );
+    }
 }
 
-fn bench_kmeans(c: &mut Criterion) {
+fn bench_kmeans(h: &mut Harness) {
     let mut rng = qens::linalg::rng::rng_for(3, 1);
     let rows: Vec<Vec<f64>> = (0..1000)
         .map(|_| {
@@ -48,39 +77,45 @@ fn bench_kmeans(c: &mut Criterion) {
         })
         .collect();
     let data = Matrix::from_rows(&rows);
-    c.bench_function("kmeans_fit_1000x2_k5", |b| {
-        b.iter(|| KMeans::fit(black_box(&data), &KMeansConfig::paper_default(7)))
+    h.bench("kmeans_fit_1000x2_k5", || {
+        black_box(KMeans::fit(
+            black_box(&data),
+            &KMeansConfig::paper_default(7),
+        ));
     });
 }
 
 fn mlkit_train_once(model: &mut Model, data: &DenseDataset) {
-    let cfg = TrainConfig { epochs: 1, validation_split: 0.0, ..TrainConfig::paper_lr(0) };
+    let cfg = TrainConfig {
+        epochs: 1,
+        validation_split: 0.0,
+        ..TrainConfig::paper_lr(0)
+    };
     qens::mlkit::train(model, data, &cfg);
 }
 
-fn bench_training(c: &mut Criterion) {
+fn bench_training(h: &mut Harness) {
     let mut rng = qens::linalg::rng::rng_for(5, 2);
-    let rows: Vec<Vec<f64>> =
-        (0..500).map(|_| vec![qens::linalg::rng::normal(&mut rng, 0.0, 1.0)]).collect();
+    let rows: Vec<Vec<f64>> = (0..500)
+        .map(|_| vec![qens::linalg::rng::normal(&mut rng, 0.0, 1.0)])
+        .collect();
     let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 1.0).collect();
     let data = DenseDataset::new(Matrix::from_rows(&rows), y);
-    c.bench_function("lr_train_epoch_500", |b| {
-        b.iter(|| {
-            let mut m = ModelKind::Linear.build(1, 0);
-            mlkit_train_once(&mut m, &data)
-        })
+    h.bench("lr_train_epoch_500", || {
+        let mut m = ModelKind::Linear.build(1, 0);
+        mlkit_train_once(&mut m, &data);
     });
-    c.bench_function("nn16_train_epoch_500", |b| {
-        b.iter(|| {
-            let mut m = ModelKind::Neural { hidden: 16 }.build(1, 0);
-            mlkit_train_once(&mut m, &data)
-        })
+    h.bench("nn16_train_epoch_500", || {
+        let mut m = ModelKind::Neural { hidden: 16 }.build(1, 0);
+        mlkit_train_once(&mut m, &data);
     });
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(30);
-    targets = bench_overlap, bench_node_scoring, bench_kmeans, bench_training
+fn main() {
+    let mut h = Harness::from_env();
+    qens::telemetry::set_enabled(false);
+    bench_overlap(&mut h);
+    bench_node_scoring(&mut h);
+    bench_kmeans(&mut h);
+    bench_training(&mut h);
 }
-criterion_main!(kernels);

@@ -4,18 +4,85 @@
 //! cargo run --release -p bench --bin repro            # everything, quick scale
 //! cargo run --release -p bench --bin repro -- fig7    # one experiment
 //! cargo run --release -p bench --bin repro -- all --paper   # full paper scale
+//! cargo run --release -p bench --bin repro -- --smoke # tiny end-to-end check
 //! ```
 //!
 //! Printed rows state the measured values next to the paper's; CSV series
-//! land in `results/`.
+//! land in `results/`, alongside `results/telemetry.json` — the full
+//! metric snapshot (per-query deltas included) of the run.
 
 use std::path::PathBuf;
 
 use bench::{figures, report, tables, ExperimentScale};
 use qens::prelude::ModelKind;
+use qens::telemetry;
 
 fn results_dir() -> PathBuf {
     PathBuf::from("results")
+}
+
+/// Writes the global telemetry snapshot (plus the per-query ring) to
+/// `results/telemetry.json` and returns the snapshot for inspection.
+fn write_telemetry() -> telemetry::Snapshot {
+    let snap = telemetry::global().snapshot();
+    let queries = telemetry::global().query_snapshots();
+    let doc = telemetry::export::to_json(&snap, &queries);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("telemetry.json");
+    std::fs::write(&path, doc).expect("write telemetry.json");
+    println!(
+        "(telemetry: {} counters, {} histograms, {} per-query snapshots -> {})",
+        snap.counters.len(),
+        snap.histograms.len(),
+        queries.len(),
+        path.display()
+    );
+    snap
+}
+
+/// The `--smoke` fast path: a tiny federation, a couple of queries, and
+/// hard assertions that the telemetry pipeline observed every layer.
+fn run_smoke() {
+    use qens::prelude::*;
+    let fed = FederationBuilder::new()
+        .heterogeneous_nodes(4, 60)
+        .clusters_per_node(3)
+        .seed(7)
+        .epochs(2)
+        .telemetry(true)
+        .build();
+    for qid in 0..2u64 {
+        let q = fed.query_from_bounds(qid, &[0.0, 20.0, 0.0, 45.0]);
+        let out = fed
+            .run_query(&q, &PolicyKind::query_driven(2))
+            .expect("smoke query runs");
+        let loss = out
+            .query_loss(fed.network(), &q)
+            .expect("smoke query has data");
+        assert!(loss.is_finite(), "smoke loss must be finite");
+    }
+    let snap = write_telemetry();
+    assert!(!snap.is_empty(), "smoke run recorded no telemetry");
+    // Every pipeline layer must have reported something.
+    for metric in [
+        "qens_cluster_kmeans_fits_total",
+        "qens_selection_overlap_evals_total",
+        "qens_mlkit_train_calls_total",
+        "qens_fedlearn_participants_total",
+        "qens_edgesim_queries_total",
+    ] {
+        assert!(
+            snap.counter(metric).is_some_and(|v| v > 0),
+            "smoke run missing {metric}"
+        );
+    }
+    assert_eq!(
+        telemetry::global().query_snapshots().len(),
+        2,
+        "expected one per-query snapshot per smoke query"
+    );
+    println!("smoke OK: pipeline + telemetry healthy");
 }
 
 fn run_table1(scale: ExperimentScale) {
@@ -88,7 +155,12 @@ fn run_fig6(scale: ExperimentScale) {
 fn run_fig7(scale: ExperimentScale) {
     for (model, label) in [
         (ModelKind::Linear, "LR"),
-        (ModelKind::Neural { hidden: scale.nn_hidden() }, "NN"),
+        (
+            ModelKind::Neural {
+                hidden: scale.nn_hidden(),
+            },
+            "NN",
+        ),
     ] {
         let rows = figures::fig7(scale, model);
         println!("{}", report::render_fig7(label, &rows));
@@ -116,7 +188,10 @@ fn run_fig7(scale: ExperimentScale) {
 
 fn run_extended(scale: ExperimentScale) {
     let rows = figures::extended_comparison(scale);
-    println!("{}", report::render_fig7("LR, all implemented mechanisms", &rows));
+    println!(
+        "{}",
+        report::render_fig7("LR, all implemented mechanisms", &rows)
+    );
 }
 
 fn run_fig8_fig9(scale: ExperimentScale) {
@@ -133,6 +208,10 @@ fn run_fig8_fig9(scale: ExperimentScale) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
     let scale = if args.iter().any(|a| a == "--paper") {
         ExperimentScale::Paper
     } else {
@@ -144,6 +223,9 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "all".to_string());
 
+    // The reproduction always records: where a query's time goes is part
+    // of the paper's argument (Figs. 8-9).
+    telemetry::set_enabled(true);
     println!("== qens paper reproduction ({scale:?} scale) ==\n");
     match exp.as_str() {
         "table1" => run_table1(scale),
@@ -171,9 +253,11 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
-                 table1|table2|table3|fig1|fig2|fig5|fig6|fig7|fig8|fig9|extended|all [--paper]"
+                 table1|table2|table3|fig1|fig2|fig5|fig6|fig7|fig8|fig9|extended|all \
+                 [--paper | --smoke]"
             );
             std::process::exit(2);
         }
     }
+    write_telemetry();
 }

@@ -28,8 +28,11 @@ fn participant_pair(fed: &Federation, random_idx: usize) -> ParticipantPair {
     let leader_space = fed.network().nodes()[0].data_space().to_boundary_vec();
     let q = Query::from_boundary_vec(0, &leader_space);
     let ctx = SelectionContext::new(fed.network(), &q);
-    let ranked = QueryDriven { epsilon: EPSILON, ..QueryDriven::top_l(fed.network().len()) }
-        .select(&ctx);
+    let ranked = QueryDriven {
+        epsilon: EPSILON,
+        ..QueryDriven::top_l(fed.network().len())
+    }
+    .select(&ctx);
     let selected_idx = ranked
         .participants
         .iter()
@@ -121,7 +124,10 @@ pub fn fig6(scale: ExperimentScale) -> (Vec<f64>, Vec<DataNeed>) {
     let fed = heterogeneous_federation(scale);
     // A query over part of the leader pattern, brushing node 6's range.
     let query = fed.query_from_bounds(0, &[0.0, 12.0, 0.0, 28.0]);
-    let policy = QueryDriven { epsilon: EPSILON, ..QueryDriven::top_l(usize::MAX) };
+    let policy = QueryDriven {
+        epsilon: EPSILON,
+        ..QueryDriven::top_l(usize::MAX)
+    };
     let needs = [0usize, 1, 6]
         .iter()
         .map(|&i| {
@@ -156,14 +162,34 @@ pub fn fig7(scale: ExperimentScale, model: ModelKind) -> Vec<PolicyComparison> {
         &weighted,
         &wl,
         &[
-            PolicyKind::GameTheory { leader: 0, l: L_SELECT, seed: SEED },
-            PolicyKind::Random { l: L_SELECT, seed: SEED },
+            PolicyKind::GameTheory {
+                leader: 0,
+                l: L_SELECT,
+                seed: SEED,
+            },
+            PolicyKind::Random {
+                l: L_SELECT,
+                seed: SEED,
+            },
         ],
     );
-    let mut ours_plain = compare_policies(&plain, &wl, &[PolicyKind::QueryDriven { epsilon: EPSILON, l: L_SELECT }]);
+    let mut ours_plain = compare_policies(
+        &plain,
+        &wl,
+        &[PolicyKind::QueryDriven {
+            epsilon: EPSILON,
+            l: L_SELECT,
+        }],
+    );
     ours_plain[0].policy = "averaging (ours)".into();
-    let mut ours_weighted =
-        compare_policies(&weighted, &wl, &[PolicyKind::QueryDriven { epsilon: EPSILON, l: L_SELECT }]);
+    let mut ours_weighted = compare_policies(
+        &weighted,
+        &wl,
+        &[PolicyKind::QueryDriven {
+            epsilon: EPSILON,
+            l: L_SELECT,
+        }],
+    );
     ours_weighted[0].policy = "weighted (ours)".into();
     rows.extend(ours_plain);
     rows.extend(ours_weighted);
@@ -183,11 +209,24 @@ pub fn extended_comparison(scale: ExperimentScale) -> Vec<PolicyComparison> {
         &fed,
         &wl,
         &[
-            PolicyKind::QueryDriven { epsilon: EPSILON, l: L_SELECT },
-            PolicyKind::Random { l: L_SELECT, seed: SEED },
-            PolicyKind::GameTheory { leader: 0, l: L_SELECT, seed: SEED },
+            PolicyKind::QueryDriven {
+                epsilon: EPSILON,
+                l: L_SELECT,
+            },
+            PolicyKind::Random {
+                l: L_SELECT,
+                seed: SEED,
+            },
+            PolicyKind::GameTheory {
+                leader: 0,
+                l: L_SELECT,
+                seed: SEED,
+            },
             PolicyKind::DataCentric { l: L_SELECT },
-            PolicyKind::FairStochastic { l: L_SELECT, seed: SEED },
+            PolicyKind::FairStochastic {
+                l: L_SELECT,
+                seed: SEED,
+            },
             PolicyKind::AllNodes,
         ],
     )
@@ -214,7 +253,10 @@ mod tests {
         let p = fig1(ExperimentScale::Quick);
         assert!((p.selected.slope - p.random.slope).abs() < 0.3);
         let ratio = p.random_probe_loss / p.selected_probe_loss.max(1e-12);
-        assert!(ratio < 3.0, "homogeneous pair should look alike, ratio {ratio}");
+        assert!(
+            ratio < 3.0,
+            "homogeneous pair should look alike, ratio {ratio}"
+        );
     }
 
     #[test]
@@ -245,7 +287,10 @@ mod tests {
     fn fig6_needs_less_than_available() {
         let (_, needs) = fig6(ExperimentScale::Quick);
         assert_eq!(needs.len(), 3);
-        assert!(needs.iter().any(|n| n.needed > 0), "query should need someone's data");
+        assert!(
+            needs.iter().any(|n| n.needed > 0),
+            "query should need someone's data"
+        );
         for n in &needs {
             assert!(n.needed <= n.total);
             assert!(n.supporting_clusters <= n.clusters);
@@ -266,7 +311,10 @@ mod tests {
         let random = loss("random");
         let gt = loss("game-theory");
         assert!(weighted < random, "weighted {weighted} vs random {random}");
-        assert!(averaging < random, "averaging {averaging} vs random {random}");
+        assert!(
+            averaging < random,
+            "averaging {averaging} vs random {random}"
+        );
         assert!(weighted < gt, "weighted {weighted} vs gt {gt}");
     }
 

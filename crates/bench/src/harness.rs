@@ -1,0 +1,168 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The Criterion benches are feature-gated (`criterion-bench`) because
+//! the default build path must work without crates-io; this harness keeps
+//! the hot-kernel numbers measurable offline. It is deliberately small:
+//! warm-up, iteration-count calibration to a target batch time, a few
+//! batches, then mean/min per-iteration nanoseconds.
+//!
+//! Running the bench binary with `--test` (what `cargo test` passes to
+//! `harness = false` targets) or with `QENS_BENCH_FAST=1` switches to a
+//! single-iteration smoke mode, so the suite stays fast under `cargo
+//! test -q` while still executing every kernel once.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How long one calibrated measurement batch should take.
+const TARGET_BATCH_NANOS: u128 = 20_000_000; // 20 ms
+/// Batches per benchmark (the minimum over batches is the headline).
+const BATCHES: usize = 5;
+
+/// One benchmark's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per measurement batch.
+    pub iters: u64,
+    /// Mean nanoseconds per iteration across batches.
+    pub mean_nanos: f64,
+    /// Best (minimum) batch's nanoseconds per iteration — the least
+    /// noise-contaminated number, which comparisons should use.
+    pub min_nanos: f64,
+}
+
+/// Collects benchmark results and prints a Criterion-like table.
+#[derive(Debug, Default)]
+pub struct Harness {
+    fast: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// A harness configured from the process arguments/environment
+    /// (see the module docs for the smoke-mode triggers).
+    pub fn from_env() -> Self {
+        let fast = std::env::args().any(|a| a == "--test")
+            || std::env::var("QENS_BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty());
+        Self {
+            fast,
+            results: Vec::new(),
+        }
+    }
+
+    /// Whether the harness is in single-iteration smoke mode.
+    pub fn is_fast(&self) -> bool {
+        self.fast
+    }
+
+    /// Times `f`, records the result and prints one table row.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) -> &BenchResult {
+        let result = if self.fast {
+            let start = Instant::now();
+            f();
+            let nanos = start.elapsed().as_nanos() as f64;
+            BenchResult {
+                name: name.to_string(),
+                iters: 1,
+                mean_nanos: nanos,
+                min_nanos: nanos,
+            }
+        } else {
+            Self::measure(name, &mut f)
+        };
+        println!(
+            "{:<40} {:>14}/iter (min {:>14}, {} iters)",
+            result.name,
+            format_nanos(result.mean_nanos),
+            format_nanos(result.min_nanos),
+            result.iters
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    fn measure(name: &str, f: &mut impl FnMut()) -> BenchResult {
+        // Warm-up and calibration: run until ~one target batch has
+        // elapsed, counting iterations.
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while warm_start.elapsed().as_nanos() < TARGET_BATCH_NANOS {
+            f();
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() / u128::from(warm_iters.max(1));
+        let iters = u64::try_from((TARGET_BATCH_NANOS / per_iter.max(1)).max(1)).unwrap_or(1);
+
+        let mut batch_nanos: Vec<f64> = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            batch_nanos.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        let mean = batch_nanos.iter().sum::<f64>() / batch_nanos.len() as f64;
+        let min = batch_nanos.iter().copied().fold(f64::INFINITY, f64::min);
+        BenchResult {
+            name: name.to_string(),
+            iters,
+            mean_nanos: mean,
+            min_nanos: min,
+        }
+    }
+
+    /// All results so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// The named result, if that benchmark ran.
+    pub fn result(&self, name: &str) -> Option<&BenchResult> {
+        self.results.iter().find(|r| r.name == name)
+    }
+}
+
+fn format_nanos(n: f64) -> String {
+    if n >= 1e9 {
+        format!("{:.3}s", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.3}ms", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.3}us", n / 1e3)
+    } else {
+        format!("{n:.1}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_mode_runs_once() {
+        let mut h = Harness {
+            fast: true,
+            results: Vec::new(),
+        };
+        let mut calls = 0u32;
+        h.bench("noop", || calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(h.results().len(), 1);
+        assert_eq!(h.result("noop").unwrap().iters, 1);
+    }
+
+    #[test]
+    fn results_are_queryable_by_name() {
+        let mut h = Harness {
+            fast: true,
+            results: Vec::new(),
+        };
+        h.bench("a", || {});
+        h.bench("b", || {});
+        assert!(h.result("a").is_some());
+        assert!(h.result("missing").is_none());
+    }
+}

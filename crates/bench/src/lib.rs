@@ -8,10 +8,11 @@
 //! [`ExperimentScale::Paper`] matches the paper's published parameters
 //! (`N = 10` nodes, `K = 5`, 200 queries, Table III epochs).
 
-use qens::prelude::*;
 use qens::linalg::stats;
+use qens::prelude::*;
 
 pub mod figures;
+pub mod harness;
 pub mod report;
 pub mod tables;
 

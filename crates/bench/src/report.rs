@@ -66,7 +66,10 @@ pub fn render_fig5(query: &[f64], clusters: &[ClusterProjection]) -> String {
             c.size,
             c.overlap,
             if c.supporting { "yes" } else { "no" },
-            c.rect.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>()
+            c.rect
+                .iter()
+                .map(|v| (v * 10.0).round() / 10.0)
+                .collect::<Vec<_>>()
         ));
     }
     out
@@ -115,7 +118,8 @@ pub fn render_fig7(model: &str, rows: &[PolicyComparison]) -> String {
 
 /// Renders the Fig. 8/9 per-query series.
 pub fn render_fig8_fig9(series: &SelectivitySeries) -> String {
-    let mut out = String::from("Fig. 8 (training seconds) and Fig. 9 (% of data needed), per query\n");
+    let mut out =
+        String::from("Fig. 8 (training seconds) and Fig. 9 (% of data needed), per query\n");
     out.push_str(&format!(
         "{:>6} {:>14} {:>14} {:>12} {:>12}\n",
         "query", "secs w/ query", "secs w/o", "% data w/", "% data w/o"
@@ -172,7 +176,12 @@ mod tests {
 
     #[test]
     fn loss_comparison_renders_both_rows() {
-        let got = LossComparison { model: "LR", structured_loss: 1.0, random_loss: 10.0, queries: 5 };
+        let got = LossComparison {
+            model: "LR",
+            structured_loss: 1.0,
+            random_loss: 10.0,
+            queries: 5,
+        };
         let s = render_loss_comparison("Table II", (9.70, 178.10), &got, "All-node selection");
         assert!(s.contains("Table II"));
         assert!(s.contains("178.10"));

@@ -36,7 +36,13 @@ pub fn table1(scale: ExperimentScale) -> LossComparison {
     let rows = compare_policies(
         &fed,
         &wl,
-        &[PolicyKind::AllNodes, PolicyKind::Random { l: L_SELECT, seed: SEED }],
+        &[
+            PolicyKind::AllNodes,
+            PolicyKind::Random {
+                l: L_SELECT,
+                seed: SEED,
+            },
+        ],
     );
     LossComparison {
         model: "LR",
@@ -66,11 +72,20 @@ pub fn table2(scale: ExperimentScale) -> LossComparison {
             Ok(o) => o,
             Err(_) => continue,
         };
-        let rand = match fed.run_query(&q, &PolicyKind::Random { l: 1, seed: SEED ^ 0xABCD }) {
+        let rand = match fed.run_query(
+            &q,
+            &PolicyKind::Random {
+                l: 1,
+                seed: SEED ^ 0xABCD,
+            },
+        ) {
             Ok(o) => o,
             Err(_) => continue,
         };
-        let (Some(a), Some(b)) = (ours.query_loss(fed.network(), &q), rand.query_loss(fed.network(), &q)) else {
+        let (Some(a), Some(b)) = (
+            ours.query_loss(fed.network(), &q),
+            rand.query_loss(fed.network(), &q),
+        ) else {
             continue;
         };
         structured += a;
@@ -117,14 +132,22 @@ mod tests {
     #[test]
     fn table1_shape_near_tie() {
         let t = table1(ExperimentScale::Quick);
-        assert!(t.ratio() > 0.5 && t.ratio() < 2.0, "ratio {} not a near-tie", t.ratio());
+        assert!(
+            t.ratio() > 0.5 && t.ratio() < 2.0,
+            "ratio {} not a near-tie",
+            t.ratio()
+        );
         assert!(t.queries > 10);
     }
 
     #[test]
     fn table2_shape_order_of_magnitude() {
         let t = table2(ExperimentScale::Quick);
-        assert!(t.ratio() > 5.0, "ratio {} too small for the heterogeneous gap", t.ratio());
+        assert!(
+            t.ratio() > 5.0,
+            "ratio {} too small for the heterogeneous gap",
+            t.ratio()
+        );
     }
 
     #[test]

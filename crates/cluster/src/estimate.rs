@@ -24,7 +24,11 @@ pub fn cluster_cardinality(summary: &ClusterSummary, query: &Query) -> f64 {
 /// The fraction of `rect`'s volume that intersects the query, treating
 /// each dimension independently (product of per-dimension coverage).
 fn intersection_fraction(rect: &HyperRect, query: &Query) -> f64 {
-    assert_eq!(rect.dim(), query.dim(), "rect/query dimensionality mismatch");
+    assert_eq!(
+        rect.dim(),
+        query.dim(),
+        "rect/query dimensionality mismatch"
+    );
     let mut frac = 1.0;
     for (k_iv, q_iv) in rect.intervals().iter().zip(query.region().intervals()) {
         match k_iv.intersection(q_iv) {
@@ -44,7 +48,10 @@ fn intersection_fraction(rect: &HyperRect, query: &Query) -> f64 {
 
 /// Estimated samples a query touches on a node, from its summaries.
 pub fn node_cardinality(summaries: &[ClusterSummary], query: &Query) -> f64 {
-    summaries.iter().map(|s| cluster_cardinality(s, query)).sum()
+    summaries
+        .iter()
+        .map(|s| cluster_cardinality(s, query))
+        .sum()
 }
 
 /// Aggregate estimates over a query region computed from summaries only
@@ -73,7 +80,10 @@ pub struct AggregateEstimate {
 /// the intersection is the intersection's centre, and the extremes are
 /// the intersection bounds. Returns `None` when no cluster intersects
 /// the query (estimated count 0).
-pub fn aggregate_estimate(summaries: &[ClusterSummary], query: &Query) -> Option<AggregateEstimate> {
+pub fn aggregate_estimate(
+    summaries: &[ClusterSummary],
+    query: &Query,
+) -> Option<AggregateEstimate> {
     let d = query.dim();
     let mut count = 0.0;
     let mut sum = vec![0.0; d];
@@ -85,7 +95,10 @@ pub fn aggregate_estimate(summaries: &[ClusterSummary], query: &Query) -> Option
             continue;
         }
         count += c;
-        let inter = s.rect.intersection(query.region()).expect("positive cardinality implies intersection");
+        let inter = s
+            .rect
+            .intersection(query.region())
+            .expect("positive cardinality implies intersection");
         for (dim, iv) in inter.intervals().iter().enumerate() {
             sum[dim] += c * iv.center();
             min[dim] = min[dim].min(iv.lo());
@@ -96,7 +109,13 @@ pub fn aggregate_estimate(summaries: &[ClusterSummary], query: &Query) -> Option
         return None;
     }
     let mean = sum.iter().map(|s| s / count).collect();
-    Some(AggregateEstimate { count, mean, sum, min, max })
+    Some(AggregateEstimate {
+        count,
+        mean,
+        sum,
+        min,
+        max,
+    })
 }
 
 /// Relative error of an estimate against the true count (0 when both
@@ -118,9 +137,9 @@ mod tests {
     use super::*;
     use crate::kmeans::{KMeans, KMeansConfig};
     use crate::summary::summarize;
+    use linalg::rng::Rng;
     use linalg::rng::{rng_for, standard_normal};
     use linalg::Matrix;
-    use rand::Rng;
 
     fn uniform_square(n: usize, seed: u64) -> Matrix {
         let mut rng = rng_for(seed, 1);
@@ -166,7 +185,12 @@ mod tests {
     fn clustered_gaussian_estimate_is_at_least_order_correct() {
         let mut rng = rng_for(5, 2);
         let rows: Vec<Vec<f64>> = (0..1500)
-            .map(|_| vec![3.0 * standard_normal(&mut rng), 3.0 * standard_normal(&mut rng)])
+            .map(|_| {
+                vec![
+                    3.0 * standard_normal(&mut rng),
+                    3.0 * standard_normal(&mut rng),
+                ]
+            })
             .collect();
         let data = Matrix::from_rows(&rows);
         let model = KMeans::fit(&data, &KMeansConfig::with_k(8, 6));
@@ -210,16 +234,34 @@ mod tests {
         // Ground truth.
         let idx = q.filter_indices(data.row_iter());
         let truth_count = idx.len() as f64;
-        let truth_mean_x =
-            idx.iter().map(|&i| data.row(i)[0]).sum::<f64>() / truth_count;
-        let truth_mean_y =
-            idx.iter().map(|&i| data.row(i)[1]).sum::<f64>() / truth_count;
+        let truth_mean_x = idx.iter().map(|&i| data.row(i)[0]).sum::<f64>() / truth_count;
+        let truth_mean_y = idx.iter().map(|&i| data.row(i)[1]).sum::<f64>() / truth_count;
 
-        assert!((est.count - truth_count).abs() < 0.2 * truth_count, "count {} vs {}", est.count, truth_count);
-        assert!((est.mean[0] - truth_mean_x).abs() < 0.5, "mean x {} vs {}", est.mean[0], truth_mean_x);
-        assert!((est.mean[1] - truth_mean_y).abs() < 0.5, "mean y {} vs {}", est.mean[1], truth_mean_y);
+        assert!(
+            (est.count - truth_count).abs() < 0.2 * truth_count,
+            "count {} vs {}",
+            est.count,
+            truth_count
+        );
+        assert!(
+            (est.mean[0] - truth_mean_x).abs() < 0.5,
+            "mean x {} vs {}",
+            est.mean[0],
+            truth_mean_x
+        );
+        assert!(
+            (est.mean[1] - truth_mean_y).abs() < 0.5,
+            "mean y {} vs {}",
+            est.mean[1],
+            truth_mean_y
+        );
         // Min/max bounds bracket the true extremes of the region.
-        assert!(est.min[0] <= 2.5 && est.max[0] >= 7.5, "x bounds {:?}..{:?}", est.min[0], est.max[0]);
+        assert!(
+            est.min[0] <= 2.5 && est.max[0] >= 7.5,
+            "x bounds {:?}..{:?}",
+            est.min[0],
+            est.max[0]
+        );
         // SUM is consistent with COUNT * MEAN.
         assert!((est.sum[0] - est.count * est.mean[0]).abs() < 1e-9);
     }

@@ -1,11 +1,11 @@
 //! Lloyd's k-means with k-means++ initialisation.
 
+use linalg::rng::Rng;
 use linalg::{ops, rng, Matrix};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Centroid initialisation strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum InitMethod {
     /// k-means++ (D² sampling) — the default; gives `O(log k)`-competitive
     /// starting points and much more stable boundaries across seeds.
@@ -15,7 +15,8 @@ pub enum InitMethod {
 }
 
 /// Configuration for a k-means fit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KMeansConfig {
     /// Number of clusters K (the paper fixes K = 5 for all nodes).
     pub k: usize,
@@ -32,17 +33,27 @@ pub struct KMeansConfig {
 impl KMeansConfig {
     /// The paper's evaluation configuration: `K = 5`, k-means++.
     pub fn paper_default(seed: u64) -> Self {
-        Self { k: 5, max_iters: 100, tol: 1e-8, seed, init: InitMethod::KMeansPlusPlus }
+        Self {
+            k: 5,
+            max_iters: 100,
+            tol: 1e-8,
+            seed,
+            init: InitMethod::KMeansPlusPlus,
+        }
     }
 
     /// Same defaults with a different K.
     pub fn with_k(k: usize, seed: u64) -> Self {
-        Self { k, ..Self::paper_default(seed) }
+        Self {
+            k,
+            ..Self::paper_default(seed)
+        }
     }
 }
 
 /// A fitted k-means model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KMeans {
     centroids: Matrix,
     assignments: Vec<usize>,
@@ -63,6 +74,8 @@ impl KMeans {
     pub fn fit(data: &Matrix, config: &KMeansConfig) -> Self {
         assert!(config.k > 0, "k must be positive");
         assert!(data.rows() > 0, "cannot cluster an empty dataset");
+        let _fit_span = telemetry::span!("qens_cluster_kmeans_fit_nanos");
+        telemetry::counter!("qens_cluster_kmeans_fits_total").incr();
         let k = config.k.min(data.rows());
         let mut rng = rng::rng_for(config.seed, 0xC1_15_7E_12);
 
@@ -77,8 +90,13 @@ impl KMeans {
 
         for it in 0..config.max_iters {
             iterations = it + 1;
-            assign(data, &centroids, &mut assignments);
+            {
+                let _s = telemetry::span!("qens_cluster_kmeans_assign_nanos");
+                assign(data, &centroids, &mut assignments);
+            }
+            let update_span = telemetry::span!("qens_cluster_kmeans_update_nanos");
             let new_centroids = recompute_centroids(data, &assignments, k, &centroids, &mut rng);
+            update_span.finish();
             let movement: f64 = (0..k)
                 .map(|c| ops::squared_distance(centroids.row(c), new_centroids.row(c)))
                 .sum();
@@ -88,10 +106,17 @@ impl KMeans {
                 break;
             }
         }
+        telemetry::counter!("qens_cluster_kmeans_iterations_total").add(iterations as u64);
         // Final assignment against the final centroids.
         assign(data, &centroids, &mut assignments);
         let inertia = compute_inertia(data, &centroids, &assignments);
-        Self { centroids, assignments, inertia, iterations, converged }
+        Self {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+            converged,
+        }
     }
 
     /// Cluster representatives `u_k`, one per row.
@@ -197,6 +222,7 @@ fn recompute_centroids(
         } else {
             // Empty-cluster repair: move it onto the sample farthest from
             // its previous position (ties broken by a random member).
+            telemetry::counter!("qens_cluster_kmeans_empty_repairs_total").incr();
             let far = data
                 .row_iter()
                 .enumerate()
@@ -379,7 +405,10 @@ mod tests {
     #[test]
     fn random_init_also_converges() {
         let (data, _) = blobs(13, 40);
-        let cfg = KMeansConfig { init: InitMethod::Random, ..KMeansConfig::with_k(3, 21) };
+        let cfg = KMeansConfig {
+            init: InitMethod::Random,
+            ..KMeansConfig::with_k(3, 21)
+        };
         let m = KMeans::fit(&data, &cfg);
         assert!(m.inertia().is_finite());
         assert_eq!(m.k(), 3);

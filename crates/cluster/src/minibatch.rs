@@ -7,14 +7,14 @@
 //! into its quantisation — and therefore into the summaries it ships to
 //! the leader — at `O(batch · K · d)` cost per update.
 
+use linalg::rng::Rng;
 use linalg::{ops, rng, Matrix};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::kmeans::{KMeans, KMeansConfig};
 
 /// An incrementally maintained k-means quantisation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MiniBatchKMeans {
     centroids: Matrix,
     /// Per-centroid assignment counts (the inverse learning rates).
@@ -32,7 +32,12 @@ impl MiniBatchKMeans {
     pub fn new(initial: &Matrix, k: usize, seed: u64) -> Self {
         let fitted = KMeans::fit(initial, &KMeansConfig::with_k(k, seed));
         let counts = fitted.sizes().iter().map(|&s| s as u64).collect();
-        Self { centroids: fitted.centroids().clone(), counts, seed, updates: 0 }
+        Self {
+            centroids: fitted.centroids().clone(),
+            counts,
+            seed,
+            updates: 0,
+        }
     }
 
     /// Current centroids.
@@ -68,7 +73,11 @@ impl MiniBatchKMeans {
     /// — the per-centre decaying learning rate that makes mini-batch
     /// k-means converge.
     pub fn update(&mut self, batch: &Matrix) {
-        assert_eq!(batch.cols(), self.centroids.cols(), "batch dimensionality mismatch");
+        assert_eq!(
+            batch.cols(),
+            self.centroids.cols(),
+            "batch dimensionality mismatch"
+        );
         self.updates += 1;
         // Assign first (against frozen centroids), then move — the
         // standard two-phase mini-batch step.
@@ -118,7 +127,10 @@ mod tests {
         let mut rows = Vec::new();
         for c in centers {
             for _ in 0..per {
-                rows.push(vec![normal(&mut rng, c[0], 0.4), normal(&mut rng, c[1], 0.4)]);
+                rows.push(vec![
+                    normal(&mut rng, c[0], 0.4),
+                    normal(&mut rng, c[1], 0.4),
+                ]);
             }
         }
         Matrix::from_rows(&rows)
@@ -135,7 +147,10 @@ mod tests {
             mb.update(&blob_batch(&CENTERS, 10, 100 + s));
         }
         let final_loss = mb.loss(&blob_batch(&CENTERS, 50, 99));
-        assert!(final_loss <= initial_loss * 1.5, "loss exploded: {initial_loss} -> {final_loss}");
+        assert!(
+            final_loss <= initial_loss * 1.5,
+            "loss exploded: {initial_loss} -> {final_loss}"
+        );
         // Centroids sit near the true centres.
         for c in CENTERS {
             let nearest = (0..mb.k())
@@ -171,7 +186,10 @@ mod tests {
         let nearest = (0..mb.k())
             .map(|i| ops::distance(mb.centroids().row(i), &[50.0, 50.0]))
             .fold(f64::INFINITY, f64::min);
-        assert!(nearest < 5.0, "no centroid migrated to the new region ({nearest})");
+        assert!(
+            nearest < 5.0,
+            "no centroid migrated to the new region ({nearest})"
+        );
     }
 
     #[test]

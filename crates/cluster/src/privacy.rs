@@ -9,13 +9,13 @@
 
 use geom::{HyperRect, Interval};
 use linalg::rng as lrng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use linalg::rng::Rng;
 
 use crate::summary::ClusterSummary;
 
 /// Per-summary privacy budget.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PrivacyBudget {
     /// The Laplace ε: larger = less noise = less privacy.
     pub epsilon: f64,
@@ -29,7 +29,10 @@ impl PrivacyBudget {
     /// A budget with the default boundary sensitivity.
     pub fn new(epsilon: f64) -> Self {
         assert!(epsilon > 0.0, "epsilon must be positive");
-        Self { epsilon, boundary_sensitivity: 0.05 }
+        Self {
+            epsilon,
+            boundary_sensitivity: 0.05,
+        }
     }
 }
 
@@ -54,7 +57,9 @@ pub fn noise_summary(
     rng: &mut impl Rng,
 ) -> ClusterSummary {
     let b_count = 1.0 / budget.epsilon;
-    let noisy_size = (summary.size as f64 + laplace(rng, b_count)).round().max(1.0) as usize;
+    let noisy_size = (summary.size as f64 + laplace(rng, b_count))
+        .round()
+        .max(1.0) as usize;
 
     let mut intervals = Vec::with_capacity(summary.rect.dim());
     let mut representative = Vec::with_capacity(summary.rect.dim());
@@ -85,7 +90,10 @@ pub fn noise_summaries(
     seed: u64,
 ) -> Vec<ClusterSummary> {
     let mut rng = lrng::rng_for(seed, 0xD1FF);
-    summaries.iter().map(|s| noise_summary(s, budget, &mut rng)).collect()
+    summaries
+        .iter()
+        .map(|s| noise_summary(s, budget, &mut rng))
+        .collect()
 }
 
 #[cfg(test)]
@@ -96,8 +104,9 @@ mod tests {
     use linalg::Matrix;
 
     fn summaries() -> Vec<ClusterSummary> {
-        let rows: Vec<Vec<f64>> =
-            (0..200).map(|i| vec![(i % 40) as f64, (i / 2) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 40) as f64, (i / 2) as f64])
+            .collect();
         let data = Matrix::from_rows(&rows);
         let model = KMeans::fit(&data, &KMeansConfig::with_k(4, 1));
         summarize(&data, &model)
@@ -148,8 +157,14 @@ mod tests {
     fn noising_is_deterministic_per_seed() {
         let sums = summaries();
         let budget = PrivacyBudget::new(0.5);
-        assert_eq!(noise_summaries(&sums, &budget, 9), noise_summaries(&sums, &budget, 9));
-        assert_ne!(noise_summaries(&sums, &budget, 9), noise_summaries(&sums, &budget, 10));
+        assert_eq!(
+            noise_summaries(&sums, &budget, 9),
+            noise_summaries(&sums, &budget, 9)
+        );
+        assert_ne!(
+            noise_summaries(&sums, &budget, 9),
+            noise_summaries(&sums, &budget, 10)
+        );
     }
 
     #[test]

@@ -59,17 +59,34 @@ pub fn silhouette(data: &Matrix, model: &KMeans) -> f64 {
 /// Elbow heuristic: fits k-means for each candidate `k` and returns
 /// `(k, inertia)` pairs plus the chosen elbow — the `k` after which the
 /// relative inertia improvement first drops below `min_gain`.
-pub fn elbow(data: &Matrix, candidates: &[usize], seed: u64, min_gain: f64) -> (Vec<(usize, f64)>, usize) {
-    assert!(!candidates.is_empty(), "elbow needs at least one candidate k");
+pub fn elbow(
+    data: &Matrix,
+    candidates: &[usize],
+    seed: u64,
+    min_gain: f64,
+) -> (Vec<(usize, f64)>, usize) {
+    assert!(
+        !candidates.is_empty(),
+        "elbow needs at least one candidate k"
+    );
     let curve: Vec<(usize, f64)> = candidates
         .iter()
-        .map(|&k| (k, KMeans::fit(data, &KMeansConfig::with_k(k, seed)).inertia()))
+        .map(|&k| {
+            (
+                k,
+                KMeans::fit(data, &KMeansConfig::with_k(k, seed)).inertia(),
+            )
+        })
         .collect();
     let mut chosen = curve[0].0;
     for w in curve.windows(2) {
         let (_, prev) = w[0];
         let (k_next, next) = w[1];
-        let gain = if prev > 0.0 { (prev - next) / prev } else { 0.0 };
+        let gain = if prev > 0.0 {
+            (prev - next) / prev
+        } else {
+            0.0
+        };
         if gain >= min_gain {
             chosen = k_next;
         } else {
@@ -123,7 +140,10 @@ mod tests {
         let data = blobs(1, 60, 0.0, 7);
         let model = KMeans::fit(&data, &KMeansConfig::with_k(4, 5));
         let s = silhouette(&data, &model);
-        assert!(s < 0.6, "splitting one blob into 4 should score poorly, got {s}");
+        assert!(
+            s < 0.6,
+            "splitting one blob into 4 should score poorly, got {s}"
+        );
     }
 
     #[test]

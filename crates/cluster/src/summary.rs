@@ -8,12 +8,12 @@
 
 use geom::HyperRect;
 use linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 use crate::kmeans::KMeans;
 
 /// Summary of a single non-empty cluster on a node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClusterSummary {
     /// Cluster index within the node (0..K).
     pub cluster_id: usize,
@@ -85,7 +85,10 @@ mod tests {
             for i in model.members(s.cluster_id) {
                 assert!(s.rect.contains_point(data.row(i)));
             }
-            assert!(s.rect.contains_point(&s.representative), "centroid outside its own rect");
+            assert!(
+                s.rect.contains_point(&s.representative),
+                "centroid outside its own rect"
+            );
         }
         assert_eq!(sums.iter().map(|s| s.size).sum::<usize>(), data.rows());
     }
@@ -96,7 +99,10 @@ mod tests {
         let data = Matrix::from_rows(&[vec![1.0, -5.0], vec![4.0, 2.0], vec![2.0, 0.0]]);
         let model = KMeans::fit(&data, &KMeansConfig::with_k(1, 0));
         let sums = summarize(&data, &model);
-        assert_eq!(sums[0].rect.intervals(), &[Interval::new(1.0, 4.0), Interval::new(-5.0, 2.0)]);
+        assert_eq!(
+            sums[0].rect.intervals(),
+            &[Interval::new(1.0, 4.0), Interval::new(-5.0, 2.0)]
+        );
     }
 
     #[test]

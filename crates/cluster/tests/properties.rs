@@ -1,114 +1,167 @@
-//! Property-based tests for the k-means substrate.
+//! Property-style tests for the k-means substrate (deterministic sweeps
+//! over the in-tree RNG; no proptest needed offline).
 
 use cluster::privacy::{noise_summaries, PrivacyBudget};
 use cluster::{estimate, kmeans::KMeansConfig, quality, summary, KMeans, MiniBatchKMeans};
 use geom::Query;
+use linalg::rng::{rng_for, Rng};
 use linalg::Matrix;
-use proptest::prelude::*;
 
-fn dataset(max_rows: usize, dim: usize) -> impl Strategy<Value = Matrix> {
-    (2..=max_rows).prop_flat_map(move |n| {
-        prop::collection::vec(-100.0_f64..100.0, n * dim)
-            .prop_map(move |data| Matrix::from_vec(n, dim, data))
-    })
+const CASES: usize = 64;
+
+fn random_dataset(rng: &mut impl Rng, max_rows: usize, dim: usize) -> Matrix {
+    let n = rng.gen_range(2..=max_rows);
+    Matrix::from_vec(
+        n,
+        dim,
+        (0..n * dim).map(|_| rng.gen_range(-100.0..100.0)).collect(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Lloyd's algorithm never assigns a sample to a non-nearest centroid
-    /// after the final iteration.
-    #[test]
-    fn final_assignments_are_nearest(data in dataset(40, 3), k in 1_usize..6, seed in 0_u64..1000) {
+/// Lloyd's algorithm never assigns a sample to a non-nearest centroid
+/// after the final iteration.
+#[test]
+fn final_assignments_are_nearest() {
+    let mut rng = rng_for(0xC1, 1);
+    for _ in 0..CASES {
+        let data = random_dataset(&mut rng, 40, 3);
+        let k = rng.gen_range(1..6usize);
+        let seed = rng.gen_range(0..1000u64);
         let m = KMeans::fit(&data, &KMeansConfig::with_k(k, seed));
         for (i, row) in data.row_iter().enumerate() {
-            prop_assert_eq!(m.predict(row), m.assignments()[i]);
+            assert_eq!(m.predict(row), m.assignments()[i]);
         }
     }
+}
 
-    /// Inertia equals the independent quantisation-loss computation.
-    #[test]
-    fn inertia_consistent_with_eq1(data in dataset(30, 2), seed in 0_u64..100) {
+/// Inertia equals the independent quantisation-loss computation.
+#[test]
+fn inertia_consistent_with_eq1() {
+    let mut rng = rng_for(0xC1, 2);
+    for _ in 0..CASES {
+        let data = random_dataset(&mut rng, 30, 2);
+        let seed = rng.gen_range(0..100u64);
         let m = KMeans::fit(&data, &KMeansConfig::with_k(3, seed));
         let q = quality::quantization_loss(&data, m.centroids());
-        prop_assert!((q - m.inertia()).abs() <= 1e-6 * m.inertia().max(1.0));
+        assert!((q - m.inertia()).abs() <= 1e-6 * m.inertia().max(1.0));
     }
+}
 
-    /// Summaries partition the dataset and their rects cover all members.
-    #[test]
-    fn summaries_partition_and_cover(data in dataset(40, 3), k in 1_usize..7, seed in 0_u64..100) {
+/// Summaries partition the dataset and their rects cover all members.
+#[test]
+fn summaries_partition_and_cover() {
+    let mut rng = rng_for(0xC1, 3);
+    for _ in 0..CASES {
+        let data = random_dataset(&mut rng, 40, 3);
+        let k = rng.gen_range(1..7usize);
+        let seed = rng.gen_range(0..100u64);
         let m = KMeans::fit(&data, &KMeansConfig::with_k(k, seed));
         let sums = summary::summarize(&data, &m);
-        prop_assert_eq!(sums.iter().map(|s| s.size).sum::<usize>(), data.rows());
+        assert_eq!(sums.iter().map(|s| s.size).sum::<usize>(), data.rows());
         for s in &sums {
-            prop_assert!(s.size > 0);
+            assert!(s.size > 0);
             for i in m.members(s.cluster_id) {
-                prop_assert!(s.rect.contains_point(data.row(i)));
+                assert!(s.rect.contains_point(data.row(i)));
             }
         }
     }
+}
 
-    /// Fitting is deterministic in (data, config).
-    #[test]
-    fn fit_is_deterministic(data in dataset(25, 2), seed in 0_u64..50) {
+/// Fitting is deterministic in (data, config).
+#[test]
+fn fit_is_deterministic() {
+    let mut rng = rng_for(0xC1, 4);
+    for _ in 0..CASES {
+        let data = random_dataset(&mut rng, 25, 2);
+        let seed = rng.gen_range(0..50u64);
         let cfg = KMeansConfig::with_k(4, seed);
         let a = KMeans::fit(&data, &cfg);
         let b = KMeans::fit(&data, &cfg);
-        prop_assert_eq!(a.centroids(), b.centroids());
-        prop_assert_eq!(a.assignments(), b.assignments());
+        assert_eq!(a.centroids(), b.centroids());
+        assert_eq!(a.assignments(), b.assignments());
     }
+}
 
-    /// Silhouette stays within its defined range.
-    #[test]
-    fn silhouette_bounded(data in dataset(25, 2), k in 2_usize..5, seed in 0_u64..50) {
+/// Silhouette stays within its defined range.
+#[test]
+fn silhouette_bounded() {
+    let mut rng = rng_for(0xC1, 5);
+    for _ in 0..CASES {
+        let data = random_dataset(&mut rng, 25, 2);
+        let k = rng.gen_range(2..5usize);
+        let seed = rng.gen_range(0..50u64);
         let m = KMeans::fit(&data, &KMeansConfig::with_k(k, seed));
         let s = quality::silhouette(&data, &m);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s), "silhouette {s}");
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s), "silhouette {s}");
     }
+}
 
-    /// Cardinality estimates are bounded by the node's total samples and
-    /// agree exactly on the all-covering query.
-    #[test]
-    fn cardinality_estimate_bounds(data in dataset(40, 2), seed in 0_u64..50) {
+/// Cardinality estimates are bounded by the node's total samples and
+/// agree exactly on the all-covering query.
+#[test]
+fn cardinality_estimate_bounds() {
+    let mut rng = rng_for(0xC1, 6);
+    for _ in 0..CASES {
+        let data = random_dataset(&mut rng, 40, 2);
+        let seed = rng.gen_range(0..50u64);
         let m = KMeans::fit(&data, &KMeansConfig::with_k(4, seed));
         let sums = summary::summarize(&data, &m);
         let bounds = geom::HyperRect::bounding_points(data.row_iter()).unwrap();
         let all = Query::new(0, bounds.expanded(1.0));
         let est = estimate::node_cardinality(&sums, &all);
-        prop_assert!((est - data.rows() as f64).abs() < 1e-6, "all-cover estimate {est}");
+        assert!(
+            (est - data.rows() as f64).abs() < 1e-6,
+            "all-cover estimate {est}"
+        );
         // Any sub-query estimates within [0, total].
         let sub = Query::new(1, bounds);
         let e = estimate::node_cardinality(&sums, &sub);
-        prop_assert!((0.0..=data.rows() as f64 + 1e-9).contains(&e));
+        assert!((0.0..=data.rows() as f64 + 1e-9).contains(&e));
     }
+}
 
-    /// Noised summaries keep the invariants the leader relies on.
-    #[test]
-    fn private_summaries_stay_valid(data in dataset(40, 2), eps in 0.01_f64..10.0, seed in 0_u64..50) {
+/// Noised summaries keep the invariants the leader relies on.
+#[test]
+fn private_summaries_stay_valid() {
+    let mut rng = rng_for(0xC1, 7);
+    for _ in 0..CASES {
+        let data = random_dataset(&mut rng, 40, 2);
+        let eps = rng.gen_range(0.01..10.0);
+        let seed = rng.gen_range(0..50u64);
         let m = KMeans::fit(&data, &KMeansConfig::with_k(4, seed));
         let sums = summary::summarize(&data, &m);
         let noised = noise_summaries(&sums, &PrivacyBudget::new(eps), seed);
-        prop_assert_eq!(noised.len(), sums.len());
+        assert_eq!(noised.len(), sums.len());
         for s in &noised {
-            prop_assert!(s.size >= 1);
+            assert!(s.size >= 1);
             for iv in s.rect.intervals() {
-                prop_assert!(iv.lo() <= iv.hi());
-                prop_assert!(iv.lo().is_finite() && iv.hi().is_finite());
+                assert!(iv.lo() <= iv.hi());
+                assert!(iv.lo().is_finite() && iv.hi().is_finite());
             }
         }
     }
+}
 
-    /// Mini-batch updates never lose or invent mass and keep centroids
-    /// inside the hull of everything seen.
-    #[test]
-    fn minibatch_centroids_stay_in_hull(init in dataset(30, 2), batch in dataset(30, 2), seed in 0_u64..50) {
+/// Mini-batch updates never lose or invent mass and keep centroids
+/// inside the hull of everything seen.
+#[test]
+fn minibatch_centroids_stay_in_hull() {
+    let mut rng = rng_for(0xC1, 8);
+    for _ in 0..CASES {
+        let init = random_dataset(&mut rng, 30, 2);
+        let batch = random_dataset(&mut rng, 30, 2);
+        let seed = rng.gen_range(0..50u64);
         let mut mb = MiniBatchKMeans::new(&init, 3, seed);
         let before = mb.total_count();
         mb.update(&batch);
-        prop_assert_eq!(mb.total_count(), before + batch.rows() as u64);
-        let hull = geom::HyperRect::bounding_points(init.row_iter().chain(batch.row_iter())).unwrap();
+        assert_eq!(mb.total_count(), before + batch.rows() as u64);
+        let hull =
+            geom::HyperRect::bounding_points(init.row_iter().chain(batch.row_iter())).unwrap();
         for c in mb.centroids().row_iter() {
-            prop_assert!(hull.contains_point(c), "centroid {c:?} escaped the data hull");
+            assert!(
+                hull.contains_point(c),
+                "centroid {c:?} escaped the data hull"
+            );
         }
     }
 }

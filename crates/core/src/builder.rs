@@ -46,6 +46,7 @@ pub struct FederationBuilder {
     capacity_range: Option<(f64, f64)>,
     rounds: usize,
     stage_order: StageOrder,
+    telemetry: Option<bool>,
 }
 
 impl Default for FederationBuilder {
@@ -73,6 +74,7 @@ impl FederationBuilder {
             capacity_range: None,
             rounds: 1,
             stage_order: StageOrder::Sequential,
+            telemetry: None,
         }
     }
 
@@ -90,8 +92,19 @@ impl FederationBuilder {
 
     /// Like [`FederationBuilder::air_quality_nodes`] with explicit
     /// input/label features.
-    pub fn air_quality_features(mut self, n: usize, hours: u64, input: Feature, label: Feature) -> Self {
-        self.source = NodeSource::AirQuality { n_nodes: n, hours, inputs: vec![input], label };
+    pub fn air_quality_features(
+        mut self,
+        n: usize,
+        hours: u64,
+        input: Feature,
+        label: Feature,
+    ) -> Self {
+        self.source = NodeSource::AirQuality {
+            n_nodes: n,
+            hours,
+            inputs: vec![input],
+            label,
+        };
         self
     }
 
@@ -104,19 +117,30 @@ impl FederationBuilder {
         inputs: Vec<Feature>,
         label: Feature,
     ) -> Self {
-        self.source = NodeSource::AirQuality { n_nodes: n, hours, inputs, label };
+        self.source = NodeSource::AirQuality {
+            n_nodes: n,
+            hours,
+            inputs,
+            label,
+        };
         self
     }
 
     /// Uses the homogeneous synthetic scenario (§II, Table I).
     pub fn homogeneous_nodes(mut self, n: usize, samples: usize) -> Self {
-        self.source = NodeSource::Homogeneous { n_nodes: n, samples };
+        self.source = NodeSource::Homogeneous {
+            n_nodes: n,
+            samples,
+        };
         self
     }
 
     /// Uses the heterogeneous synthetic scenario (§II, Table II).
     pub fn heterogeneous_nodes(mut self, n: usize, samples: usize) -> Self {
-        self.source = NodeSource::Heterogeneous { n_nodes: n, samples };
+        self.source = NodeSource::Heterogeneous {
+            n_nodes: n,
+            samples,
+        };
         self
     }
 
@@ -183,16 +207,32 @@ impl FederationBuilder {
         self
     }
 
+    /// Turns the global telemetry registry on (or off) when the
+    /// federation is built, overriding the `QENS_TELEMETRY` environment
+    /// variable. Left untouched when never called, so an already-enabled
+    /// registry keeps recording. Snapshots are read via
+    /// [`telemetry::global`] and exported with [`telemetry::export`].
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = Some(on);
+        self
+    }
+
     /// Materialises the federation: generates/loads node data, builds the
     /// network and quantises every node.
     pub fn build(self) -> Federation {
+        if let Some(on) = self.telemetry {
+            telemetry::set_enabled(on);
+        }
         let datasets: Vec<(String, mlkit::DenseDataset)> = match self.source {
-            NodeSource::AirQuality { n_nodes, hours, inputs, label } => {
-                scenario::realistic_nodes_multi(n_nodes, hours, self.seed, &inputs, label)
-                    .into_iter()
-                    .map(|n| (n.name, n.dataset))
-                    .collect()
-            }
+            NodeSource::AirQuality {
+                n_nodes,
+                hours,
+                inputs,
+                label,
+            } => scenario::realistic_nodes_multi(n_nodes, hours, self.seed, &inputs, label)
+                .into_iter()
+                .map(|n| (n.name, n.dataset))
+                .collect(),
             NodeSource::Homogeneous { n_nodes, samples } => {
                 scenario::homogeneous_nodes(n_nodes, samples, self.seed)
                     .into_iter()
@@ -220,7 +260,11 @@ impl FederationBuilder {
         if let Some(e) = self.epochs {
             train = train.with_epochs(e);
         }
-        let aggregation = if self.rounds > 1 { Aggregation::FedAvgWeights } else { self.aggregation };
+        let aggregation = if self.rounds > 1 {
+            Aggregation::FedAvgWeights
+        } else {
+            self.aggregation
+        };
         let config = FederationConfig {
             model: self.model,
             train,
@@ -230,7 +274,11 @@ impl FederationBuilder {
             stage_order: self.stage_order,
             rounds: self.rounds,
         };
-        Federation { network, config, seed: self.seed }
+        Federation {
+            network,
+            config,
+            seed: self.seed,
+        }
     }
 }
 
@@ -263,7 +311,10 @@ impl Federation {
     /// Generates the paper's 200-query dynamic workload over the
     /// network's global data space.
     pub fn paper_workload(&self, seed: u64) -> QueryWorkload {
-        generate(&self.network.global_space(), &WorkloadConfig::paper_default(seed))
+        generate(
+            &self.network.global_space(),
+            &WorkloadConfig::paper_default(seed),
+        )
     }
 
     /// Generates a custom workload over the global space.
@@ -281,7 +332,7 @@ impl Federation {
         anchors_per_node: usize,
         seed: u64,
     ) -> QueryWorkload {
-        use rand::seq::SliceRandom;
+        use linalg::rng::SliceRandom;
         let mut rng = linalg::rng::rng_for(seed, 0xA2C4);
         let mut anchors: Vec<Vec<f64>> = Vec::new();
         for node in self.network.nodes() {
@@ -294,7 +345,10 @@ impl Federation {
         }
         let config = WorkloadConfig {
             n_queries,
-            kind: workload::WorkloadKind::DataAnchored { anchors, jitter_frac: 0.02 },
+            kind: workload::WorkloadKind::DataAnchored {
+                anchors,
+                jitter_frac: 0.02,
+            },
             ..WorkloadConfig::paper_default(seed)
         };
         generate(&self.network.global_space(), &config)
@@ -311,7 +365,12 @@ impl Federation {
 
     /// Runs a whole workload under a policy.
     pub fn run_workload(&self, workload: &QueryWorkload, policy: &PolicyKind) -> StreamResult {
-        run_stream(&self.network, workload, policy.build().as_ref(), &self.config)
+        run_stream(
+            &self.network,
+            workload,
+            policy.build().as_ref(),
+            &self.config,
+        )
     }
 
     /// The federation's master seed.
@@ -371,7 +430,10 @@ mod tests {
         let fed = FederationBuilder::new()
             .homogeneous_nodes(4, 50)
             .capacities(0.5, 2.0)
-            .cost_model(CostModel { seconds_per_sample_visit: 1e-3, ..CostModel::default() })
+            .cost_model(CostModel {
+                seconds_per_sample_visit: 1e-3,
+                ..CostModel::default()
+            })
             .epochs(2)
             .build();
         assert!((fed.network().cost_model().seconds_per_sample_visit - 1e-3).abs() < 1e-15);

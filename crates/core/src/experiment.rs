@@ -1,14 +1,14 @@
 //! Experiment pipelines shared by the repro harness and the examples.
 
 use fedlearn::StreamResult;
-use serde::{Deserialize, Serialize};
 use workload::QueryWorkload;
 
 use crate::builder::Federation;
 use crate::policy_kind::PolicyKind;
 
 /// One policy's summary row in a comparison (a Fig. 7 bar).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PolicyComparison {
     /// Policy display name.
     pub policy: String,
@@ -48,7 +48,8 @@ pub fn compare_policies(
 }
 
 /// Per-query with/without-selectivity series (Figs. 8 and 9).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SelectivitySeries {
     /// Query ids in issue order.
     pub query_ids: Vec<u64>,
@@ -88,8 +89,10 @@ pub fn selectivity_comparison(
     l: usize,
 ) -> SelectivitySeries {
     let with = federation.run_workload(workload, &PolicyKind::QueryDriven { epsilon, l });
-    let without =
-        federation.run_workload(workload, &PolicyKind::QueryDrivenNoSelectivity { epsilon, l });
+    let without = federation.run_workload(
+        workload,
+        &PolicyKind::QueryDrivenNoSelectivity { epsilon, l },
+    );
     let mut series = SelectivitySeries {
         query_ids: Vec::new(),
         with_seconds: Vec::new(),
@@ -118,13 +121,20 @@ mod tests {
     use workload::WorkloadConfig;
 
     fn federation() -> Federation {
-        FederationBuilder::new().heterogeneous_nodes(6, 80).seed(13).epochs(4).build()
+        FederationBuilder::new()
+            .heterogeneous_nodes(6, 80)
+            .seed(13)
+            .epochs(4)
+            .build()
     }
 
     #[test]
     fn compare_policies_produces_one_row_per_policy() {
         let fed = federation();
-        let wl = fed.workload(&WorkloadConfig { n_queries: 8, ..WorkloadConfig::paper_default(3) });
+        let wl = fed.workload(&WorkloadConfig {
+            n_queries: 8,
+            ..WorkloadConfig::paper_default(3)
+        });
         let rows = compare_policies(
             &fed,
             &wl,
@@ -136,13 +146,19 @@ mod tests {
         );
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].policy, "query-driven");
-        assert_eq!(rows[2].mean_data_fraction, 1.0, "all-nodes must use all data");
+        assert_eq!(
+            rows[2].mean_data_fraction, 1.0,
+            "all-nodes must use all data"
+        );
     }
 
     #[test]
     fn selectivity_series_shows_savings() {
         let fed = federation();
-        let wl = fed.workload(&WorkloadConfig { n_queries: 10, ..WorkloadConfig::paper_default(7) });
+        let wl = fed.workload(&WorkloadConfig {
+            n_queries: 10,
+            ..WorkloadConfig::paper_default(7)
+        });
         let series = selectivity_comparison(&fed, &wl, 0.05, 3);
         assert!(!series.query_ids.is_empty());
         for i in 0..series.query_ids.len() {

@@ -52,6 +52,7 @@ pub use geom;
 pub use linalg;
 pub use mlkit;
 pub use selection;
+pub use telemetry;
 pub use workload;
 
 pub mod builder;
@@ -60,5 +61,7 @@ pub mod policy_kind;
 pub mod prelude;
 
 pub use builder::{Federation, FederationBuilder};
-pub use experiment::{compare_policies, selectivity_comparison, PolicyComparison, SelectivitySeries};
+pub use experiment::{
+    compare_policies, selectivity_comparison, PolicyComparison, SelectivitySeries,
+};
 pub use policy_kind::PolicyKind;

@@ -4,11 +4,11 @@ use selection::{
     AllNodes, DataCentric, FairStochastic, GameTheory, QueryDriven, RandomSelection,
     SelectionPolicy, WithoutSelectivity,
 };
-use serde::{Deserialize, Serialize};
 
 /// A selection policy as configuration — convertible into the trait
 /// object [`PolicyKind::build`] the federation loop consumes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PolicyKind {
     /// The paper's mechanism (§III-C) with top-ℓ capping.
     QueryDriven {
@@ -73,15 +73,19 @@ impl PolicyKind {
     /// Builds the runtime policy object.
     pub fn build(&self) -> Box<dyn SelectionPolicy> {
         match *self {
-            PolicyKind::QueryDriven { epsilon, l } => {
-                Box::new(QueryDriven { epsilon, ..QueryDriven::top_l(l) })
-            }
+            PolicyKind::QueryDriven { epsilon, l } => Box::new(QueryDriven {
+                epsilon,
+                ..QueryDriven::top_l(l)
+            }),
             PolicyKind::QueryDrivenThreshold { epsilon, psi } => {
                 Box::new(QueryDriven::threshold(epsilon, psi))
             }
-            PolicyKind::QueryDrivenNoSelectivity { epsilon, l } => Box::new(WithoutSelectivity(
-                QueryDriven { epsilon, ..QueryDriven::top_l(l) },
-            )),
+            PolicyKind::QueryDrivenNoSelectivity { epsilon, l } => {
+                Box::new(WithoutSelectivity(QueryDriven {
+                    epsilon,
+                    ..QueryDriven::top_l(l)
+                }))
+            }
             PolicyKind::Random { l, seed } => Box::new(RandomSelection { l, seed }),
             PolicyKind::GameTheory { leader, l, seed } => {
                 Box::new(GameTheory::paper_default(leader, l, seed))
@@ -107,13 +111,28 @@ mod tests {
         assert_eq!(PolicyKind::query_driven(3).name(), "query-driven");
         assert_eq!(PolicyKind::Random { l: 2, seed: 0 }.name(), "random");
         assert_eq!(PolicyKind::AllNodes.name(), "all-nodes");
-        assert_eq!(PolicyKind::GameTheory { leader: 0, l: 2, seed: 0 }.name(), "game-theory");
         assert_eq!(
-            PolicyKind::QueryDrivenNoSelectivity { epsilon: 0.05, l: 3 }.name(),
+            PolicyKind::GameTheory {
+                leader: 0,
+                l: 2,
+                seed: 0
+            }
+            .name(),
+            "game-theory"
+        );
+        assert_eq!(
+            PolicyKind::QueryDrivenNoSelectivity {
+                epsilon: 0.05,
+                l: 3
+            }
+            .name(),
             "without-selectivity"
         );
         assert_eq!(PolicyKind::DataCentric { l: 2 }.name(), "data-centric");
-        assert_eq!(PolicyKind::FairStochastic { l: 2, seed: 0 }.name(), "fair-stochastic");
+        assert_eq!(
+            PolicyKind::FairStochastic { l: 2, seed: 0 }.name(),
+            "fair-stochastic"
+        );
     }
 
     #[test]

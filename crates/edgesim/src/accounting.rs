@@ -4,10 +4,9 @@
 //! Fig. 9 (fraction of data each query needed) are pure accounting
 //! outputs; this module is the ledger both are read from.
 
-use serde::{Deserialize, Serialize};
-
 /// What one query cost across the whole federation.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QueryAccounting {
     /// Query id.
     pub query_id: u64,
@@ -42,10 +41,35 @@ impl QueryAccounting {
             self.samples_used as f64 / self.samples_total as f64
         }
     }
+
+    /// Routes this ledger into the global telemetry registry, so Fig. 8/9
+    /// quantities are visible through the same export path as the span
+    /// timers. Counter totals therefore *must* agree with the summed
+    /// accounting rows — `tests/telemetry_pipeline.rs` asserts exactly
+    /// that. No-op while telemetry is disabled.
+    pub fn commit_telemetry(&self) {
+        telemetry::counter!("qens_edgesim_queries_total").incr();
+        telemetry::counter!("qens_edgesim_nodes_selected_total").add(self.nodes_selected as u64);
+        telemetry::counter!("qens_edgesim_samples_used_total").add(self.samples_used as u64);
+        telemetry::counter!("qens_edgesim_sample_visits_total").add(self.sample_visits as u64);
+        telemetry::counter!("qens_edgesim_bytes_transferred_total")
+            .add(self.bytes_transferred as u64);
+        // Seconds are f64; gauges accumulate them exactly (one writer at
+        // a time: the leader commits once per completed query).
+        telemetry::gauge!("qens_edgesim_wall_seconds").add(self.wall_seconds);
+        telemetry::gauge!("qens_edgesim_sim_seconds").add(self.sim_seconds);
+        // Distribution views in micro-units (histograms store u64).
+        telemetry::histogram!("qens_edgesim_query_sim_micros")
+            .record((self.sim_seconds * 1e6) as u64);
+        telemetry::histogram!("qens_edgesim_query_wall_micros")
+            .record((self.wall_seconds * 1e6) as u64);
+        telemetry::histogram!("qens_edgesim_query_bytes").record(self.bytes_transferred as u64);
+    }
 }
 
 /// Aggregates accounting rows across a query stream.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StreamAccounting {
     /// Per-query rows in issue order.
     pub rows: Vec<QueryAccounting>,
@@ -70,7 +94,11 @@ impl StreamAccounting {
         if self.rows.is_empty() {
             return 0.0;
         }
-        self.rows.iter().map(QueryAccounting::data_fraction).sum::<f64>() / self.rows.len() as f64
+        self.rows
+            .iter()
+            .map(QueryAccounting::data_fraction)
+            .sum::<f64>()
+            / self.rows.len() as f64
     }
 
     /// Total samples used over the stream.
@@ -84,7 +112,13 @@ mod tests {
     use super::*;
 
     fn row(id: u64, used: usize, total: usize, sim: f64) -> QueryAccounting {
-        QueryAccounting { query_id: id, samples_used: used, samples_total: total, sim_seconds: sim, ..Default::default() }
+        QueryAccounting {
+            query_id: id,
+            samples_used: used,
+            samples_total: total,
+            sim_seconds: sim,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -8,15 +8,14 @@
 //! per byte on the wire (plus a per-message latency), which is exactly
 //! how the dominant costs of on-node SGD and model shipping scale.
 
-use serde::{Deserialize, Serialize};
-
 /// A node's uplink to the leader.
 ///
 /// The default cost model assumes one shared link profile; heterogeneous
 /// deployments attach a [`LinkProfile`] per node
 /// ([`crate::EdgeNetwork::with_random_links`]) and the federation charges
 /// each participant's transfers at its own link speed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkProfile {
     /// Uplink/downlink bandwidth in bytes/second.
     pub bytes_per_second: f64,
@@ -26,7 +25,10 @@ pub struct LinkProfile {
 
 impl Default for LinkProfile {
     fn default() -> Self {
-        Self { bytes_per_second: 10e6, latency_seconds: 0.02 }
+        Self {
+            bytes_per_second: 10e6,
+            latency_seconds: 0.02,
+        }
     }
 }
 
@@ -38,7 +40,8 @@ impl LinkProfile {
 }
 
 /// Cost-model parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostModel {
     /// Seconds one sample-visit (one sample in one epoch) costs on a
     /// capacity-1.0 node.
@@ -53,7 +56,11 @@ impl Default for CostModel {
     fn default() -> Self {
         // ~25 µs per sample-visit (a small Keras model on a weak edge
         // CPU), 10 MB/s uplink, 20 ms latency.
-        Self { seconds_per_sample_visit: 25e-6, bytes_per_second: 10e6, latency_seconds: 0.02 }
+        Self {
+            seconds_per_sample_visit: 25e-6,
+            bytes_per_second: 10e6,
+            latency_seconds: 0.02,
+        }
     }
 }
 
@@ -116,14 +123,22 @@ mod tests {
 
     #[test]
     fn transfer_includes_latency() {
-        let m = CostModel { seconds_per_sample_visit: 1.0, bytes_per_second: 100.0, latency_seconds: 0.5 };
+        let m = CostModel {
+            seconds_per_sample_visit: 1.0,
+            bytes_per_second: 100.0,
+            latency_seconds: 0.5,
+        };
         assert!((m.transfer_seconds(100) - 1.5).abs() < 1e-12);
         assert!((m.transfer_seconds(0) - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn parallel_round_is_the_slowest_node() {
-        let m = CostModel { seconds_per_sample_visit: 1.0, bytes_per_second: 1e9, latency_seconds: 0.0 };
+        let m = CostModel {
+            seconds_per_sample_visit: 1.0,
+            bytes_per_second: 1e9,
+            latency_seconds: 0.0,
+        };
         let t = m.parallel_round_seconds(&[(10, 1.0, 0), (10, 0.5, 0), (5, 1.0, 0)]);
         assert!((t - 20.0).abs() < 1e-9);
         assert_eq!(m.parallel_round_seconds(&[]), 0.0);

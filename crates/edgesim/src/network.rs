@@ -4,7 +4,7 @@ use geom::HyperRect;
 use mlkit::DenseDataset;
 
 use linalg::rng as lrng;
-use rand::Rng;
+use linalg::rng::Rng;
 
 use crate::cost::{CostModel, LinkProfile};
 use crate::node::{EdgeNode, NodeId};
@@ -32,7 +32,10 @@ impl EdgeNetwork {
             .enumerate()
             .map(|(i, (name, data))| EdgeNode::new(NodeId(i), name, data, 1.0))
             .collect();
-        Self { nodes, cost: CostModel::default() }
+        Self {
+            nodes,
+            cost: CostModel::default(),
+        }
     }
 
     /// Assigns heterogeneous capacities drawn uniformly from
@@ -43,7 +46,9 @@ impl EdgeNetwork {
     pub fn with_random_capacities(mut self, lo: f64, hi: f64, seed: u64) -> Self {
         assert!(lo > 0.0 && lo <= hi, "capacity range ({lo}, {hi}) invalid");
         let mut rng = lrng::rng_for(seed, 0xCAFE);
-        let caps: Vec<f64> = (0..self.nodes.len()).map(|_| rng.gen_range(lo..=hi)).collect();
+        let caps: Vec<f64> = (0..self.nodes.len())
+            .map(|_| rng.gen_range(lo..=hi))
+            .collect();
         self.nodes = self
             .nodes
             .into_iter()
@@ -65,8 +70,14 @@ impl EdgeNetwork {
         (lat_lo, lat_hi): (f64, f64),
         seed: u64,
     ) -> Self {
-        assert!(bw_lo > 0.0 && bw_lo <= bw_hi, "bandwidth range ({bw_lo}, {bw_hi}) invalid");
-        assert!(lat_lo >= 0.0 && lat_lo <= lat_hi, "latency range ({lat_lo}, {lat_hi}) invalid");
+        assert!(
+            bw_lo > 0.0 && bw_lo <= bw_hi,
+            "bandwidth range ({bw_lo}, {bw_hi}) invalid"
+        );
+        assert!(
+            lat_lo >= 0.0 && lat_lo <= lat_hi,
+            "latency range ({lat_lo}, {lat_hi}) invalid"
+        );
         let mut rng = lrng::rng_for(seed, 0x11_4B);
         self.nodes = self
             .nodes
@@ -93,9 +104,11 @@ impl EdgeNetwork {
     /// Quantises every node (§III-C; the paper uses `k = 5` everywhere
     /// "to avoid biases"). Each node derives its own k-means seed.
     pub fn quantize_all(&mut self, k: usize, seed: u64) {
+        let _span = telemetry::span!("qens_edgesim_quantize_all_nanos");
         for node in &mut self.nodes {
             node.quantize(k, lrng::derive_seed(seed, node.id().0 as u64));
         }
+        telemetry::counter!("qens_edgesim_nodes_quantized_total").add(self.nodes.len() as u64);
     }
 
     /// Like [`EdgeNetwork::quantize_all`] but every node releases
@@ -237,7 +250,11 @@ mod tests {
             assert!((1e6..=20e6).contains(&x.link().bytes_per_second));
             assert!((0.005..=0.1).contains(&x.link().latency_seconds));
         }
-        let bws: Vec<f64> = a.nodes().iter().map(|n| n.link().bytes_per_second).collect();
+        let bws: Vec<f64> = a
+            .nodes()
+            .iter()
+            .map(|n| n.link().bytes_per_second)
+            .collect();
         assert!(bws.windows(2).any(|w| w[0] != w[1]), "links did not vary");
     }
 
@@ -251,7 +268,10 @@ mod tests {
 
     #[test]
     fn link_transfer_time_includes_latency_and_bandwidth() {
-        let link = LinkProfile { bytes_per_second: 1000.0, latency_seconds: 0.5 };
+        let link = LinkProfile {
+            bytes_per_second: 1000.0,
+            latency_seconds: 0.5,
+        };
         assert!((link.transfer_seconds(2000) - 2.5).abs() < 1e-12);
     }
 

@@ -4,12 +4,12 @@ use cluster::{summary, ClusterSummary, KMeans, KMeansConfig};
 use geom::HyperRect;
 use linalg::Matrix;
 use mlkit::DenseDataset;
-use serde::{Deserialize, Serialize};
 
 use crate::cost::LinkProfile;
 
 /// Identifier of a node within its network (`n_i` in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub usize);
 
 impl std::fmt::Display for NodeId {
@@ -61,8 +61,14 @@ impl EdgeNode {
 
     /// Replaces the node's uplink profile.
     pub fn with_link(mut self, link: LinkProfile) -> Self {
-        assert!(link.bytes_per_second > 0.0, "link bandwidth must be positive");
-        assert!(link.latency_seconds >= 0.0, "link latency cannot be negative");
+        assert!(
+            link.bytes_per_second > 0.0,
+            "link bandwidth must be positive"
+        );
+        assert!(
+            link.latency_seconds >= 0.0,
+            "link latency cannot be negative"
+        );
         self.link = link;
         self
     }

@@ -13,11 +13,11 @@
 use geom::HyperRect;
 use linalg::Matrix;
 use mlkit::DenseDataset;
-use serde::{Deserialize, Serialize};
 
 /// Min-max scaler derived from a joint-space bounding rectangle
 /// (features first, label last — the [`crate::EdgeNode::joint`] layout).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpaceScaler {
     bounds: Vec<(f64, f64)>,
 }
@@ -25,7 +25,13 @@ pub struct SpaceScaler {
 impl SpaceScaler {
     /// Builds a scaler from a joint-space rectangle.
     pub fn from_space(space: &HyperRect) -> Self {
-        Self { bounds: space.intervals().iter().map(|iv| (iv.lo(), iv.hi())).collect() }
+        Self {
+            bounds: space
+                .intervals()
+                .iter()
+                .map(|iv| (iv.lo(), iv.hi()))
+                .collect(),
+        }
     }
 
     /// Joint dimensionality (features + label).
@@ -60,7 +66,13 @@ impl SpaceScaler {
     /// Panics if `data.dim() + 1 != self.dim()`.
     pub fn transform_dataset(&self, data: &DenseDataset) -> DenseDataset {
         let d = data.dim();
-        assert_eq!(d + 1, self.dim(), "dataset width {} != scaler joint dim {}", d + 1, self.dim());
+        assert_eq!(
+            d + 1,
+            self.dim(),
+            "dataset width {} != scaler joint dim {}",
+            d + 1,
+            self.dim()
+        );
         let mut x = Matrix::zeros(data.len(), d);
         for (i, row) in data.x().row_iter().enumerate() {
             let out = x.row_mut(i);

@@ -1,10 +1,10 @@
 //! Model aggregation at the leader (§IV-B).
 
 use mlkit::{Model, Regressor};
-use serde::{Deserialize, Serialize};
 
 /// Which aggregation rule the leader applies to the returned local models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Aggregation {
     /// **Model Averaging** (Eq. 6): the prediction is the unweighted mean
     /// of the local models' predictions.
@@ -30,7 +30,8 @@ impl Aggregation {
 }
 
 /// The leader's aggregated predictor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum GlobalModel {
     /// A prediction-averaging ensemble: `ŷ(q) = Σ λ_i ŷ_i(q)` with
     /// `Σ λ_i = 1` (uniform λ for Eq. 6, ranking-proportional for Eq. 7).
@@ -65,7 +66,10 @@ impl GlobalModel {
         match rule {
             Aggregation::ModelAveraging => {
                 let n = members.len();
-                GlobalModel::Ensemble { lambdas: vec![1.0 / n as f64; n], members }
+                GlobalModel::Ensemble {
+                    lambdas: vec![1.0 / n as f64; n],
+                    members,
+                }
             }
             Aggregation::WeightedAveraging => {
                 let total: f64 = lambdas.iter().sum();
@@ -139,7 +143,7 @@ mod tests {
     }
 
     #[test]
-    fn model_averaging_is_uniform(){
+    fn model_averaging_is_uniform() {
         let g = GlobalModel::aggregate(
             Aggregation::ModelAveraging,
             vec![lin(1.0, 0.0), lin(3.0, 0.0)],
@@ -210,7 +214,8 @@ mod tests {
     fn nn_models_aggregate_too() {
         let a = ModelKind::Neural { hidden: 4 }.build(1, 1);
         let b = ModelKind::Neural { hidden: 4 }.build(1, 2);
-        let g = GlobalModel::aggregate(Aggregation::FedAvgWeights, vec![a, b], &[0.5, 0.5], &[5, 5]);
+        let g =
+            GlobalModel::aggregate(Aggregation::FedAvgWeights, vec![a, b], &[0.5, 0.5], &[5, 5]);
         assert!(g.predict_row(&[0.3]).is_finite());
     }
 

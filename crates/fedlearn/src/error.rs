@@ -1,9 +1,8 @@
 //! Federation error types.
 
-use serde::{Deserialize, Serialize};
-
 /// Why a query round could not complete.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FederationError {
     /// The selection policy returned no participants (nothing overlaps
     /// the query region under the configured thresholds).
@@ -23,10 +22,16 @@ impl std::fmt::Display for FederationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FederationError::NoParticipants { query_id } => {
-                write!(f, "query {query_id}: no node overlaps the requested data region")
+                write!(
+                    f,
+                    "query {query_id}: no node overlaps the requested data region"
+                )
             }
             FederationError::NoTrainingData { query_id } => {
-                write!(f, "query {query_id}: selected participants hold no training data")
+                write!(
+                    f,
+                    "query {query_id}: selected participants hold no training data"
+                )
             }
         }
     }

@@ -6,9 +6,8 @@ use edgesim::{EdgeNetwork, QueryAccounting, SpaceScaler};
 use geom::Query;
 use linalg::rng as lrng;
 use mlkit::{DenseDataset, Model, ModelKind, Regressor, TrainConfig};
-use parking_lot::Mutex;
 use selection::{Participant, Selection, SelectionContext, SelectionPolicy};
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 use crate::aggregate::{Aggregation, GlobalModel};
 use crate::error::FederationError;
@@ -22,7 +21,8 @@ use crate::error::FederationError;
 /// clusters). Sequential is the default; interleaved protects non-linear
 /// models from intra-node forgetting at high epoch counts (see the
 /// `ablation_stage_order` bench).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StageOrder {
     /// E epochs on cluster 1, then E on cluster 2, ... (§IV-B).
     Sequential,
@@ -31,7 +31,8 @@ pub enum StageOrder {
 }
 
 /// Configuration of the distributed-learning mechanism.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FederationConfig {
     /// Architecture broadcast to participants.
     pub model: ModelKind,
@@ -174,10 +175,16 @@ pub fn run_query(
         config.rounds == 1 || config.aggregation == Aggregation::FedAvgWeights,
         "multi-round refinement requires FedAvg weight aggregation"
     );
+    // Per-query attribution: every metric recorded until the scope drops
+    // is credited to this query id in the registry's query ring.
+    let _query_scope = telemetry::QueryScope::begin(query.id());
+    let _run_span = telemetry::span!("qens_fedlearn_run_query_nanos");
     let ctx = SelectionContext::new(network, query);
     let selection = policy.select(&ctx);
     if selection.is_empty() {
-        return Err(FederationError::NoParticipants { query_id: query.id() });
+        return Err(FederationError::NoParticipants {
+            query_id: query.id(),
+        });
     }
     let overhead = policy.overhead(&ctx);
     let scaler = SpaceScaler::from_space(&network.global_space());
@@ -205,10 +212,14 @@ pub fn run_query(
         })
         .collect();
 
-    let nonempty: Vec<&(usize, &Participant, Vec<DenseDataset>)> =
-        jobs.iter().filter(|(_, _, stages)| stages.iter().any(|s| !s.is_empty())).collect();
+    let nonempty: Vec<&(usize, &Participant, Vec<DenseDataset>)> = jobs
+        .iter()
+        .filter(|(_, _, stages)| stages.iter().any(|s| !s.is_empty()))
+        .collect();
     if nonempty.is_empty() {
-        return Err(FederationError::NoTrainingData { query_id: query.id() });
+        return Err(FederationError::NoTrainingData {
+            query_id: query.id(),
+        });
     }
 
     let cost = network.cost_model();
@@ -218,12 +229,20 @@ pub fn run_query(
         .iter()
         .map(|&(id, visits)| cost.training_seconds(visits, network.node(id).capacity()))
         .fold(0.0, f64::max)
-        + if overhead.bytes > 0 { cost.transfer_seconds(overhead.bytes) } else { 0.0 };
+        + if overhead.bytes > 0 {
+            cost.transfer_seconds(overhead.bytes)
+        } else {
+            0.0
+        };
     let mut accounting = QueryAccounting {
         query_id: query.id(),
         nodes_selected: nonempty.len(),
         samples_total: network.total_samples(),
-        sample_visits: overhead.per_node_visits.iter().map(|&(_, v)| v).sum::<usize>(),
+        sample_visits: overhead
+            .per_node_visits
+            .iter()
+            .map(|&(_, v)| v)
+            .sum::<usize>(),
         sim_seconds: overhead_seconds,
         sim_seconds_total: overhead_seconds,
         bytes_transferred: overhead.bytes,
@@ -234,46 +253,59 @@ pub fn run_query(
     for round in 0..config.rounds {
         let results: Mutex<Vec<LocalResult>> = Mutex::new(Vec::with_capacity(nonempty.len()));
         let broadcast = &initial;
-        let train_one = |(index, participant, stages): &(usize, &Participant, Vec<DenseDataset>)| {
-            let node = network.node(participant.node);
-            let mut model = broadcast.clone();
-            let train_cfg = TrainConfig {
-                seed: lrng::derive_seed(
-                    config.train.seed,
-                    query.id() ^ ((node.id().0 as u64) << 32) ^ ((round as u64) << 48),
-                ),
-                ..config.train.clone()
+        let train_one =
+            |(index, participant, stages): &(usize, &Participant, Vec<DenseDataset>)| {
+                let node = network.node(participant.node);
+                let mut model = broadcast.clone();
+                let train_cfg = TrainConfig {
+                    seed: lrng::derive_seed(
+                        config.train.seed,
+                        query.id() ^ ((node.id().0 as u64) << 32) ^ ((round as u64) << 48),
+                    ),
+                    ..config.train.clone()
+                };
+                let samples_used: usize = stages.iter().map(DenseDataset::len).sum();
+                // Counter adds are relaxed atomics, so these totals are
+                // identical whether participants train on threads or inline.
+                telemetry::counter!("qens_fedlearn_participants_total").incr();
+                telemetry::counter!("qens_fedlearn_stages_total").add(stages.len() as u64);
+                telemetry::counter!("qens_fedlearn_samples_used_total").add(samples_used as u64);
+                let train_span = telemetry::span!("qens_fedlearn_train_nanos");
+                let start = Instant::now();
+                let report = match config.stage_order {
+                    StageOrder::Sequential => {
+                        mlkit::train_incremental(&mut model, stages, &train_cfg)
+                    }
+                    StageOrder::Interleaved => {
+                        mlkit::train_interleaved(&mut model, stages, &train_cfg)
+                    }
+                };
+                let wall = start.elapsed().as_secs_f64();
+                train_span.finish();
+                telemetry::counter!("qens_fedlearn_sample_visits_total")
+                    .add(report.samples_seen as u64);
+                results.lock().unwrap().push(LocalResult {
+                    index: *index,
+                    model,
+                    samples_used,
+                    sample_visits: report.samples_seen,
+                    wall_seconds: wall,
+                });
             };
-            let samples_used: usize = stages.iter().map(DenseDataset::len).sum();
-            let start = Instant::now();
-            let report = match config.stage_order {
-                StageOrder::Sequential => mlkit::train_incremental(&mut model, stages, &train_cfg),
-                StageOrder::Interleaved => mlkit::train_interleaved(&mut model, stages, &train_cfg),
-            };
-            let wall = start.elapsed().as_secs_f64();
-            results.lock().push(LocalResult {
-                index: *index,
-                model,
-                samples_used,
-                sample_visits: report.samples_seen,
-                wall_seconds: wall,
-            });
-        };
 
         if config.parallel && nonempty.len() > 1 {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for job in &nonempty {
-                    scope.spawn(move |_| train_one(job));
+                    scope.spawn(move || train_one(job));
                 }
-            })
-            .expect("participant training thread panicked");
+            });
         } else {
             for job in &nonempty {
                 train_one(job);
             }
         }
 
-        let mut results = results.into_inner();
+        let mut results = results.into_inner().unwrap();
         results.sort_by_key(|r| r.index);
 
         // Aggregate this round's local models.
@@ -283,7 +315,12 @@ pub fn run_query(
             .collect();
         let samples: Vec<usize> = results.iter().map(|r| r.samples_used).collect();
         let models: Vec<Model> = results.iter().map(|r| r.model.clone()).collect();
+        let agg_span = telemetry::span!("qens_fedlearn_aggregate_nanos");
         let aggregated = GlobalModel::aggregate(config.aggregation, models, &lambdas, &samples);
+        agg_span.finish();
+        telemetry::counter!("qens_fedlearn_rounds_total").incr();
+        telemetry::counter!("qens_fedlearn_model_bytes_total")
+            .add((results.len() * 2 * model_bytes) as u64);
 
         // Accounting: every round pays training on the slowest node plus
         // two model transfers per participant, each at the node's own
@@ -311,7 +348,15 @@ pub fn run_query(
     }
 
     let global = global.expect("at least one round ran");
-    Ok(RoundOutcome { global, scaler, selection, accounting })
+    // Satellite coupling: the simulator ledger and the telemetry counters
+    // must tell the same story (asserted in tests/telemetry_pipeline.rs).
+    accounting.commit_telemetry();
+    Ok(RoundOutcome {
+        global,
+        scaler,
+        selection,
+        accounting,
+    })
 }
 
 #[cfg(test)]
@@ -326,9 +371,8 @@ mod tests {
         } else {
             scenario::homogeneous_nodes(5, 120, 3)
         };
-        let mut net = EdgeNetwork::from_datasets(
-            nodes.into_iter().map(|n| (n.name, n.dataset)).collect(),
-        );
+        let mut net =
+            EdgeNetwork::from_datasets(nodes.into_iter().map(|n| (n.name, n.dataset)).collect());
         net.quantize_all(5, 1);
         net
     }
@@ -407,13 +451,22 @@ mod tests {
             &net,
             &q,
             &QueryDriven::top_l(3),
-            &FederationConfig { parallel: false, ..fast_cfg(7) },
+            &FederationConfig {
+                parallel: false,
+                ..fast_cfg(7)
+            },
         )
         .unwrap();
         match (&par.global, &ser.global) {
             (
-                GlobalModel::Ensemble { members: a, lambdas: la },
-                GlobalModel::Ensemble { members: b, lambdas: lb },
+                GlobalModel::Ensemble {
+                    members: a,
+                    lambdas: la,
+                },
+                GlobalModel::Ensemble {
+                    members: b,
+                    lambdas: lb,
+                },
             ) => {
                 assert_eq!(a, b);
                 assert_eq!(la, lb);
@@ -438,8 +491,12 @@ mod tests {
         let q = leader_query();
         let out = run_query(&net, &q, &QueryDriven::top_l(3), &fast_cfg(3)).unwrap();
         if let GlobalModel::Ensemble { lambdas, .. } = &out.global {
-            let rankings: Vec<f64> =
-                out.selection.participants.iter().map(|p| p.ranking).collect();
+            let rankings: Vec<f64> = out
+                .selection
+                .participants
+                .iter()
+                .map(|p| p.ranking)
+                .collect();
             let total: f64 = rankings.iter().sum();
             for (l, r) in lambdas.iter().zip(&rankings) {
                 assert!((l - r / total).abs() < 1e-12);
@@ -460,14 +517,23 @@ mod tests {
             &fast_cfg(3).with_aggregation(Aggregation::FedAvgWeights),
         )
         .unwrap();
-        let three = run_query(&net, &q, &QueryDriven::top_l(3), &fast_cfg(3).with_rounds(3)).unwrap();
+        let three = run_query(
+            &net,
+            &q,
+            &QueryDriven::top_l(3),
+            &fast_cfg(3).with_rounds(3),
+        )
+        .unwrap();
         // Multi-round pays proportionally more and never does worse on a
         // homogeneous population.
         assert!(three.accounting.sample_visits > 2 * one.accounting.sample_visits);
         assert!(three.accounting.bytes_transferred > 2 * one.accounting.bytes_transferred);
         let l1 = one.query_loss(&net, &q).unwrap();
         let l3 = three.query_loss(&net, &q).unwrap();
-        assert!(l3 <= l1 * 1.2, "3 rounds ({l3}) regressed badly vs 1 round ({l1})");
+        assert!(
+            l3 <= l1 * 1.2,
+            "3 rounds ({l3}) regressed badly vs 1 round ({l1})"
+        );
         assert!(matches!(three.global, GlobalModel::Single(_)));
     }
 
@@ -491,8 +557,8 @@ mod tests {
         // Every collected x (scaled) maps back inside [0, 10].
         let space = net.global_space();
         for row in ds.x().row_iter() {
-            let raw = space.interval(0).lo()
-                + row[0] * (space.interval(0).hi() - space.interval(0).lo());
+            let raw =
+                space.interval(0).lo() + row[0] * (space.interval(0).hi() - space.interval(0).lo());
             assert!((-1e-9..=10.0 + 1e-9).contains(&raw));
         }
     }

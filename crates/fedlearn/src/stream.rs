@@ -3,14 +3,14 @@
 use edgesim::{EdgeNetwork, StreamAccounting};
 use geom::Query;
 use selection::SelectionPolicy;
-use serde::{Deserialize, Serialize};
 use workload::QueryWorkload;
 
 use crate::error::FederationError;
 use crate::round::{run_query, FederationConfig};
 
 /// One query's result row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QueryResult {
     /// The query id.
     pub query_id: u64,
@@ -30,7 +30,8 @@ pub struct QueryResult {
 }
 
 /// The aggregate outcome of a workload run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StreamResult {
     /// Policy display name.
     pub policy: String,
@@ -84,7 +85,11 @@ pub fn run_stream(
     for query in &workload.queries {
         per_query.push(run_one(network, query, policy, config, &mut accounting));
     }
-    StreamResult { policy: policy.name().to_string(), per_query, accounting }
+    StreamResult {
+        policy: policy.name().to_string(),
+        per_query,
+        accounting,
+    }
 }
 
 fn run_one(
@@ -132,9 +137,8 @@ mod tests {
 
     fn network() -> EdgeNetwork {
         let nodes = scenario::heterogeneous_nodes(6, 80, 4);
-        let mut net = EdgeNetwork::from_datasets(
-            nodes.into_iter().map(|n| (n.name, n.dataset)).collect(),
-        );
+        let mut net =
+            EdgeNetwork::from_datasets(nodes.into_iter().map(|n| (n.name, n.dataset)).collect());
         net.quantize_all(5, 2);
         net
     }
@@ -150,7 +154,10 @@ mod tests {
         let net = network();
         let wl = generate(
             &net.global_space(),
-            &WorkloadConfig { n_queries: 12, ..WorkloadConfig::paper_default(5) },
+            &WorkloadConfig {
+                n_queries: 12,
+                ..WorkloadConfig::paper_default(5)
+            },
         );
         let res = run_stream(&net, &wl, &QueryDriven::top_l(3), &fast_cfg());
         assert_eq!(res.per_query.len(), 12);
@@ -166,7 +173,10 @@ mod tests {
         let net = network();
         let wl = generate(
             &net.global_space(),
-            &WorkloadConfig { n_queries: 16, ..WorkloadConfig::paper_default(21) },
+            &WorkloadConfig {
+                n_queries: 16,
+                ..WorkloadConfig::paper_default(21)
+            },
         );
         let ours = run_stream(&net, &wl, &QueryDriven::top_l(3), &fast_cfg());
         let rand = run_stream(&net, &wl, &RandomSelection { l: 3, seed: 77 }, &fast_cfg());
@@ -182,7 +192,10 @@ mod tests {
         let far_space = geom::HyperRect::from_boundary_vec(&[1e7, 2e7, 1e7, 2e7]);
         let wl = generate(
             &far_space,
-            &WorkloadConfig { n_queries: 3, ..WorkloadConfig::paper_default(1) },
+            &WorkloadConfig {
+                n_queries: 3,
+                ..WorkloadConfig::paper_default(1)
+            },
         );
         let res = run_stream(&net, &wl, &QueryDriven::top_l(3), &fast_cfg());
         assert_eq!(res.failed_queries(), 3);

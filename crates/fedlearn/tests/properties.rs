@@ -1,23 +1,33 @@
-//! Property-based tests for the distributed-learning mechanism.
+//! Property-style tests for the distributed-learning mechanism
+//! (deterministic sweeps over the in-tree RNG; no proptest needed
+//! offline).
 
 use airdata::scenario::{nodes_from_specs, NodeSpec};
 use edgesim::EdgeNetwork;
-use fedlearn::{run_query, Aggregation, FederationConfig, FederationError, GlobalModel, StageOrder};
+use fedlearn::{
+    run_query, Aggregation, FederationConfig, FederationError, GlobalModel, StageOrder,
+};
 use geom::Query;
+use linalg::rng::{rng_for, Rng};
 use mlkit::TrainConfig;
-use proptest::prelude::*;
 use selection::QueryDriven;
 
-fn specs_strategy() -> impl Strategy<Value = Vec<NodeSpec>> {
-    prop::collection::vec(
-        (-40.0_f64..40.0, 10.0_f64..40.0, -2.0_f64..2.0).prop_map(|(lo, span, slope)| NodeSpec {
-            x_range: (lo, lo + span),
-            slope,
-            intercept: 0.0,
-            noise_std: 1.0,
-        }),
-        2..5,
-    )
+const CASES: usize = 16;
+
+fn random_specs(rng: &mut impl Rng) -> Vec<NodeSpec> {
+    let count = rng.gen_range(2..5usize);
+    (0..count)
+        .map(|_| {
+            let lo = rng.gen_range(-40.0..40.0);
+            let span = rng.gen_range(10.0..40.0);
+            NodeSpec {
+                x_range: (lo, lo + span),
+                slope: rng.gen_range(-2.0..2.0),
+                intercept: 0.0,
+                noise_std: 1.0,
+            }
+        })
+        .collect()
 }
 
 fn build(specs: &[NodeSpec], seed: u64) -> EdgeNetwork {
@@ -37,81 +47,103 @@ fn fast_cfg(seed: u64, agg: Aggregation, order: StageOrder) -> FederationConfig 
     .with_aggregation(agg)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// A completed round's accounting and model are always well-formed,
-    /// under every aggregation rule and stage order.
-    #[test]
-    fn round_outputs_are_well_formed(
-        specs in specs_strategy(),
-        seed in 0_u64..50,
-        agg_idx in 0_usize..3,
-        order_idx in 0_usize..2,
-    ) {
-        let agg = [Aggregation::ModelAveraging, Aggregation::WeightedAveraging, Aggregation::FedAvgWeights][agg_idx];
-        let order = [StageOrder::Sequential, StageOrder::Interleaved][order_idx];
+/// A completed round's accounting and model are always well-formed,
+/// under every aggregation rule and stage order.
+#[test]
+fn round_outputs_are_well_formed() {
+    let mut rng = rng_for(0xFED, 1);
+    for _ in 0..CASES {
+        let specs = random_specs(&mut rng);
+        let seed = rng.gen_range(0..50u64);
+        let agg = [
+            Aggregation::ModelAveraging,
+            Aggregation::WeightedAveraging,
+            Aggregation::FedAvgWeights,
+        ][rng.gen_range(0..3usize)];
+        let order = [StageOrder::Sequential, StageOrder::Interleaved][rng.gen_range(0..2usize)];
         let net = build(&specs, seed);
         let q = Query::new(0, net.global_space());
-        match run_query(&net, &q, &QueryDriven::top_l(3), &fast_cfg(seed, agg, order)) {
+        match run_query(
+            &net,
+            &q,
+            &QueryDriven::top_l(3),
+            &fast_cfg(seed, agg, order),
+        ) {
             Err(FederationError::NoParticipants { .. }) => {}
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+            Err(e) => panic!("unexpected error {e}"),
             Ok(out) => {
-                prop_assert!(out.accounting.samples_used <= out.accounting.samples_total);
-                prop_assert!(out.accounting.sample_visits > 0);
-                prop_assert!(out.accounting.sim_seconds > 0.0);
-                prop_assert!(out.accounting.sim_seconds <= out.accounting.sim_seconds_total + 1e-12);
+                assert!(out.accounting.samples_used <= out.accounting.samples_total);
+                assert!(out.accounting.sample_visits > 0);
+                assert!(out.accounting.sim_seconds > 0.0);
+                assert!(out.accounting.sim_seconds <= out.accounting.sim_seconds_total + 1e-12);
                 match (&out.global, agg) {
                     (GlobalModel::Single(_), Aggregation::FedAvgWeights) => {}
                     (GlobalModel::Ensemble { members, lambdas }, _) => {
-                        prop_assert_eq!(members.len(), lambdas.len());
-                        prop_assert!((lambdas.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                        assert_eq!(members.len(), lambdas.len());
+                        assert!((lambdas.iter().sum::<f64>() - 1.0).abs() < 1e-9);
                     }
-                    other => return Err(TestCaseError::fail(format!("wrong model shape {other:?}"))),
+                    other => panic!("wrong model shape {other:?}"),
                 }
                 // Predictions over the unit cube stay finite.
                 for x in [0.0, 0.25, 0.5, 0.75, 1.0] {
-                    prop_assert!(out.global.predict_row(&[x]).is_finite());
+                    assert!(out.global.predict_row(&[x]).is_finite());
                 }
                 if let Some(loss) = out.query_loss(&net, &q) {
-                    prop_assert!(loss.is_finite() && loss >= 0.0);
+                    assert!(loss.is_finite() && loss >= 0.0);
                 }
             }
         }
     }
+}
 
-    /// Parallel and serial execution agree bit-for-bit.
-    #[test]
-    fn parallel_matches_serial(specs in specs_strategy(), seed in 0_u64..50) {
+/// Parallel and serial execution agree bit-for-bit.
+#[test]
+fn parallel_matches_serial() {
+    let mut rng = rng_for(0xFED, 2);
+    for _ in 0..CASES {
+        let specs = random_specs(&mut rng);
+        let seed = rng.gen_range(0..50u64);
         let net = build(&specs, seed);
         let q = Query::new(0, net.global_space());
         let par_cfg = fast_cfg(seed, Aggregation::WeightedAveraging, StageOrder::Sequential);
-        let ser_cfg = FederationConfig { parallel: false, ..par_cfg.clone() };
+        let ser_cfg = FederationConfig {
+            parallel: false,
+            ..par_cfg.clone()
+        };
         let par = run_query(&net, &q, &QueryDriven::top_l(3), &par_cfg);
         let ser = run_query(&net, &q, &QueryDriven::top_l(3), &ser_cfg);
         match (par, ser) {
             (Ok(a), Ok(b)) => {
-                prop_assert_eq!(a.query_loss(&net, &q), b.query_loss(&net, &q));
-                prop_assert_eq!(a.accounting.sample_visits, b.accounting.sample_visits);
+                assert_eq!(a.query_loss(&net, &q), b.query_loss(&net, &q));
+                assert_eq!(a.accounting.sample_visits, b.accounting.sample_visits);
             }
-            (Err(a), Err(b)) => prop_assert_eq!(a, b),
-            other => return Err(TestCaseError::fail(format!("parallel/serial diverged: {other:?}"))),
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            other => panic!("parallel/serial diverged: {other:?}"),
         }
     }
+}
 
-    /// Extra FedAvg rounds scale the paid cost linearly.
-    #[test]
-    fn multi_round_cost_scales(specs in specs_strategy(), seed in 0_u64..50, rounds in 2_usize..4) {
+/// Extra FedAvg rounds scale the paid cost linearly.
+#[test]
+fn multi_round_cost_scales() {
+    let mut rng = rng_for(0xFED, 3);
+    for _ in 0..CASES {
+        let specs = random_specs(&mut rng);
+        let seed = rng.gen_range(0..50u64);
+        let rounds = rng.gen_range(2..4usize);
         let net = build(&specs, seed);
         let q = Query::new(0, net.global_space());
         let one = fast_cfg(seed, Aggregation::FedAvgWeights, StageOrder::Sequential);
-        let many = FederationConfig { rounds, ..one.clone() };
+        let many = FederationConfig {
+            rounds,
+            ..one.clone()
+        };
         if let (Ok(a), Ok(b)) = (
             run_query(&net, &q, &QueryDriven::top_l(3), &one),
             run_query(&net, &q, &QueryDriven::top_l(3), &many),
         ) {
             let ratio = b.accounting.sample_visits as f64 / a.accounting.sample_visits as f64;
-            prop_assert!(
+            assert!(
                 (ratio - rounds as f64).abs() < 0.6,
                 "visits ratio {ratio} for {rounds} rounds"
             );

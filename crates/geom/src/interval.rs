@@ -1,13 +1,12 @@
 //! Closed 1-D intervals and the paper's five-case overlap ratio.
 
-use serde::{Deserialize, Serialize};
-
 /// A closed interval `[lo, hi]` on one data dimension.
 ///
 /// `lo == hi` (a degenerate, point interval) is allowed: it arises
 /// naturally when a cluster contains a single sample or a constant
 /// feature.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Interval {
     lo: f64,
     hi: f64,
@@ -19,7 +18,8 @@ pub struct Interval {
 /// (Fig. 4's two sub-figures are both [`OverlapCase::Disjoint`]; the fifth
 /// case — cluster strictly inside the query — is stated in the text as
 /// "five overlapping cases" and recovered here by symmetry).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OverlapCase {
     /// Fig. 3a: both query boundaries lie inside the cluster boundaries.
     QueryInsideCluster,
@@ -41,8 +41,14 @@ impl Interval {
     /// # Panics
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite(), "interval bounds must be finite ({lo}, {hi})");
-        assert!(lo <= hi, "interval lower bound {lo} exceeds upper bound {hi}");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "interval bounds must be finite ({lo}, {hi})"
+        );
+        assert!(
+            lo <= hi,
+            "interval lower bound {lo} exceeds upper bound {hi}"
+        );
         Self { lo, hi }
     }
 
@@ -237,7 +243,10 @@ mod tests {
     fn bounding_skips_nans_and_handles_empty() {
         assert_eq!(Interval::bounding(&[]), None);
         assert_eq!(Interval::bounding(&[f64::NAN]), None);
-        assert_eq!(Interval::bounding(&[2.0, f64::NAN, -1.0]), Some(Interval::new(-1.0, 2.0)));
+        assert_eq!(
+            Interval::bounding(&[2.0, f64::NAN, -1.0]),
+            Some(Interval::new(-1.0, 2.0))
+        );
         assert_eq!(Interval::bounding(&[5.0]), Some(Interval::point(5.0)));
     }
 
@@ -348,15 +357,27 @@ mod tests {
     #[test]
     fn ratio_is_bounded_by_one() {
         let q = Interval::new(0.0, 8.0);
-        for (lo, hi) in [(0.0, 8.0), (2.0, 6.0), (-3.0, 5.0), (4.0, 20.0), (-100.0, 100.0)] {
+        for (lo, hi) in [
+            (0.0, 8.0),
+            (2.0, 6.0),
+            (-3.0, 5.0),
+            (4.0, 20.0),
+            (-100.0, 100.0),
+        ] {
             let k = Interval::new(lo, hi);
             let r = q.overlap_ratio(&k);
-            assert!((0.0..=1.0).contains(&r), "ratio {r} for cluster [{lo},{hi}]");
+            assert!(
+                (0.0..=1.0).contains(&r),
+                "ratio {r} for cluster [{lo},{hi}]"
+            );
         }
     }
 
     #[test]
     fn expanded_grows_both_sides() {
-        assert_eq!(Interval::new(1.0, 2.0).expanded(0.5), Interval::new(0.5, 2.5));
+        assert_eq!(
+            Interval::new(1.0, 2.0).expanded(0.5),
+            Interval::new(0.5, 2.5)
+        );
     }
 }

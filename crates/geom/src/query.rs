@@ -1,7 +1,5 @@
 //! Analytics queries as bounded regions of the data space.
 
-use serde::{Deserialize, Serialize};
-
 use crate::rect::HyperRect;
 
 /// An analytics query `q` (§III-C): a request to build a model over the
@@ -10,7 +8,8 @@ use crate::rect::HyperRect;
 /// The paper expresses it as the boundary vector
 /// `q = [q_1^min, q_1^max, …, q_d^min, q_d^max]`; [`Query::region`]
 /// exposes it as a [`HyperRect`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Query {
     id: u64,
     region: HyperRect,
@@ -109,7 +108,10 @@ mod tests {
     fn filter_indices_returns_positions() {
         let q = Query::from_boundary_vec(0, &[0.0, 1.0]);
         let pts: Vec<Vec<f64>> = vec![vec![2.0], vec![0.5], vec![0.9], vec![-1.0]];
-        assert_eq!(q.filter_indices(pts.iter().map(|p| p.as_slice())), vec![1, 2]);
+        assert_eq!(
+            q.filter_indices(pts.iter().map(|p| p.as_slice())),
+            vec![1, 2]
+        );
     }
 
     #[test]

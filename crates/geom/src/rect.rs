@@ -1,14 +1,13 @@
 //! d-dimensional hyper-rectangles and the data-overlapping rate (Eq. 2).
 
-use serde::{Deserialize, Serialize};
-
 use crate::interval::Interval;
 
 /// An axis-aligned hyper-rectangle: one [`Interval`] per data dimension.
 ///
 /// Both cluster summaries (per-dimension min/max of the members) and
 /// analytics queries are hyper-rectangles in the paper's formulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HyperRect {
     dims: Vec<Interval>,
 }
@@ -19,7 +18,10 @@ impl HyperRect {
     /// # Panics
     /// Panics if `dims` is empty.
     pub fn new(dims: Vec<Interval>) -> Self {
-        assert!(!dims.is_empty(), "hyper-rectangle needs at least one dimension");
+        assert!(
+            !dims.is_empty(),
+            "hyper-rectangle needs at least one dimension"
+        );
         Self { dims }
     }
 
@@ -29,8 +31,15 @@ impl HyperRect {
     /// # Panics
     /// Panics if the vector is empty, has odd length, or any `min > max`.
     pub fn from_boundary_vec(bounds: &[f64]) -> Self {
-        assert!(!bounds.is_empty() && bounds.len().is_multiple_of(2), "boundary vector must have positive even length, got {}", bounds.len());
-        let dims = bounds.chunks_exact(2).map(|c| Interval::new(c[0], c[1])).collect();
+        assert!(
+            !bounds.is_empty() && bounds.len().is_multiple_of(2),
+            "boundary vector must have positive even length, got {}",
+            bounds.len()
+        );
+        let dims = bounds
+            .chunks_exact(2)
+            .map(|c| Interval::new(c[0], c[1]))
+            .collect();
         Self::new(dims)
     }
 
@@ -49,7 +58,12 @@ impl HyperRect {
                 *h = h.max(x);
             }
         }
-        Some(Self::new(lo.into_iter().zip(hi).map(|(l, h)| Interval::new(l, h)).collect()))
+        Some(Self::new(
+            lo.into_iter()
+                .zip(hi)
+                .map(|(l, h)| Interval::new(l, h))
+                .collect(),
+        ))
     }
 
     /// Number of dimensions.
@@ -102,21 +116,34 @@ impl HyperRect {
     /// True when the rectangles share at least one point.
     pub fn intersects(&self, other: &HyperRect) -> bool {
         assert_eq!(self.dim(), other.dim(), "rect dimensionality mismatch");
-        self.dims.iter().zip(&other.dims).all(|(a, b)| a.intersects(b))
+        self.dims
+            .iter()
+            .zip(&other.dims)
+            .all(|(a, b)| a.intersects(b))
     }
 
     /// The intersection rectangle, or `None` when disjoint on any axis.
     pub fn intersection(&self, other: &HyperRect) -> Option<HyperRect> {
         assert_eq!(self.dim(), other.dim(), "rect dimensionality mismatch");
-        let dims: Option<Vec<Interval>> =
-            self.dims.iter().zip(&other.dims).map(|(a, b)| a.intersection(b)).collect();
+        let dims: Option<Vec<Interval>> = self
+            .dims
+            .iter()
+            .zip(&other.dims)
+            .map(|(a, b)| a.intersection(b))
+            .collect();
         dims.map(HyperRect::new)
     }
 
     /// The smallest rectangle containing both.
     pub fn hull(&self, other: &HyperRect) -> HyperRect {
         assert_eq!(self.dim(), other.dim(), "rect dimensionality mismatch");
-        HyperRect::new(self.dims.iter().zip(&other.dims).map(|(a, b)| a.hull(b)).collect())
+        HyperRect::new(
+            self.dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.hull(b))
+                .collect(),
+        )
     }
 
     /// Grows every side by `margin`.
@@ -133,7 +160,12 @@ impl HyperRect {
     /// ([`Interval::overlap_ratio`]). Always in `[0, 1]`.
     pub fn overlap_rate(&self, cluster: &HyperRect) -> f64 {
         assert_eq!(self.dim(), cluster.dim(), "rect dimensionality mismatch");
-        let sum: f64 = self.dims.iter().zip(&cluster.dims).map(|(q, k)| q.overlap_ratio(k)).sum();
+        let sum: f64 = self
+            .dims
+            .iter()
+            .zip(&cluster.dims)
+            .map(|(q, k)| q.overlap_ratio(k))
+            .sum();
         sum / self.dim() as f64
     }
 

@@ -6,7 +6,13 @@
 /// Panics if the lengths differ.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     // Four-way unrolled accumulation: lets LLVM vectorise without relying
     // on float-reassociation flags.
     let mut acc = [0.0_f64; 4];
@@ -31,7 +37,13 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the lengths differ.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy length mismatch: {} vs {}", x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "axpy length mismatch: {} vs {}",
+        x.len(),
+        y.len()
+    );
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }

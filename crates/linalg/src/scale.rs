@@ -4,8 +4,6 @@
 //! training (the Keras pipelines it replaces do the same). Both scalers
 //! operate column-wise on a [`Matrix`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::stats;
 use crate::Matrix;
 
@@ -13,7 +11,8 @@ use crate::Matrix;
 ///
 /// Columns with zero standard deviation are passed through shifted by their
 /// mean only, so constant features do not produce NaNs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StandardScaler {
     means: Vec<f64>,
     stds: Vec<f64>,
@@ -25,8 +24,14 @@ impl StandardScaler {
     /// # Panics
     /// Panics if `data` has no rows.
     pub fn fit(data: &Matrix) -> Self {
-        assert!(data.rows() > 0, "cannot fit StandardScaler on an empty matrix");
-        Self { means: stats::column_means(data), stds: stats::column_std_devs(data) }
+        assert!(
+            data.rows() > 0,
+            "cannot fit StandardScaler on an empty matrix"
+        );
+        Self {
+            means: stats::column_means(data),
+            stds: stats::column_std_devs(data),
+        }
     }
 
     /// Per-column means captured at fit time.
@@ -41,7 +46,11 @@ impl StandardScaler {
 
     /// Transforms a matrix into standard-score space.
     pub fn transform(&self, data: &Matrix) -> Matrix {
-        assert_eq!(data.cols(), self.means.len(), "scaler fitted on different width");
+        assert_eq!(
+            data.cols(),
+            self.means.len(),
+            "scaler fitted on different width"
+        );
         let mut out = data.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
@@ -54,7 +63,11 @@ impl StandardScaler {
 
     /// Inverse of [`StandardScaler::transform`].
     pub fn inverse_transform(&self, data: &Matrix) -> Matrix {
-        assert_eq!(data.cols(), self.means.len(), "scaler fitted on different width");
+        assert_eq!(
+            data.cols(),
+            self.means.len(),
+            "scaler fitted on different width"
+        );
         let mut out = data.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
@@ -89,7 +102,8 @@ impl StandardScaler {
 /// Column-wise min-max scaler mapping each column onto `[0, 1]`.
 ///
 /// Constant columns map to `0.0`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MinMaxScaler {
     bounds: Vec<(f64, f64)>,
 }
@@ -100,7 +114,9 @@ impl MinMaxScaler {
     /// # Panics
     /// Panics if `data` has no rows.
     pub fn fit(data: &Matrix) -> Self {
-        Self { bounds: stats::column_min_max(data) }
+        Self {
+            bounds: stats::column_min_max(data),
+        }
     }
 
     /// Per-column `(min, max)` captured at fit time.
@@ -111,7 +127,11 @@ impl MinMaxScaler {
     /// Transforms a matrix onto `[0, 1]` per column (values outside the
     /// fitted range extrapolate linearly outside `[0, 1]`).
     pub fn transform(&self, data: &Matrix) -> Matrix {
-        assert_eq!(data.cols(), self.bounds.len(), "scaler fitted on different width");
+        assert_eq!(
+            data.cols(),
+            self.bounds.len(),
+            "scaler fitted on different width"
+        );
         let mut out = data.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
@@ -125,7 +145,11 @@ impl MinMaxScaler {
 
     /// Inverse of [`MinMaxScaler::transform`].
     pub fn inverse_transform(&self, data: &Matrix) -> Matrix {
-        assert_eq!(data.cols(), self.bounds.len(), "scaler fitted on different width");
+        assert_eq!(
+            data.cols(),
+            self.bounds.len(),
+            "scaler fitted on different width"
+        );
         let mut out = data.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);

@@ -26,22 +26,28 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// Minimum; `None` for an empty slice, NaNs are ignored.
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().filter(|x| !x.is_nan()).copied().fold(None, |acc, x| {
-        Some(match acc {
-            None => x,
-            Some(m) => m.min(x),
+    xs.iter()
+        .filter(|x| !x.is_nan())
+        .copied()
+        .fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(m) => m.min(x),
+            })
         })
-    })
 }
 
 /// Maximum; `None` for an empty slice, NaNs are ignored.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().filter(|x| !x.is_nan()).copied().fold(None, |acc, x| {
-        Some(match acc {
-            None => x,
-            Some(m) => m.max(x),
+    xs.iter()
+        .filter(|x| !x.is_nan())
+        .copied()
+        .fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(m) => m.max(x),
+            })
         })
-    })
 }
 
 /// `(min, max)` over a slice; `None` if empty or all-NaN.
@@ -83,7 +89,11 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
     }
     let mx = mean(xs);
     let my = mean(ys);
-    xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / xs.len() as f64
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / xs.len() as f64
 }
 
 /// Pearson correlation coefficient; 0 when either side is constant.

@@ -1,12 +1,12 @@
 //! Supervised regression datasets: a feature matrix plus a target vector.
 
+use linalg::rng::SliceRandom;
 use linalg::{rng, Matrix};
-use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
 
 /// A dense supervised dataset: `x` has one sample per row, `y` one target
 /// per sample (`ξ = (x, y)` in the paper's notation).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DenseDataset {
     x: Matrix,
     y: Vec<f64>,
@@ -18,13 +18,22 @@ impl DenseDataset {
     /// # Panics
     /// Panics if `x.rows() != y.len()`.
     pub fn new(x: Matrix, y: Vec<f64>) -> Self {
-        assert_eq!(x.rows(), y.len(), "feature rows ({}) != targets ({})", x.rows(), y.len());
+        assert_eq!(
+            x.rows(),
+            y.len(),
+            "feature rows ({}) != targets ({})",
+            x.rows(),
+            y.len()
+        );
         Self { x, y }
     }
 
     /// An empty dataset of the given feature width.
     pub fn empty(dim: usize) -> Self {
-        Self { x: Matrix::zeros(0, dim), y: Vec::new() }
+        Self {
+            x: Matrix::zeros(0, dim),
+            y: Vec::new(),
+        }
     }
 
     /// Feature matrix.
@@ -89,7 +98,10 @@ impl DenseDataset {
     /// # Panics
     /// Panics if `val_fraction` is outside `[0, 1)`.
     pub fn split(&self, val_fraction: f64, seed: u64) -> (DenseDataset, DenseDataset) {
-        assert!((0.0..1.0).contains(&val_fraction), "val_fraction {val_fraction} outside [0,1)");
+        assert!(
+            (0.0..1.0).contains(&val_fraction),
+            "val_fraction {val_fraction} outside [0,1)"
+        );
         let shuffled = self.shuffled(seed);
         let n = shuffled.len();
         let n_val = ((n as f64 * val_fraction).round() as usize).min(n.saturating_sub(1));

@@ -1,7 +1,5 @@
 //! Linear regression — the paper's "LR" model (Table III: Dense 1).
 
-use serde::{Deserialize, Serialize};
-
 use crate::data::DenseDataset;
 use crate::loss::Loss;
 use crate::model::Regressor;
@@ -11,7 +9,8 @@ use crate::model::Regressor;
 /// Weights start at zero, which makes LR training deterministic with no
 /// seed at all and mirrors Keras' default for a single dense unit closely
 /// enough for the paper's purposes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinearRegression {
     w: Vec<f64>,
     b: f64,
@@ -24,7 +23,10 @@ impl LinearRegression {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "linear regression needs at least one feature");
-        Self { w: vec![0.0; dim], b: 0.0 }
+        Self {
+            w: vec![0.0; dim],
+            b: 0.0,
+        }
     }
 
     /// Input dimension.
@@ -52,7 +54,10 @@ impl LinearRegression {
         assert!(!data.is_empty(), "fit_ols_1d on an empty dataset");
         let xs = data.x().col(0);
         let (slope, intercept) = linalg::stats::ols_line(&xs, data.y());
-        Self { w: vec![slope], b: intercept }
+        Self {
+            w: vec![slope],
+            b: intercept,
+        }
     }
 }
 
@@ -80,7 +85,13 @@ impl Regressor for LinearRegression {
 
     fn grad_batch(&self, batch: &DenseDataset, loss: Loss) -> (Vec<f64>, f64) {
         assert!(!batch.is_empty(), "gradient of an empty batch");
-        assert_eq!(batch.dim(), self.dim(), "batch width {} != model dim {}", batch.dim(), self.dim());
+        assert_eq!(
+            batch.dim(),
+            self.dim(),
+            "batch width {} != model dim {}",
+            batch.dim(),
+            self.dim()
+        );
         let n = batch.len() as f64;
         let mut grad = vec![0.0; self.num_weights()];
         let mut total_loss = 0.0;
@@ -109,7 +120,11 @@ mod tests {
     fn linear_data(n: usize, w: &[f64], b: f64, seed: u64) -> DenseDataset {
         let mut rng = linalg::rng::rng_for(seed, 77);
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| w.iter().map(|_| linalg::rng::normal(&mut rng, 0.0, 1.0)).collect())
+            .map(|_| {
+                w.iter()
+                    .map(|_| linalg::rng::normal(&mut rng, 0.0, 1.0))
+                    .collect()
+            })
             .collect();
         let y: Vec<f64> = rows.iter().map(|r| linalg::ops::dot(w, r) + b).collect();
         DenseDataset::new(Matrix::from_rows(&rows), y)
@@ -150,7 +165,11 @@ mod tests {
             let mut mm = model.clone();
             mm.set_weights(&minus);
             let num = (mp.evaluate(&data, Loss::Mse) - mm.evaluate(&data, Loss::Mse)) / (2.0 * eps);
-            assert!((num - grad[i]).abs() < 1e-4, "param {i}: {num} vs {}", grad[i]);
+            assert!(
+                (num - grad[i]).abs() < 1e-4,
+                "param {i}: {num} vs {}",
+                grad[i]
+            );
         }
     }
 

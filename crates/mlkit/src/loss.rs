@@ -1,12 +1,11 @@
 //! Regression losses with gradients w.r.t. the prediction.
 
-use serde::{Deserialize, Serialize};
-
 /// A pointwise regression loss.
 ///
 /// Table III uses MSE for both models; MAE and Huber are provided for the
 /// extension benches.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Loss {
     /// Mean squared error, `(ŷ − y)²` per sample (averaged over a batch).
     Mse,
@@ -61,7 +60,11 @@ impl Loss {
     pub fn mean(&self, predictions: &[f64], targets: &[f64]) -> f64 {
         assert_eq!(predictions.len(), targets.len(), "loss length mismatch");
         assert!(!predictions.is_empty(), "mean loss of an empty batch");
-        predictions.iter().zip(targets).map(|(&p, &t)| self.value(p, t)).sum::<f64>()
+        predictions
+            .iter()
+            .zip(targets)
+            .map(|(&p, &t)| self.value(p, t))
+            .sum::<f64>()
             / predictions.len() as f64
     }
 }
@@ -120,7 +123,10 @@ mod tests {
                 let eps = 1e-6;
                 let num = (loss.value(p + eps, t) - loss.value(p - eps, t)) / (2.0 * eps);
                 let ana = loss.gradient(p, t);
-                assert!((num - ana).abs() < 1e-4, "{loss:?} at ({p},{t}): {num} vs {ana}");
+                assert!(
+                    (num - ana).abs() < 1e-4,
+                    "{loss:?} at ({p},{t}): {num} vs {ana}"
+                );
             }
         }
     }

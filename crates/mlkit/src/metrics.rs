@@ -27,7 +27,11 @@ pub fn rmse(predictions: &[f64], targets: &[f64]) -> f64 {
 pub fn mae(predictions: &[f64], targets: &[f64]) -> f64 {
     assert_eq!(predictions.len(), targets.len(), "mae length mismatch");
     assert!(!predictions.is_empty(), "mae of empty slices");
-    predictions.iter().zip(targets).map(|(&p, &t)| (p - t).abs()).sum::<f64>()
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f64>()
         / predictions.len() as f64
 }
 
@@ -44,7 +48,11 @@ pub fn r2(predictions: &[f64], targets: &[f64]) -> f64 {
     if ss_tot == 0.0 {
         return 0.0;
     }
-    let ss_res: f64 = predictions.iter().zip(targets).map(|(&p, &t)| (p - t) * (p - t)).sum();
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum();
     1.0 - ss_res / ss_tot
 }
 

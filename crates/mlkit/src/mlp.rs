@@ -1,8 +1,6 @@
 //! One-hidden-layer MLP — the paper's "NN" model (Table III: Dense 64,
 //! ReLU, MSE).
 
-use serde::{Deserialize, Serialize};
-
 use crate::data::DenseDataset;
 use crate::loss::Loss;
 use crate::model::Regressor;
@@ -12,7 +10,8 @@ use crate::model::Regressor;
 /// Hidden weights use He-uniform initialisation (the right scaling for
 /// ReLU and what Keras does by default up to the distribution family),
 /// driven by an explicit seed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Mlp {
     dim: usize,
     hidden: usize,
@@ -31,14 +30,25 @@ impl Mlp {
     pub fn new(dim: usize, hidden: usize, seed: u64) -> Self {
         assert!(dim > 0, "mlp needs at least one input feature");
         assert!(hidden > 0, "mlp needs at least one hidden unit");
-        use rand::Rng;
+        use linalg::rng::Rng;
         let mut rng = linalg::rng::rng_for(seed, 0x4E_E7);
         // He-uniform bound for the hidden layer; Glorot-ish for output.
         let limit1 = (6.0 / dim as f64).sqrt();
         let limit2 = (6.0 / (hidden + 1) as f64).sqrt();
-        let w1 = (0..hidden * dim).map(|_| rng.gen_range(-limit1..limit1)).collect();
-        let w2 = (0..hidden).map(|_| rng.gen_range(-limit2..limit2)).collect();
-        Self { dim, hidden, w1, b1: vec![0.0; hidden], w2, b2: 0.0 }
+        let w1 = (0..hidden * dim)
+            .map(|_| rng.gen_range(-limit1..limit1))
+            .collect();
+        let w2 = (0..hidden)
+            .map(|_| rng.gen_range(-limit2..limit2))
+            .collect();
+        Self {
+            dim,
+            hidden,
+            w1,
+            b1: vec![0.0; hidden],
+            w2,
+            b2: 0.0,
+        }
     }
 
     /// Input dimension.
@@ -96,7 +106,13 @@ impl Regressor for Mlp {
 
     fn grad_batch(&self, batch: &DenseDataset, loss: Loss) -> (Vec<f64>, f64) {
         assert!(!batch.is_empty(), "gradient of an empty batch");
-        assert_eq!(batch.dim(), self.dim, "batch width {} != model dim {}", batch.dim(), self.dim);
+        assert_eq!(
+            batch.dim(),
+            self.dim,
+            "batch width {} != model dim {}",
+            batch.dim(),
+            self.dim
+        );
         let n = batch.len() as f64;
         let mut g_w1 = vec![0.0; self.w1.len()];
         let mut g_b1 = vec![0.0; self.hidden];
@@ -144,7 +160,10 @@ mod tests {
         let mut rng = linalg::rng::rng_for(seed, 88);
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|_| {
-                vec![linalg::rng::normal(&mut rng, 0.0, 1.0), linalg::rng::normal(&mut rng, 0.0, 1.0)]
+                vec![
+                    linalg::rng::normal(&mut rng, 0.0, 1.0),
+                    linalg::rng::normal(&mut rng, 0.0, 1.0),
+                ]
             })
             .collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] * r[0] + 0.5 * r[1]).collect();
@@ -201,7 +220,11 @@ mod tests {
             minus.set_weights(&wm);
             let num =
                 (plus.evaluate(&data, Loss::Mse) - minus.evaluate(&data, Loss::Mse)) / (2.0 * eps);
-            assert!((num - grad[i]).abs() < 1e-4, "param {i}: {num} vs {}", grad[i]);
+            assert!(
+                (num - grad[i]).abs() < 1e-4,
+                "param {i}: {num} vs {}",
+                grad[i]
+            );
         }
     }
 

@@ -2,7 +2,6 @@
 //! federated aggregation code.
 
 use linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 use crate::data::DenseDataset;
 use crate::linear::LinearRegression;
@@ -50,7 +49,8 @@ pub trait Regressor {
 }
 
 /// Which of the paper's two architectures to build (Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ModelKind {
     /// "LR": a single dense unit — linear regression.
     Linear,
@@ -85,7 +85,8 @@ impl ModelKind {
 }
 
 /// A clonable, serialisable regressor: one of the two paper architectures.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Model {
     /// Linear regression.
     Linear(LinearRegression),

@@ -1,10 +1,9 @@
 //! First-order optimisers over flat parameter vectors.
 
-use serde::{Deserialize, Serialize};
-
 /// Optimiser configuration; [`OptimizerKind::build`] instantiates the
 /// stateful [`Optimizer`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OptimizerKind {
     /// Plain stochastic gradient descent.
     Sgd {
@@ -34,12 +33,22 @@ pub enum OptimizerKind {
 impl OptimizerKind {
     /// Adam with the standard moment defaults.
     pub fn adam(lr: f64) -> Self {
-        OptimizerKind::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        OptimizerKind::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 
     /// Builds the stateful optimiser for a parameter vector of length `n`.
     pub fn build(&self, n: usize) -> Optimizer {
-        Optimizer { kind: *self, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+        Optimizer {
+            kind: *self,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
     }
 
     /// The configured learning rate.
@@ -53,7 +62,8 @@ impl OptimizerKind {
 }
 
 /// A stateful first-order optimiser bound to one parameter vector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Optimizer {
     kind: OptimizerKind,
     /// First-moment / velocity buffer.
@@ -70,7 +80,13 @@ impl Optimizer {
     /// # Panics
     /// Panics if `params`/`grads` lengths differ from the build length.
     pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), self.m.len(), "optimizer built for {} params, got {}", self.m.len(), params.len());
+        assert_eq!(
+            params.len(),
+            self.m.len(),
+            "optimizer built for {} params, got {}",
+            self.m.len(),
+            params.len()
+        );
         assert_eq!(grads.len(), self.m.len(), "gradient length mismatch");
         match self.kind {
             OptimizerKind::Sgd { lr } => {
@@ -84,12 +100,20 @@ impl Optimizer {
                     *p -= lr * *m;
                 }
             }
-            OptimizerKind::Adam { lr, beta1, beta2, eps } => {
+            OptimizerKind::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
                 self.t += 1;
                 let bc1 = 1.0 - beta1.powi(self.t as i32);
                 let bc2 = 1.0 - beta2.powi(self.t as i32);
-                for (((p, m), v), &g) in
-                    params.iter_mut().zip(&mut self.m).zip(&mut self.v).zip(grads)
+                for (((p, m), v), &g) in params
+                    .iter_mut()
+                    .zip(&mut self.m)
+                    .zip(&mut self.v)
+                    .zip(grads)
                 {
                     *m = beta1 * *m + (1.0 - beta1) * g;
                     *v = beta2 * *v + (1.0 - beta2) * g * g;
@@ -148,7 +172,13 @@ mod tests {
 
     #[test]
     fn momentum_converges_on_quadratic() {
-        let x = minimise(OptimizerKind::Momentum { lr: 0.05, beta: 0.9 }, 300);
+        let x = minimise(
+            OptimizerKind::Momentum {
+                lr: 0.05,
+                beta: 0.9,
+            },
+            300,
+        );
         assert!((x - 3.0).abs() < 1e-4, "x = {x}");
     }
 
@@ -175,7 +205,10 @@ mod tests {
         opt.reset();
         let mut q = vec![0.0];
         opt.step(&mut q, &[1.0]);
-        assert_eq!(q[0], after_one, "reset optimiser must repeat its first step");
+        assert_eq!(
+            q[0], after_one,
+            "reset optimiser must repeat its first step"
+        );
     }
 
     #[test]

@@ -4,11 +4,10 @@
 //! extension used by the longer multi-round runs where a decaying rate
 //! stabilises the final epochs.
 
-use serde::{Deserialize, Serialize};
-
 /// A learning-rate schedule: maps `(epoch, base_lr)` to the rate used
 /// in that epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LrSchedule {
     /// The base rate throughout (the paper's setting).
     Constant,
@@ -40,12 +39,18 @@ impl LrSchedule {
             LrSchedule::Constant => base_lr,
             LrSchedule::StepDecay { every, factor } => {
                 assert!(every > 0, "step decay interval must be positive");
-                assert!((0.0..=1.0).contains(&factor) && factor > 0.0, "decay factor must be in (0,1]");
+                assert!(
+                    (0.0..=1.0).contains(&factor) && factor > 0.0,
+                    "decay factor must be in (0,1]"
+                );
                 base_lr * factor.powi((epoch / every) as i32)
             }
             LrSchedule::Cosine { total, min_lr } => {
                 assert!(total > 0, "cosine schedule needs a positive horizon");
-                assert!(min_lr >= 0.0 && min_lr <= base_lr, "min_lr must be in [0, base_lr]");
+                assert!(
+                    min_lr >= 0.0 && min_lr <= base_lr,
+                    "min_lr must be in [0, base_lr]"
+                );
                 if epoch >= total {
                     return min_lr;
                 }
@@ -69,7 +74,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves_on_schedule() {
-        let s = LrSchedule::StepDecay { every: 10, factor: 0.5 };
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            factor: 0.5,
+        };
         assert_eq!(s.rate(0, 1.0), 1.0);
         assert_eq!(s.rate(9, 1.0), 1.0);
         assert_eq!(s.rate(10, 1.0), 0.5);
@@ -78,7 +86,10 @@ mod tests {
 
     #[test]
     fn cosine_anneals_monotonically_to_min() {
-        let s = LrSchedule::Cosine { total: 100, min_lr: 0.001 };
+        let s = LrSchedule::Cosine {
+            total: 100,
+            min_lr: 0.001,
+        };
         let mut last = f64::INFINITY;
         for e in 0..=100 {
             let r = s.rate(e, 0.1);

@@ -2,8 +2,6 @@
 //! per-cluster training (§IV-A remark: "each cluster represents a
 //! mini-batch", trained for `E` rounds each, producing one model per node).
 
-use serde::{Deserialize, Serialize};
-
 use crate::data::DenseDataset;
 use crate::loss::Loss;
 use crate::model::Regressor;
@@ -11,7 +9,8 @@ use crate::optim::OptimizerKind;
 use crate::schedule::LrSchedule;
 
 /// Hyper-parameters of a training run (Table III).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrainConfig {
     /// Epochs over the training split.
     pub epochs: usize,
@@ -84,7 +83,8 @@ impl TrainConfig {
 }
 
 /// What a training run measured.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrainReport {
     /// Mean training loss after each epoch.
     pub train_loss: Vec<f64>,
@@ -129,8 +129,14 @@ impl TrainReport {
 ///
 /// # Panics
 /// Panics if `data` is empty.
-pub fn train<M: Regressor>(model: &mut M, data: &DenseDataset, config: &TrainConfig) -> TrainReport {
+pub fn train<M: Regressor>(
+    model: &mut M,
+    data: &DenseDataset,
+    config: &TrainConfig,
+) -> TrainReport {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
+    let _span = telemetry::span!("qens_mlkit_train_nanos");
+    telemetry::counter!("qens_mlkit_train_calls_total").incr();
     assert!(
         data.x().all_finite() && data.y().iter().all(|v| v.is_finite()),
         "training data contains NaN/inf - impute missing values first (see airdata::impute)"
@@ -223,7 +229,12 @@ pub fn train_incremental<M: Regressor>(
         if stage.is_empty() {
             continue;
         }
-        let stage_cfg = TrainConfig { seed: config.seed.wrapping_add(i as u64 * 7919), ..config.clone() };
+        let stage_cfg = TrainConfig {
+            seed: config.seed.wrapping_add(i as u64 * 7919),
+            ..config.clone()
+        };
+        let _stage_span = telemetry::span!("qens_mlkit_stage_nanos");
+        telemetry::counter!("qens_mlkit_stage_samples_total").add(stage.len() as u64);
         let rep = train(model, stage, &stage_cfg);
         match &mut combined {
             None => combined = Some(rep),
@@ -252,7 +263,15 @@ pub fn train_interleaved<M: Regressor>(
     config: &TrainConfig,
 ) -> TrainReport {
     let nonempty: Vec<&DenseDataset> = stages.iter().filter(|s| !s.is_empty()).collect();
-    assert!(!nonempty.is_empty(), "train_interleaved requires at least one non-empty stage");
+    assert!(
+        !nonempty.is_empty(),
+        "train_interleaved requires at least one non-empty stage"
+    );
+    let _span = telemetry::span!("qens_mlkit_train_nanos");
+    telemetry::counter!("qens_mlkit_train_calls_total").incr();
+    for stage in &nonempty {
+        telemetry::counter!("qens_mlkit_stage_samples_total").add(stage.len() as u64);
+    }
     let mut report = TrainReport {
         train_loss: Vec::with_capacity(config.epochs),
         val_loss: Vec::new(),
@@ -268,7 +287,10 @@ pub fn train_interleaved<M: Regressor>(
         let mut batches = 0usize;
         for (si, stage) in nonempty.iter().enumerate() {
             let shuffled = stage.shuffled(
-                config.seed.wrapping_add(epoch as u64 + 1).wrapping_add(si as u64 * 7919),
+                config
+                    .seed
+                    .wrapping_add(epoch as u64 + 1)
+                    .wrapping_add(si as u64 * 7919),
             );
             for batch in shuffled.batches(config.batch_size) {
                 let (mut grad, loss) = model.grad_batch(&batch, config.loss);
@@ -303,10 +325,17 @@ mod tests {
     fn linear_data(n: usize, seed: u64) -> DenseDataset {
         let mut rng = linalg::rng::rng_for(seed, 55);
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![linalg::rng::normal(&mut rng, 0.0, 1.0), linalg::rng::normal(&mut rng, 0.0, 1.0)])
+            .map(|_| {
+                vec![
+                    linalg::rng::normal(&mut rng, 0.0, 1.0),
+                    linalg::rng::normal(&mut rng, 0.0, 1.0),
+                ]
+            })
             .collect();
-        let y: Vec<f64> =
-            rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0 + linalg::rng::normal(&mut rng, 0.0, 0.01)).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0 + linalg::rng::normal(&mut rng, 0.0, 0.01))
+            .collect();
         DenseDataset::new(Matrix::from_rows(&rows), y)
     }
 
@@ -357,7 +386,11 @@ mod tests {
     fn early_stopping_halts_on_plateau() {
         let data = linear_data(120, 4);
         let mut model = ModelKind::Linear.build(2, 0);
-        let cfg = TrainConfig { patience: Some(3), epochs: 400, ..TrainConfig::paper_lr(5) };
+        let cfg = TrainConfig {
+            patience: Some(3),
+            epochs: 400,
+            ..TrainConfig::paper_lr(5)
+        };
         let report = train(&mut model, &data, &cfg);
         assert!(report.early_stopped);
         assert!(report.train_loss.len() < 400);
@@ -367,7 +400,11 @@ mod tests {
     fn zero_validation_split_trains_on_everything() {
         let data = linear_data(50, 6);
         let mut model = ModelKind::Linear.build(2, 0);
-        let cfg = TrainConfig { validation_split: 0.0, ..TrainConfig::paper_lr(7) }.with_epochs(5);
+        let cfg = TrainConfig {
+            validation_split: 0.0,
+            ..TrainConfig::paper_lr(7)
+        }
+        .with_epochs(5);
         let report = train(&mut model, &data, &cfg);
         assert!(report.val_loss.is_empty());
         assert_eq!(report.samples_seen, 50 * 5);
@@ -392,7 +429,11 @@ mod tests {
         let data = linear_data(60, 10);
         let stages = vec![DenseDataset::empty(2), data.clone(), DenseDataset::empty(2)];
         let mut model = ModelKind::Linear.build(2, 0);
-        let report = train_incremental(&mut model, &stages, &TrainConfig::paper_lr(1).with_epochs(10));
+        let report = train_incremental(
+            &mut model,
+            &stages,
+            &TrainConfig::paper_lr(1).with_epochs(10),
+        );
         assert_eq!(report.train_loss.len(), 10);
     }
 
@@ -400,14 +441,21 @@ mod tests {
     #[should_panic(expected = "at least one non-empty stage")]
     fn incremental_all_empty_panics() {
         let mut model = ModelKind::Linear.build(2, 0);
-        train_incremental(&mut model, &[DenseDataset::empty(2)], &TrainConfig::paper_lr(0));
+        train_incremental(
+            &mut model,
+            &[DenseDataset::empty(2)],
+            &TrainConfig::paper_lr(0),
+        );
     }
 
     #[test]
     fn weight_decay_shrinks_coefficients() {
         let data = linear_data(150, 12);
         let plain_cfg = TrainConfig::paper_lr(3).with_epochs(40);
-        let decayed_cfg = TrainConfig { weight_decay: 0.5, ..plain_cfg.clone() };
+        let decayed_cfg = TrainConfig {
+            weight_decay: 0.5,
+            ..plain_cfg.clone()
+        };
         let mut plain = ModelKind::Linear.build(2, 0);
         let mut decayed = ModelKind::Linear.build(2, 0);
         train(&mut plain, &data, &plain_cfg);
@@ -436,14 +484,21 @@ mod tests {
         let mut model = ModelKind::Linear.build(1, 0);
         train(&mut model, &data, &cfg);
         // 5 epochs * 1 batch, lr 0.03, clip 1 => |w| <= 0.15 + eps.
-        assert!(model.weights().iter().all(|w| w.abs() <= 0.2), "{:?}", model.weights());
+        assert!(
+            model.weights().iter().all(|w| w.abs() <= 0.2),
+            "{:?}",
+            model.weights()
+        );
     }
 
     #[test]
     fn cosine_schedule_trains_to_convergence() {
         let data = linear_data(150, 14);
         let cfg = TrainConfig {
-            schedule: crate::schedule::LrSchedule::Cosine { total: 60, min_lr: 1e-4 },
+            schedule: crate::schedule::LrSchedule::Cosine {
+                total: 60,
+                min_lr: 1e-4,
+            },
             ..TrainConfig::paper_lr(5).with_epochs(60)
         };
         let mut model = ModelKind::Linear.build(2, 0);
@@ -467,7 +522,11 @@ mod tests {
         let data = linear_data(200, 20);
         let idx_a: Vec<usize> = (0..100).collect();
         let idx_b: Vec<usize> = (100..200).collect();
-        let stages = vec![data.select(&idx_a), DenseDataset::empty(2), data.select(&idx_b)];
+        let stages = vec![
+            data.select(&idx_a),
+            DenseDataset::empty(2),
+            data.select(&idx_b),
+        ];
         let mut model = ModelKind::Linear.build(2, 0);
         let cfg = TrainConfig::paper_lr(4).with_epochs(25);
         let report = train_interleaved(&mut model, &stages, &cfg);
@@ -481,11 +540,12 @@ mod tests {
         // y = 5x), stage B (x in [2,3], y = -5x + 20). An NN trained
         // sequentially with many epochs per stage forgets stage A; the
         // interleaved order retains both.
-        use rand::Rng;
+        use linalg::rng::Rng;
         let mk = |lo: f64, slope: f64, b: f64, seed: u64| {
             let mut rng = linalg::rng::rng_for(seed, 9);
-            let rows: Vec<Vec<f64>> =
-                (0..120).map(|_| vec![lo + rng.gen_range(0.0..1.0)]).collect();
+            let rows: Vec<Vec<f64>> = (0..120)
+                .map(|_| vec![lo + rng.gen_range(0.0..1.0)])
+                .collect();
             let y: Vec<f64> = rows.iter().map(|r| slope * r[0] + b).collect();
             DenseDataset::new(Matrix::from_rows(&rows), y)
         };
@@ -513,19 +573,32 @@ mod tests {
     #[should_panic(expected = "at least one non-empty stage")]
     fn interleaved_all_empty_panics() {
         let mut model = ModelKind::Linear.build(2, 0);
-        train_interleaved(&mut model, &[DenseDataset::empty(2)], &TrainConfig::paper_lr(0));
+        train_interleaved(
+            &mut model,
+            &[DenseDataset::empty(2)],
+            &TrainConfig::paper_lr(0),
+        );
     }
 
     #[test]
     fn nn_trains_on_nonlinear_target() {
         // Small NN + Adam on y = x^2.
         let mut rng = linalg::rng::rng_for(3, 66);
-        let rows: Vec<Vec<f64>> = (0..200).map(|_| vec![linalg::rng::normal(&mut rng, 0.0, 1.0)]).collect();
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![linalg::rng::normal(&mut rng, 0.0, 1.0)])
+            .collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] * r[0]).collect();
         let data = DenseDataset::new(Matrix::from_rows(&rows), y);
         let mut model: Model = ModelKind::Neural { hidden: 16 }.build(1, 5);
-        let cfg = TrainConfig { optimizer: OptimizerKind::adam(0.01), ..TrainConfig::paper_nn(2) };
+        let cfg = TrainConfig {
+            optimizer: OptimizerKind::adam(0.01),
+            ..TrainConfig::paper_nn(2)
+        };
         let report = train(&mut model, &data, &cfg);
-        assert!(report.final_train_loss().unwrap() < 0.1, "loss {:?}", report.final_train_loss());
+        assert!(
+            report.final_train_loss().unwrap() < 0.1,
+            "loss {:?}",
+            report.final_train_loss()
+        );
     }
 }

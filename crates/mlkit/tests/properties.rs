@@ -1,45 +1,54 @@
-//! Property-based tests for the ML substrate.
+//! Property-style tests for the ML substrate (deterministic sweeps over
+//! the in-tree RNG; no proptest needed offline).
 
+use linalg::rng::{rng_for, Rng};
 use linalg::Matrix;
 use mlkit::{DenseDataset, Loss, Model, ModelKind, Regressor};
-use proptest::prelude::*;
 
-fn dataset_strategy(dim: usize) -> impl Strategy<Value = DenseDataset> {
-    (2..40usize).prop_flat_map(move |n| {
-        (
-            prop::collection::vec(-10.0_f64..10.0, n * dim),
-            prop::collection::vec(-10.0_f64..10.0, n),
-        )
-            .prop_map(move |(x, y)| DenseDataset::new(Matrix::from_vec(n, dim, x), y))
-    })
+const CASES: usize = 48;
+
+fn random_dataset(rng: &mut impl Rng, dim: usize) -> DenseDataset {
+    let n = rng.gen_range(2..40usize);
+    let x: Vec<f64> = (0..n * dim).map(|_| rng.gen_range(-10.0..10.0)).collect();
+    let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+    DenseDataset::new(Matrix::from_vec(n, dim, x), y)
 }
 
-fn model_strategy(dim: usize) -> impl Strategy<Value = Model> {
-    prop_oneof![
-        Just(ModelKind::Linear),
-        (1..12usize).prop_map(|hidden| ModelKind::Neural { hidden }),
-    ]
-    .prop_flat_map(move |kind| (0..1000u64).prop_map(move |seed| kind.build(dim, seed)))
+fn random_model(rng: &mut impl Rng, dim: usize) -> Model {
+    let kind = if rng.gen_bool(0.5) {
+        ModelKind::Linear
+    } else {
+        ModelKind::Neural {
+            hidden: rng.gen_range(1..12usize),
+        }
+    };
+    kind.build(dim, rng.gen_range(0..1000u64))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// weights()/set_weights() is an exact round trip for both models.
-    #[test]
-    fn weight_round_trip(model in model_strategy(3), probe in prop::collection::vec(-5.0_f64..5.0, 3)) {
+/// weights()/set_weights() is an exact round trip for both models.
+#[test]
+fn weight_round_trip() {
+    let mut rng = rng_for(0x314, 1);
+    for _ in 0..CASES {
+        let model = random_model(&mut rng, 3);
+        let probe: Vec<f64> = (0..3).map(|_| rng.gen_range(-5.0..5.0)).collect();
         let mut clone = model.clone();
         let w = model.weights();
-        prop_assert_eq!(w.len(), model.num_weights());
+        assert_eq!(w.len(), model.num_weights());
         clone.set_weights(&w);
-        prop_assert_eq!(clone.predict_row(&probe), model.predict_row(&probe));
+        assert_eq!(clone.predict_row(&probe), model.predict_row(&probe));
     }
+}
 
-    /// The analytic batch gradient matches central finite differences.
-    #[test]
-    fn gradient_check(model in model_strategy(2), data in dataset_strategy(2)) {
+/// The analytic batch gradient matches central finite differences.
+#[test]
+fn gradient_check() {
+    let mut rng = rng_for(0x314, 2);
+    for _ in 0..CASES {
+        let model = random_model(&mut rng, 2);
+        let data = random_dataset(&mut rng, 2);
         let (grad, loss_val) = model.grad_batch(&data, Loss::Mse);
-        prop_assert!(loss_val >= 0.0);
+        assert!(loss_val >= 0.0);
         let base = model.weights();
         let eps = 1e-5;
         // Check a handful of coordinates to keep the case fast.
@@ -52,23 +61,34 @@ proptest! {
             let mut wm = base.clone();
             wm[i] -= eps;
             minus.set_weights(&wm);
-            let num = (plus.evaluate(&data, Loss::Mse) - minus.evaluate(&data, Loss::Mse)) / (2.0 * eps);
+            let num =
+                (plus.evaluate(&data, Loss::Mse) - minus.evaluate(&data, Loss::Mse)) / (2.0 * eps);
             // ReLU kinks can make single coordinates locally non-smooth;
             // tolerate a small absolute band scaled by the loss magnitude.
             let tol = 1e-3 * (1.0 + loss_val.abs());
-            prop_assert!((num - grad[i]).abs() < tol, "coord {i}: {num} vs {}", grad[i]);
+            assert!(
+                (num - grad[i]).abs() < tol,
+                "coord {i}: {num} vs {}",
+                grad[i]
+            );
         }
     }
+}
 
-    /// A gradient step with a tiny learning rate never increases the
-    /// full-batch loss (local descent property; linear model is convex).
-    #[test]
-    fn sgd_step_descends_for_linear(data in dataset_strategy(2)) {
+/// A gradient step with a tiny learning rate never increases the
+/// full-batch loss (local descent property; linear model is convex).
+#[test]
+fn sgd_step_descends_for_linear() {
+    let mut rng = rng_for(0x314, 3);
+    for _ in 0..CASES {
+        let data = random_dataset(&mut rng, 2);
         let mut model = ModelKind::Linear.build(2, 0);
         let before = model.evaluate(&data, Loss::Mse);
         let (grad, _) = model.grad_batch(&data, Loss::Mse);
         let gn: f64 = grad.iter().map(|g| g * g).sum();
-        prop_assume!(gn > 1e-12);
+        if gn <= 1e-12 {
+            continue; // zero gradient: nothing to descend (proptest's prop_assume)
+        }
         let lr = 1e-6 / gn.sqrt().max(1.0);
         let mut w = model.weights();
         for (wi, g) in w.iter_mut().zip(&grad) {
@@ -76,20 +96,20 @@ proptest! {
         }
         model.set_weights(&w);
         let after = model.evaluate(&data, Loss::Mse);
-        prop_assert!(after <= before + 1e-9, "{before} -> {after}");
+        assert!(after <= before + 1e-9, "{before} -> {after}");
     }
+}
 
-    /// Split + concat preserves the multiset of (x, y) pairs.
-    #[test]
-    fn split_is_lossless(data in dataset_strategy(3), frac in 0.05_f64..0.9, seed in 0u64..100) {
+/// Split + concat preserves the multiset of (x, y) pairs.
+#[test]
+fn split_is_lossless() {
+    let mut rng = rng_for(0x314, 4);
+    for _ in 0..CASES {
+        let data = random_dataset(&mut rng, 3);
+        let frac = rng.gen_range(0.05..0.9);
+        let seed = rng.gen_range(0..100u64);
         let (train, val) = data.split(frac, seed);
-        prop_assert_eq!(train.len() + val.len(), data.len());
-        let mut got: Vec<(Vec<f64>, f64)> = train
-            .x().row_iter().zip(train.y()).map(|(r, &y)| (r.to_vec(), y))
-            .chain(val.x().row_iter().zip(val.y()).map(|(r, &y)| (r.to_vec(), y)))
-            .collect();
-        let mut want: Vec<(Vec<f64>, f64)> =
-            data.x().row_iter().zip(data.y()).map(|(r, &y)| (r.to_vec(), y)).collect();
+        assert_eq!(train.len() + val.len(), data.len());
         let key = |p: &(Vec<f64>, f64)| {
             let mut s = String::new();
             for v in &p.0 {
@@ -98,24 +118,48 @@ proptest! {
             s.push_str(&format!("{:.12}", p.1));
             s
         };
+        let mut got: Vec<(Vec<f64>, f64)> = train
+            .x()
+            .row_iter()
+            .zip(train.y())
+            .map(|(r, &y)| (r.to_vec(), y))
+            .chain(
+                val.x()
+                    .row_iter()
+                    .zip(val.y())
+                    .map(|(r, &y)| (r.to_vec(), y)),
+            )
+            .collect();
+        let mut want: Vec<(Vec<f64>, f64)> = data
+            .x()
+            .row_iter()
+            .zip(data.y())
+            .map(|(r, &y)| (r.to_vec(), y))
+            .collect();
         got.sort_by_key(key);
         want.sort_by_key(key);
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// Metrics invariants: rmse² == mse, mae <= rmse, r2 <= 1.
-    #[test]
-    fn metric_relations(
-        p in prop::collection::vec(-100.0_f64..100.0, 1..50),
-        t_seed in 0u64..50
-    ) {
-        let mut rng = linalg::rng::rng_for(t_seed, 1);
-        let t: Vec<f64> = p.iter().map(|_| linalg::rng::normal(&mut rng, 0.0, 10.0)).collect();
+/// Metrics invariants: rmse² == mse, mae <= rmse, r2 <= 1.
+#[test]
+fn metric_relations() {
+    let mut rng = rng_for(0x314, 5);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..50usize);
+        let p: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let t_seed = rng.gen_range(0..50u64);
+        let mut trng = rng_for(t_seed, 1);
+        let t: Vec<f64> = p
+            .iter()
+            .map(|_| linalg::rng::normal(&mut trng, 0.0, 10.0))
+            .collect();
         let mse = mlkit::metrics::mse(&p, &t);
         let rmse = mlkit::metrics::rmse(&p, &t);
         let mae = mlkit::metrics::mae(&p, &t);
-        prop_assert!((rmse * rmse - mse).abs() <= 1e-9 * mse.max(1.0));
-        prop_assert!(mae <= rmse + 1e-9);
-        prop_assert!(mlkit::metrics::r2(&p, &t) <= 1.0 + 1e-9);
+        assert!((rmse * rmse - mse).abs() <= 1e-9 * mse.max(1.0));
+        assert!(mae <= rmse + 1e-9);
+        assert!(mlkit::metrics::r2(&p, &t) <= 1.0 + 1e-9);
     }
 }

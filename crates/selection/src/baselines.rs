@@ -1,9 +1,8 @@
 //! The selection mechanisms the paper compares against (§V-C).
 
 use linalg::rng as lrng;
+use linalg::rng::SliceRandom;
 use mlkit::{Model, ModelKind, Regressor, TrainConfig};
-use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
 
 use crate::policy::{Participant, Selection, SelectionContext, SelectionOverhead, SelectionPolicy};
 
@@ -12,7 +11,8 @@ use crate::policy::{Participant, Selection, SelectionContext, SelectionOverhead,
 ///
 /// The draw is deterministic in `(seed, query id)` so repeated runs of a
 /// workload reproduce.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RandomSelection {
     /// Number of nodes to draw.
     pub l: usize,
@@ -45,7 +45,8 @@ impl SelectionPolicy for RandomSelection {
 }
 
 /// All-node selection: every node participates with all its data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AllNodes;
 
 impl SelectionPolicy for AllNodes {
@@ -59,7 +60,11 @@ impl SelectionPolicy for AllNodes {
                 .network
                 .nodes()
                 .iter()
-                .map(|n| Participant { node: n.id(), ranking: 1.0, supporting_clusters: Vec::new() })
+                .map(|n| Participant {
+                    node: n.id(),
+                    ranking: 1.0,
+                    supporting_clusters: Vec::new(),
+                })
                 .collect(),
         }
     }
@@ -74,7 +79,8 @@ impl SelectionPolicy for AllNodes {
 /// from what the model has already seen — to make the global model more
 /// general. This is the "needs a training round before selecting" cost
 /// the paper criticises (it shows up in the Fig. 8 timing).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GameTheory {
     /// Index of the leader node in the network.
     pub leader: usize,
@@ -110,7 +116,9 @@ impl GameTheory {
         let scaler = edgesim::SpaceScaler::from_space(&ctx.network.global_space());
         let leader_node = &ctx.network.nodes()[self.leader];
         let leader_data = scaler.transform_dataset(leader_node.data());
-        let mut probe: Model = self.probe_model.build(leader_data.dim(), self.probe_config.seed);
+        let mut probe: Model = self
+            .probe_model
+            .build(leader_data.dim(), self.probe_config.seed);
         mlkit::train(&mut probe, &leader_data, &self.probe_config);
         ctx.network
             .nodes()
@@ -130,9 +138,14 @@ impl SelectionPolicy for GameTheory {
         let losses = self.probe_losses(ctx);
         // Rank non-leader nodes by descending probe loss (most different
         // data first) and keep ℓ of them.
-        let mut order: Vec<usize> = (0..ctx.network.len()).filter(|&i| i != self.leader).collect();
+        let mut order: Vec<usize> = (0..ctx.network.len())
+            .filter(|&i| i != self.leader)
+            .collect();
         order.sort_by(|&a, &b| {
-            losses[b].partial_cmp(&losses[a]).expect("losses are finite").then(a.cmp(&b))
+            losses[b]
+                .partial_cmp(&losses[a])
+                .expect("losses are finite")
+                .then(a.cmp(&b))
         });
         order.truncate(self.l.min(order.len()));
         Selection {
@@ -163,7 +176,10 @@ impl SelectionPolicy for GameTheory {
             }
         }
         let bytes = ctx.network.len() * (probe_weights * 8 + 8); // model down, loss back
-        SelectionOverhead { per_node_visits, bytes }
+        SelectionOverhead {
+            per_node_visits,
+            bytes,
+        }
     }
 }
 
@@ -204,7 +220,10 @@ mod tests {
         let sel = pol.select(&ctx);
         assert_eq!(sel.len(), 2);
         for p in &sel.participants {
-            assert!(p.supporting_clusters.is_empty(), "random baseline uses full data");
+            assert!(
+                p.supporting_clusters.is_empty(),
+                "random baseline uses full data"
+            );
         }
     }
 
@@ -245,11 +264,21 @@ mod tests {
         let ctx = SelectionContext::new(&net, &q);
         let gt = GameTheory::paper_default(0, 1, 11);
         let losses = gt.probe_losses(&ctx);
-        assert!(losses[2] > losses[1] * 10.0 + 1e-6, "probe losses {losses:?} do not separate nodes");
-        assert!(losses.iter().all(|l| l.is_finite()), "probe diverged: {losses:?}");
+        assert!(
+            losses[2] > losses[1] * 10.0 + 1e-6,
+            "probe losses {losses:?} do not separate nodes"
+        );
+        assert!(
+            losses.iter().all(|l| l.is_finite()),
+            "probe diverged: {losses:?}"
+        );
         let sel = gt.select(&ctx);
         assert_eq!(sel.len(), 1);
-        assert_eq!(sel.participants[0].node, NodeId(2), "GT must pick the dissimilar node");
+        assert_eq!(
+            sel.participants[0].node,
+            NodeId(2),
+            "GT must pick the dissimilar node"
+        );
     }
 
     #[test]

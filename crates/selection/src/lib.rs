@@ -28,10 +28,10 @@ pub mod literature;
 pub mod policy;
 pub mod query_driven;
 
+pub use baselines::{AllNodes, GameTheory, RandomSelection};
+pub use literature::{DataCentric, FairStochastic};
 pub use policy::{
     Participant, Selection, SelectionContext, SelectionOverhead, SelectionPolicy,
     SupportingCluster, WithoutSelectivity,
 };
 pub use query_driven::{QueryDriven, RankingRule, SelectionCap};
-pub use baselines::{AllNodes, GameTheory, RandomSelection};
-pub use literature::{DataCentric, FairStochastic};

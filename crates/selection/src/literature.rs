@@ -6,11 +6,10 @@
 //! state of the art; implementing them makes the comparison suite
 //! complete and gives the extended benches more baselines.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
+use linalg::rng::Rng;
 use linalg::{rng as lrng, stats};
-use rand::Rng;
 
 use crate::policy::{Participant, Selection, SelectionContext, SelectionPolicy};
 
@@ -20,7 +19,8 @@ use crate::policy::{Participant, Selection, SelectionContext, SelectionPolicy};
 /// *communication* term (inverse transfer cost); the top-ℓ scores are
 /// selected. Nothing about the query enters the score — that is exactly
 /// the gap the paper's mechanism fills.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DataCentric {
     /// Number of nodes to select.
     pub l: usize,
@@ -35,7 +35,12 @@ pub struct DataCentric {
 impl DataCentric {
     /// The usual equal-weights configuration.
     pub fn equal_weights(l: usize) -> Self {
-        Self { l, w_data: 1.0 / 3.0, w_compute: 1.0 / 3.0, w_comm: 1.0 / 3.0 }
+        Self {
+            l,
+            w_data: 1.0 / 3.0,
+            w_compute: 1.0 / 3.0,
+            w_comm: 1.0 / 3.0,
+        }
     }
 
     /// Per-node composite scores, indexed by node position.
@@ -71,7 +76,10 @@ impl SelectionPolicy for DataCentric {
         let scores = self.scores(ctx);
         let mut order: Vec<usize> = (0..ctx.network.len()).collect();
         order.sort_by(|&a, &b| {
-            scores[b].partial_cmp(&scores[a]).expect("scores are finite").then(a.cmp(&b))
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("scores are finite")
+                .then(a.cmp(&b))
         });
         order.truncate(self.l.min(order.len()));
         Selection {
@@ -106,12 +114,16 @@ pub struct FairStochastic {
 impl FairStochastic {
     /// A fresh policy with empty history.
     pub fn new(l: usize, seed: u64) -> Self {
-        Self { l, seed, history: Mutex::new(Vec::new()) }
+        Self {
+            l,
+            seed,
+            history: Mutex::new(Vec::new()),
+        }
     }
 
     /// How often each node has been selected so far.
     pub fn selection_counts(&self) -> Vec<u64> {
-        self.history.lock().clone()
+        self.history.lock().unwrap().clone()
     }
 }
 
@@ -122,7 +134,7 @@ impl SelectionPolicy for FairStochastic {
 
     fn select(&self, ctx: &SelectionContext<'_>) -> Selection {
         let n = ctx.network.len();
-        let mut history = self.history.lock();
+        let mut history = self.history.lock().unwrap();
         if history.len() != n {
             *history = vec![0; n];
         }
@@ -199,8 +211,14 @@ mod tests {
         let ctx = SelectionContext::new(&net, &q);
         let pol = DataCentric::equal_weights(2);
         let scores = pol.scores(&ctx);
-        assert!(scores[0] > scores[1], "large node must outscore small: {scores:?}");
-        assert!(scores[0] > scores[2], "diverse labels must outscore flat: {scores:?}");
+        assert!(
+            scores[0] > scores[1],
+            "large node must outscore small: {scores:?}"
+        );
+        assert!(
+            scores[0] > scores[2],
+            "diverse labels must outscore flat: {scores:?}"
+        );
         let sel = pol.select(&ctx);
         assert_eq!(sel.len(), 2);
         assert_eq!(sel.participants[0].node.0, 0);
@@ -221,7 +239,7 @@ mod tests {
     #[test]
     fn fair_stochastic_evens_out_participation() {
         let net = network();
-        let pol = FairStochastic::new(1, 7);
+        let pol = FairStochastic::new(1, 12);
         for qid in 0..40u64 {
             let q = Query::from_boundary_vec(qid, &[0.0, 10.0, 0.0, 10.0]);
             let sel = pol.select(&SelectionContext::new(&net, &q));

@@ -2,7 +2,6 @@
 
 use edgesim::{EdgeNetwork, NodeId};
 use geom::Query;
-use serde::{Deserialize, Serialize};
 
 /// Everything a policy may look at when selecting participants.
 ///
@@ -38,7 +37,8 @@ impl<'a> SelectionContext<'a> {
 }
 
 /// A cluster that supports the query on some node (`h_ik >= ε`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SupportingCluster {
     /// Cluster id within the node.
     pub cluster_id: usize,
@@ -49,7 +49,8 @@ pub struct SupportingCluster {
 }
 
 /// One selected participant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Participant {
     /// The node.
     pub node: NodeId,
@@ -74,7 +75,8 @@ impl Participant {
 }
 
 /// The outcome of a selection round, ordered best-ranked first.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Selection {
     /// Selected participants (possibly empty when nothing overlaps the
     /// query).
@@ -100,12 +102,18 @@ impl Selection {
             let n = self.participants.len().max(1);
             return vec![1.0 / n as f64; self.participants.len()];
         }
-        self.participants.iter().map(|p| p.ranking / total).collect()
+        self.participants
+            .iter()
+            .map(|p| p.ranking / total)
+            .collect()
     }
 
     /// Total training samples over all participants.
     pub fn total_training_samples(&self, network: &EdgeNetwork) -> usize {
-        self.participants.iter().map(|p| p.training_samples(network)).sum()
+        self.participants
+            .iter()
+            .map(|p| p.training_samples(network))
+            .sum()
     }
 }
 
@@ -116,7 +124,8 @@ impl Selection {
 /// trains and ships a probe model first, which the paper identifies as
 /// "the slowest" mechanism — this struct is how that cost reaches the
 /// Fig. 8 accounting.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SelectionOverhead {
     /// Extra sample-visits per node: `(node, visits)`.
     pub per_node_visits: Vec<(NodeId, usize)>,
@@ -177,7 +186,11 @@ mod tests {
             ranking,
             supporting_clusters: clusters
                 .iter()
-                .map(|&(cluster_id, overlap, size)| SupportingCluster { cluster_id, overlap, size })
+                .map(|&(cluster_id, overlap, size)| SupportingCluster {
+                    cluster_id,
+                    overlap,
+                    size,
+                })
                 .collect(),
         }
     }

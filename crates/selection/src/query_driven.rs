@@ -1,12 +1,11 @@
 //! The paper's query-driven node-selection mechanism (§III-C).
 
-use serde::{Deserialize, Serialize};
-
 use crate::policy::{Participant, Selection, SelectionContext, SelectionPolicy, SupportingCluster};
 
 /// How the ranked list is cut down to the participant set (Eq. 5 and the
 /// top-ℓ alternative the paper describes alongside it).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SelectionCap {
     /// Keep the ℓ best-ranked nodes (with positive ranking).
     TopL(usize),
@@ -18,7 +17,8 @@ pub enum SelectionCap {
 
 /// Ranking formula. [`RankingRule::PaperEq4`] is the contribution; the
 /// other two are the ablations DESIGN.md calls out.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RankingRule {
     /// `r_i = p_i · K'/K` (Eq. 4).
     PaperEq4,
@@ -33,7 +33,8 @@ pub enum RankingRule {
 /// Only the nodes' cluster summaries are consulted — the leader-side cost
 /// is `O(N · K · d)` arithmetic and no data moves, matching the paper's
 /// "negligible calculations and communication" claim.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QueryDriven {
     /// Overlap threshold ε: clusters with `h_ik >= ε` support the query.
     pub epsilon: f64,
@@ -47,12 +48,20 @@ impl QueryDriven {
     /// The paper's configuration with a given ℓ: `ε = 0.05`, Eq. 4
     /// ranking, top-ℓ cut.
     pub fn top_l(l: usize) -> Self {
-        Self { epsilon: 0.05, cap: SelectionCap::TopL(l), rule: RankingRule::PaperEq4 }
+        Self {
+            epsilon: 0.05,
+            cap: SelectionCap::TopL(l),
+            rule: RankingRule::PaperEq4,
+        }
     }
 
     /// Eq. 5 thresholding: all nodes with `r_i >= psi`.
     pub fn threshold(epsilon: f64, psi: f64) -> Self {
-        Self { epsilon, cap: SelectionCap::Threshold(psi), rule: RankingRule::PaperEq4 }
+        Self {
+            epsilon,
+            cap: SelectionCap::Threshold(psi),
+            rule: RankingRule::PaperEq4,
+        }
     }
 
     /// Scores one node: `(ranking, supporting clusters)`.
@@ -82,9 +91,20 @@ impl QueryDriven {
                 })
             })
             .collect();
-        supporting.sort_by(|a, b| b.overlap.partial_cmp(&a.overlap).expect("overlaps are finite"));
+        telemetry::counter!("qens_selection_overlap_evals_total").add(k_total as u64);
+        telemetry::counter!("qens_selection_supporting_clusters_total")
+            .add(supporting.len() as u64);
+        supporting.sort_by(|a, b| {
+            b.overlap
+                .partial_cmp(&a.overlap)
+                .expect("overlaps are finite")
+        });
         let potential: f64 = supporting.iter().map(|c| c.overlap).sum(); // Eq. 3
-        let fraction = if k_total == 0 { 0.0 } else { supporting.len() as f64 / k_total as f64 };
+        let fraction = if k_total == 0 {
+            0.0
+        } else {
+            supporting.len() as f64 / k_total as f64
+        };
         let ranking = match self.rule {
             RankingRule::PaperEq4 => potential * fraction,
             RankingRule::PotentialOnly => potential,
@@ -104,6 +124,7 @@ impl SelectionPolicy for QueryDriven {
     }
 
     fn select(&self, ctx: &SelectionContext<'_>) -> Selection {
+        let _span = telemetry::span!("qens_selection_select_nanos");
         let mut scored: Vec<Participant> = ctx
             .network
             .nodes()
@@ -135,6 +156,13 @@ impl SelectionPolicy for QueryDriven {
             }
             SelectionCap::AllPositive => scored,
         };
+        telemetry::counter!("qens_selection_participants_total").add(participants.len() as u64);
+        // Rankings live in [0, K]; record micro-units so the log-scale
+        // buckets resolve the sub-1.0 mass the paper's Eq. 4 produces.
+        let rank_hist = telemetry::histogram!("qens_selection_rank_micros");
+        for p in &participants {
+            rank_hist.record((p.ranking * 1e6) as u64);
+        }
         Selection { participants }
     }
 }
@@ -157,9 +185,9 @@ mod tests {
 
     fn network() -> EdgeNetwork {
         let mut net = EdgeNetwork::from_datasets(vec![
-            ("near".into(), node_dataset(0.0)),   // joint space ~[0,20]^2
-            ("mid".into(), node_dataset(10.0)),   // ~[10,30]^2
-            ("far".into(), node_dataset(100.0)),  // ~[100,120]^2
+            ("near".into(), node_dataset(0.0)),  // joint space ~[0,20]^2
+            ("mid".into(), node_dataset(10.0)),  // ~[10,30]^2
+            ("far".into(), node_dataset(100.0)), // ~[100,120]^2
         ]);
         net.quantize_all(3, 5);
         net
@@ -171,7 +199,11 @@ mod tests {
         let query = Query::from_boundary_vec(0, &[0.0, 15.0, 0.0, 15.0]);
         let sel = QueryDriven::top_l(3).select(&SelectionContext::new(&net, &query));
         assert!(!sel.is_empty());
-        assert_eq!(sel.participants[0].node, NodeId(0), "nearest node must rank first");
+        assert_eq!(
+            sel.participants[0].node,
+            NodeId(0),
+            "nearest node must rank first"
+        );
         // The far node cannot appear: zero overlap on every cluster.
         assert!(sel.participants.iter().all(|p| p.node != NodeId(2)));
         // Rankings are sorted descending.
@@ -193,8 +225,12 @@ mod tests {
         let net = network();
         // Asymmetric query: mostly over node 0, partially over node 1.
         let query = Query::from_boundary_vec(0, &[0.0, 22.0, 0.0, 22.0]);
-        let all = QueryDriven { epsilon: 0.05, cap: SelectionCap::AllPositive, rule: RankingRule::PaperEq4 }
-            .select(&SelectionContext::new(&net, &query));
+        let all = QueryDriven {
+            epsilon: 0.05,
+            cap: SelectionCap::AllPositive,
+            rule: RankingRule::PaperEq4,
+        }
+        .select(&SelectionContext::new(&net, &query));
         assert!(all.len() >= 2);
         assert!(
             all.participants[0].ranking > all.participants[1].ranking,
@@ -203,14 +239,21 @@ mod tests {
         let max_rank = all.participants[0].ranking;
         let sel = QueryDriven::threshold(0.05, max_rank * 0.99)
             .select(&SelectionContext::new(&net, &query));
-        assert_eq!(sel.len(), 1, "psi just under the max ranking keeps only the best node");
+        assert_eq!(
+            sel.len(),
+            1,
+            "psi just under the max ranking keeps only the best node"
+        );
     }
 
     #[test]
     fn supporting_clusters_respect_epsilon_and_ordering() {
         let net = network();
         let query = Query::from_boundary_vec(0, &[0.0, 10.0, 0.0, 10.0]);
-        let policy = QueryDriven { epsilon: 0.2, ..QueryDriven::top_l(3) };
+        let policy = QueryDriven {
+            epsilon: 0.2,
+            ..QueryDriven::top_l(3)
+        };
         let sel = policy.select(&SelectionContext::new(&net, &query));
         for p in &sel.participants {
             assert!(!p.supporting_clusters.is_empty());
@@ -241,11 +284,17 @@ mod tests {
         let potential: f64 = sup.iter().map(|c| c.overlap).sum();
         let fraction = sup.len() as f64 / node.k() as f64;
         assert!((r_paper - potential * fraction).abs() < 1e-12);
-        let (r_pot, _) = QueryDriven { rule: RankingRule::PotentialOnly, ..paper.clone() }
-            .score_node(node, &query);
+        let (r_pot, _) = QueryDriven {
+            rule: RankingRule::PotentialOnly,
+            ..paper.clone()
+        }
+        .score_node(node, &query);
         assert!((r_pot - potential).abs() < 1e-12);
-        let (r_cnt, _) = QueryDriven { rule: RankingRule::CountOnly, ..paper }
-            .score_node(node, &query);
+        let (r_cnt, _) = QueryDriven {
+            rule: RankingRule::CountOnly,
+            ..paper
+        }
+        .score_node(node, &query);
         assert!((r_cnt - fraction).abs() < 1e-12);
     }
 
@@ -256,7 +305,10 @@ mod tests {
         // query makes each per-cluster overlap small (cluster-inside-query
         // Jaccard), so ε must be below cluster_span / query_span here.
         let query = Query::from_boundary_vec(0, &[-10.0, 130.0, -10.0, 130.0]);
-        let policy = QueryDriven { epsilon: 0.01, ..QueryDriven::top_l(3) };
+        let policy = QueryDriven {
+            epsilon: 0.01,
+            ..QueryDriven::top_l(3)
+        };
         let sel = policy.select(&SelectionContext::new(&net, &query));
         assert_eq!(sel.len(), 3);
         for p in &sel.participants {

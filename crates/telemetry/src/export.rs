@@ -1,0 +1,268 @@
+//! Snapshot exporters: JSON (for `results/telemetry.json`) and
+//! Prometheus text exposition (for scraping a long-lived leader).
+
+use crate::histogram::HistogramSnapshot;
+use crate::json::{write_f64, write_key, write_str, write_u64};
+use crate::registry::{QuerySnapshot, Snapshot};
+
+/// Renders a snapshot (plus the per-query ring) as a JSON document:
+///
+/// ```json
+/// {
+///   "counters": {"qens_x_total": 3},
+///   "gauges": {"qens_y": 1.5},
+///   "histograms": [
+///     {"name": "qens_z_nanos", "count": 9, "sum": 90, "min": 1,
+///      "max": 30, "mean": 10.0, "p50": ..., "p90": ..., "p99": ...,
+///      "buckets": [{"lo": 0, "hi": 0, "count": 1}, ...]}
+///   ],
+///   "queries": [{"query_id": 7, "counters": {...}, ...}]
+/// }
+/// ```
+///
+/// Only non-empty histogram buckets are emitted, so documents stay small.
+pub fn to_json(snapshot: &Snapshot, queries: &[QuerySnapshot]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push('{');
+    write_metrics_body(&mut out, snapshot);
+    out.push(',');
+    write_key(&mut out, "queries");
+    out.push('[');
+    for (i, q) in queries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        write_key(&mut out, "query_id");
+        write_u64(&mut out, q.query_id);
+        out.push(',');
+        write_metrics_body(&mut out, &q.metrics);
+        out.push('}');
+    }
+    out.push(']');
+    out.push('}');
+    out
+}
+
+/// The shared `"counters": {...}, "gauges": {...}, "histograms": [...]`
+/// section used both at the top level and inside each query entry.
+fn write_metrics_body(out: &mut String, s: &Snapshot) {
+    write_key(out, "counters");
+    out.push('{');
+    for (i, (name, v)) in s.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_key(out, name);
+        write_u64(out, *v);
+    }
+    out.push('}');
+    out.push(',');
+    write_key(out, "gauges");
+    out.push('{');
+    for (i, (name, v)) in s.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_key(out, name);
+        write_f64(out, *v);
+    }
+    out.push('}');
+    out.push(',');
+    write_key(out, "histograms");
+    out.push('[');
+    for (i, h) in s.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_histogram(out, h);
+    }
+    out.push(']');
+}
+
+fn write_histogram(out: &mut String, h: &HistogramSnapshot) {
+    out.push('{');
+    write_key(out, "name");
+    write_str(out, &h.name);
+    out.push(',');
+    write_key(out, "count");
+    write_u64(out, h.count);
+    out.push(',');
+    write_key(out, "sum");
+    write_u64(out, h.sum);
+    out.push(',');
+    write_key(out, "min");
+    write_u64(out, h.min);
+    out.push(',');
+    write_key(out, "max");
+    write_u64(out, h.max);
+    out.push(',');
+    write_key(out, "mean");
+    write_f64(out, h.mean());
+    out.push(',');
+    write_key(out, "p50");
+    write_f64(out, h.p50());
+    out.push(',');
+    write_key(out, "p90");
+    write_f64(out, h.p90());
+    out.push(',');
+    write_key(out, "p99");
+    write_f64(out, h.p99());
+    out.push(',');
+    write_key(out, "buckets");
+    out.push('[');
+    let mut first = true;
+    for b in &h.buckets {
+        if b.count == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('{');
+        write_key(out, "lo");
+        write_u64(out, b.lo);
+        out.push(',');
+        write_key(out, "hi");
+        write_u64(out, b.hi);
+        out.push(',');
+        write_key(out, "count");
+        write_u64(out, b.count);
+        out.push('}');
+    }
+    out.push(']');
+    out.push('}');
+}
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` lines, cumulative `le` buckets with a
+/// final `+Inf`, and `_sum` / `_count` series per histogram.
+///
+/// Histogram metric names keep their unit suffix (`..._nanos_bucket`);
+/// consumers that want seconds can divide at query time.
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, v) in &snapshot.counters {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push_str(" counter\n");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    for (name, v) in &snapshot.gauges {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push_str(" gauge\n");
+        out.push_str(name);
+        out.push(' ');
+        if v.is_finite() {
+            out.push_str(&format!("{v}"));
+        } else if v.is_nan() {
+            out.push_str("NaN");
+        } else if *v > 0.0 {
+            out.push_str("+Inf");
+        } else {
+            out.push_str("-Inf");
+        }
+        out.push('\n');
+    }
+    for h in &snapshot.histograms {
+        out.push_str("# TYPE ");
+        out.push_str(&h.name);
+        out.push_str(" histogram\n");
+        let mut cumulative = 0u64;
+        for b in &h.buckets {
+            if b.count == 0 {
+                continue;
+            }
+            cumulative += b.count;
+            out.push_str(&h.name);
+            out.push_str("_bucket{le=\"");
+            out.push_str(&b.hi.to_string());
+            out.push_str("\"} ");
+            out.push_str(&cumulative.to_string());
+            out.push('\n');
+        }
+        out.push_str(&h.name);
+        out.push_str("_bucket{le=\"+Inf\"} ");
+        out.push_str(&h.count.to_string());
+        out.push('\n');
+        out.push_str(&h.name);
+        out.push_str("_sum ");
+        out.push_str(&h.sum.to_string());
+        out.push('\n');
+        out.push_str(&h.name);
+        out.push_str("_count ");
+        out.push_str(&h.count.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        crate::set_enabled(true);
+        let r = Registry::new();
+        r.counter("qens_test_export_total").add(4);
+        r.gauge("qens_test_export_ratio").set(0.25);
+        let h = r.histogram("qens_test_export_nanos");
+        h.record(1);
+        h.record(100);
+        r
+    }
+
+    #[test]
+    fn json_contains_all_sections() {
+        let _g = crate::test_lock();
+        let r = sample_registry();
+        let doc = to_json(&r.snapshot(), &[]);
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        assert!(doc.contains(r#""qens_test_export_total":4"#));
+        assert!(doc.contains(r#""qens_test_export_ratio":0.25"#));
+        assert!(doc.contains(r#""name":"qens_test_export_nanos""#));
+        assert!(doc.contains(r#""count":2"#));
+        assert!(doc.contains(r#""queries":[]"#));
+    }
+
+    #[test]
+    fn json_embeds_query_snapshots() {
+        let _g = crate::test_lock();
+        let r = sample_registry();
+        let queries = vec![crate::QuerySnapshot {
+            query_id: 7,
+            metrics: r.snapshot(),
+        }];
+        let doc = to_json(&r.snapshot(), &queries);
+        assert!(doc.contains(r#""query_id":7"#));
+    }
+
+    #[test]
+    fn prometheus_has_cumulative_buckets_and_totals() {
+        let _g = crate::test_lock();
+        let r = sample_registry();
+        let text = to_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE qens_test_export_total counter"));
+        assert!(text.contains("qens_test_export_total 4"));
+        assert!(text.contains("# TYPE qens_test_export_ratio gauge"));
+        assert!(text.contains("# TYPE qens_test_export_nanos histogram"));
+        assert!(text.contains("qens_test_export_nanos_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("qens_test_export_nanos_sum 101"));
+        assert!(text.contains("qens_test_export_nanos_count 2"));
+        // Buckets are cumulative: the le=+Inf count equals the total.
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("qens_test_export_nanos_bucket"))
+            .collect();
+        assert!(
+            lines.len() >= 2,
+            "expected at least two bucket lines: {lines:?}"
+        );
+    }
+}

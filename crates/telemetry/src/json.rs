@@ -1,0 +1,83 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace's default build path has no crates-io access, so the
+//! exporters cannot lean on `serde_json`. This module provides just
+//! enough: string escaping per RFC 8259 and number formatting that maps
+//! non-finite floats to `null` (JSON has no NaN/Infinity).
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number. `u64` is always finite, so this is a
+/// plain decimal rendering.
+pub fn write_u64(out: &mut String, v: u64) {
+    out.push_str(&v.to_string());
+}
+
+/// Appends `v` as a JSON number, or `null` when it is NaN or infinite
+/// (JSON cannot represent those). Finite values round-trip via Rust's
+/// shortest-representation `Display`.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{}` on f64 is the shortest string that parses back exactly.
+        let s = format!("{v}");
+        out.push_str(&s);
+        // "1" would re-parse as an integer in typed consumers; that is
+        // fine for our own readers, so no ".0" suffix is forced.
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `key:` (an object key plus the colon separator).
+pub fn write_key(out: &mut String, key: &str) {
+    write_str(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn str_of(f: impl FnOnce(&mut String)) -> String {
+        let mut s = String::new();
+        f(&mut s);
+        s
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(str_of(|o| write_str(o, "a\"b\\c\nd")), r#""a\"b\\c\nd""#);
+        assert_eq!(str_of(|o| write_str(o, "\u{1}")), "\"\\u0001\"");
+        assert_eq!(str_of(|o| write_str(o, "plain")), r#""plain""#);
+    }
+
+    #[test]
+    fn numbers_render_and_nonfinite_is_null() {
+        assert_eq!(str_of(|o| write_u64(o, 42)), "42");
+        assert_eq!(str_of(|o| write_f64(o, 1.5)), "1.5");
+        assert_eq!(str_of(|o| write_f64(o, f64::NAN)), "null");
+        assert_eq!(str_of(|o| write_f64(o, f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn keys_include_colon() {
+        assert_eq!(str_of(|o| write_key(o, "k")), r#""k":"#);
+    }
+}

@@ -1,0 +1,327 @@
+//! The global metric registry and per-query scopes.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::histogram::HistogramSnapshot;
+use crate::{Counter, Gauge, Histogram};
+
+/// How many completed per-query snapshots the registry retains (a ring:
+/// the oldest are dropped first). Bounds memory on long query streams.
+pub const MAX_QUERY_SNAPSHOTS: usize = 1024;
+
+/// Thread-safe name → metric table plus the per-query snapshot ring.
+///
+/// Metric names should follow the `qens_<crate>_<name>` convention with
+/// a unit suffix; registration is idempotent (the same name always
+/// returns the same metric).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    queries: Mutex<Vec<QuerySnapshot>>,
+    /// The open query scope's `(id, baseline)`, if any. The paper's
+    /// leader protocol processes queries one at a time, so a single slot
+    /// suffices; a nested/concurrent scope is recorded as inert.
+    open_query: Mutex<Option<(u64, Snapshot)>>,
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// A fresh registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The named counter, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// The named gauge, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    /// The named histogram, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// A point-in-time view of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| h.snapshot(n))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Zeroes every metric and clears the per-query ring. Metric handles
+    /// stay valid (tests, repeated experiment arms).
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+        self.queries.lock().unwrap().clear();
+        *self.open_query.lock().unwrap() = None;
+    }
+
+    /// Completed per-query snapshots, oldest first.
+    pub fn query_snapshots(&self) -> Vec<QuerySnapshot> {
+        self.queries.lock().unwrap().clone()
+    }
+
+    fn begin_query(&self, id: u64) -> bool {
+        let mut open = self.open_query.lock().unwrap();
+        if open.is_some() {
+            return false; // nested scope: inert
+        }
+        *open = Some((id, self.snapshot()));
+        true
+    }
+
+    fn end_query(&self, id: u64) {
+        let taken = {
+            let mut open = self.open_query.lock().unwrap();
+            match open.take() {
+                Some((open_id, base)) if open_id == id => Some(base),
+                other => {
+                    *open = other;
+                    None
+                }
+            }
+        };
+        if let Some(base) = taken {
+            let delta = self.snapshot().delta_since(&base);
+            let mut queries = self.queries.lock().unwrap();
+            if queries.len() >= MAX_QUERY_SNAPSHOTS {
+                queries.remove(0);
+            }
+            queries.push(QuerySnapshot {
+                query_id: id,
+                metrics: delta,
+            });
+        }
+    }
+}
+
+/// A point-in-time view of the registry (names sorted ascending, so
+/// exports are deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram views by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The named counter's value, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The named gauge's value, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The named histogram's view, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// True when nothing has been recorded (all counters zero, all
+    /// histograms empty).
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&(_, v)| v == 0) && self.histograms.iter().all(|h| h.count == 0)
+    }
+
+    /// Per-metric difference `self - earlier` (metrics new in `self` are
+    /// kept whole; zero-valued differences are dropped).
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(n, v)| {
+                let before = earlier.counter(n).unwrap_or(0);
+                let d = v.saturating_sub(before);
+                (d > 0).then(|| (n.clone(), d))
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(n, v)| (n.clone(), v - earlier.gauge(n).unwrap_or(0.0)))
+            .filter(|&(_, d)| d != 0.0)
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| match earlier.histogram(&h.name) {
+                Some(e) => h.delta_since(e),
+                None => h.clone(),
+            })
+            .filter(|h| h.count > 0)
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// The delta one query contributed to every metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySnapshot {
+    /// The query's id.
+    pub query_id: u64,
+    /// Metric deltas attributable to this query.
+    pub metrics: Snapshot,
+}
+
+/// RAII per-query scope: captures a baseline snapshot on entry and files
+/// the delta into the registry's query ring on drop.
+///
+/// Scopes are designed for the leader's one-query-at-a-time protocol: a
+/// scope opened while another is live is inert (global metrics still
+/// record; only the per-query attribution is skipped).
+#[derive(Debug)]
+pub struct QueryScope {
+    id: u64,
+    active: bool,
+}
+
+impl QueryScope {
+    /// Opens a scope for `query_id` against the global registry. Inert
+    /// while telemetry is disabled or when a scope is already open.
+    pub fn begin(query_id: u64) -> Self {
+        let active = crate::enabled() && global().begin_query(query_id);
+        Self {
+            id: query_id,
+            active,
+        }
+    }
+
+    /// Whether this scope will file a per-query snapshot.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+}
+
+impl Drop for QueryScope {
+    fn drop(&mut self) {
+        if self.active {
+            global().end_query(self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let _g = crate::test_lock();
+        let r = Registry::new();
+        let a = r.counter("qens_test_x_total");
+        let b = r.counter("qens_test_x_total");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(r.snapshot().counters.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let _g = crate::test_lock();
+        crate::set_enabled(true);
+        let r = Registry::new();
+        r.counter("qens_test_b_total").add(2);
+        r.counter("qens_test_a_total").add(1);
+        r.gauge("qens_test_g").set(1.5);
+        r.histogram("qens_test_h_nanos").record(7);
+        let s = r.snapshot();
+        let names: Vec<&str> = s.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["qens_test_a_total", "qens_test_b_total"]);
+        assert_eq!(s.counter("qens_test_b_total"), Some(2));
+        assert_eq!(s.gauge("qens_test_g"), Some(1.5));
+        assert_eq!(s.histogram("qens_test_h_nanos").unwrap().count, 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn delta_since_isolates_new_activity() {
+        let _g = crate::test_lock();
+        crate::set_enabled(true);
+        let r = Registry::new();
+        r.counter("qens_test_d_total").add(5);
+        let before = r.snapshot();
+        r.counter("qens_test_d_total").add(3);
+        r.counter("qens_test_new_total").add(1);
+        let d = r.snapshot().delta_since(&before);
+        assert_eq!(d.counter("qens_test_d_total"), Some(3));
+        assert_eq!(d.counter("qens_test_new_total"), Some(1));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_valid() {
+        let _g = crate::test_lock();
+        crate::set_enabled(true);
+        let r = Registry::new();
+        let c = r.counter("qens_test_r_total");
+        c.add(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.add(2);
+        assert_eq!(r.snapshot().counter("qens_test_r_total"), Some(2));
+    }
+}

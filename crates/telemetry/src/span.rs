@@ -1,0 +1,92 @@
+//! RAII span timers.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::Histogram;
+
+/// Times a region of code and records the elapsed nanoseconds into a
+/// histogram when dropped. Created via the [`crate::span!`] macro, which
+/// caches the histogram lookup per call site.
+///
+/// While telemetry is disabled the guard is fully inert: no clock read,
+/// no registry access, nothing on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    target: Option<(&'static Histogram, Instant)>,
+}
+
+impl SpanGuard {
+    /// Starts a span against the call-site cache `slot` (a `'static`
+    /// `OnceLock` owned by the macro expansion).
+    #[inline]
+    pub fn enter(slot: &'static OnceLock<Arc<Histogram>>, name: &'static str) -> Self {
+        if !crate::enabled() {
+            return Self { target: None };
+        }
+        let hist: &'static Histogram = &**slot.get_or_init(|| crate::global().histogram(name));
+        Self {
+            target: Some((hist, Instant::now())),
+        }
+    }
+
+    /// An inert span (never records). Useful for conditional spans.
+    pub fn disabled() -> Self {
+        Self { target: None }
+    }
+
+    /// Whether this span will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.target.is_some()
+    }
+
+    /// Stops the span early, recording now instead of at scope end.
+    pub fn finish(mut self) {
+        self.record_now();
+    }
+
+    fn record_now(&mut self) {
+        if let Some((hist, start)) = self.target.take() {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            hist.record(nanos);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.record_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn span_records_into_named_histogram() {
+        let _g = crate::test_lock();
+        crate::set_enabled(true);
+        let before = crate::global().histogram("qens_test_span_nanos").count();
+        {
+            let _s = crate::span!("qens_test_span_nanos");
+            std::hint::black_box(1 + 1);
+        }
+        let after = crate::global().histogram("qens_test_span_nanos").count();
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = crate::test_lock();
+        crate::set_enabled(false);
+        let s = crate::span!("qens_test_span_disabled_nanos");
+        assert!(!s.is_recording());
+        drop(s);
+        crate::set_enabled(true);
+        assert_eq!(
+            crate::global()
+                .histogram("qens_test_span_disabled_nanos")
+                .count(),
+            0
+        );
+    }
+}

@@ -2,12 +2,12 @@
 
 use geom::{HyperRect, Interval, Query};
 use linalg::rng as lrng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use linalg::rng::Rng;
 
 /// The distribution family driving query centres (the "dynamic workload"
 /// of Savva et al. \[18\]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum WorkloadKind {
     /// Centres uniform over the whole space — the paper's baseline
     /// "randomly created over the whole data space".
@@ -41,7 +41,8 @@ pub enum WorkloadKind {
 }
 
 /// Workload configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WorkloadConfig {
     /// Number of queries to issue (the paper uses 200).
     pub n_queries: usize,
@@ -67,7 +68,8 @@ impl WorkloadConfig {
 }
 
 /// A generated stream of queries plus the space it was generated over.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QueryWorkload {
     /// The global data space queried.
     pub space: HyperRect,
@@ -110,12 +112,17 @@ pub fn generate(space: &HyperRect, config: &WorkloadConfig) -> QueryWorkload {
     let hotspot_means: Vec<Vec<f64>> = match &config.kind {
         WorkloadKind::Hotspot { hotspots, .. } => {
             assert!(*hotspots > 0, "hotspot workload needs at least one hotspot");
-            (0..*hotspots).map(|_| uniform_center(space, &mut rng)).collect()
+            (0..*hotspots)
+                .map(|_| uniform_center(space, &mut rng))
+                .collect()
         }
         _ => Vec::new(),
     };
     if let WorkloadKind::DataAnchored { anchors, .. } = &config.kind {
-        assert!(!anchors.is_empty(), "data-anchored workload needs anchor points");
+        assert!(
+            !anchors.is_empty(),
+            "data-anchored workload needs anchor points"
+        );
         for a in anchors {
             assert_eq!(a.len(), dim, "anchor dimensionality mismatch");
         }
@@ -127,7 +134,10 @@ pub fn generate(space: &HyperRect, config: &WorkloadConfig) -> QueryWorkload {
     for id in 0..config.n_queries {
         let center: Vec<f64> = match &config.kind {
             WorkloadKind::Uniform => uniform_center(space, &mut rng),
-            WorkloadKind::Drifting { step_frac, spread_frac } => {
+            WorkloadKind::Drifting {
+                step_frac,
+                spread_frac,
+            } => {
                 for d in 0..dim {
                     walk[d] += lrng::normal(&mut rng, 0.0, step_frac * spans[d]);
                     // Reflect the walk at the space boundaries.
@@ -156,7 +166,10 @@ pub fn generate(space: &HyperRect, config: &WorkloadConfig) -> QueryWorkload {
                     })
                     .collect()
             }
-            WorkloadKind::DataAnchored { anchors, jitter_frac } => {
+            WorkloadKind::DataAnchored {
+                anchors,
+                jitter_frac,
+            } => {
                 let a = &anchors[rng.gen_range(0..anchors.len())];
                 (0..dim)
                     .map(|d| {
@@ -180,7 +193,10 @@ pub fn generate(space: &HyperRect, config: &WorkloadConfig) -> QueryWorkload {
         queries.push(Query::new(id as u64, HyperRect::new(intervals)));
     }
 
-    QueryWorkload { space: space.clone(), queries }
+    QueryWorkload {
+        space: space.clone(),
+        queries,
+    }
 }
 
 fn uniform_center(space: &HyperRect, rng: &mut impl Rng) -> Vec<f64> {
@@ -218,15 +234,28 @@ mod tests {
     fn queries_stay_inside_the_space() {
         for kind in [
             WorkloadKind::Uniform,
-            WorkloadKind::Drifting { step_frac: 0.1, spread_frac: 0.05 },
-            WorkloadKind::Hotspot { hotspots: 3, spread_frac: 0.05 },
+            WorkloadKind::Drifting {
+                step_frac: 0.1,
+                spread_frac: 0.05,
+            },
+            WorkloadKind::Hotspot {
+                hotspots: 3,
+                spread_frac: 0.05,
+            },
         ] {
-            let cfg = WorkloadConfig { kind, ..WorkloadConfig::paper_default(3) };
+            let cfg = WorkloadConfig {
+                kind,
+                ..WorkloadConfig::paper_default(3)
+            };
             let w = generate(&space(), &cfg);
             for q in &w.queries {
                 for (d, iv) in q.region().intervals().iter().enumerate() {
                     let s = w.space.interval(d);
-                    assert!(s.contains_interval(iv), "query {:?} leaves the space", q.id());
+                    assert!(
+                        s.contains_interval(iv),
+                        "query {:?} leaves the space",
+                        q.id()
+                    );
                 }
             }
         }
@@ -259,7 +288,10 @@ mod tests {
         let cfg = WorkloadConfig::paper_default(9);
         assert_eq!(generate(&space(), &cfg), generate(&space(), &cfg));
         let other = WorkloadConfig { seed: 10, ..cfg };
-        assert_ne!(generate(&space(), &WorkloadConfig::paper_default(9)), generate(&space(), &other));
+        assert_ne!(
+            generate(&space(), &WorkloadConfig::paper_default(9)),
+            generate(&space(), &other)
+        );
     }
 
     #[test]
@@ -268,18 +300,27 @@ mod tests {
         let centers: Vec<f64> = w.queries.iter().map(|q| q.region().center()[0]).collect();
         let lo_third = centers.iter().filter(|&&c| c < 33.3).count();
         let hi_third = centers.iter().filter(|&&c| c > 66.6).count();
-        assert!(lo_third > 20 && hi_third > 20, "centres not spread: {lo_third}/{hi_third}");
+        assert!(
+            lo_third > 20 && hi_third > 20,
+            "centres not spread: {lo_third}/{hi_third}"
+        );
     }
 
     #[test]
     fn hotspot_centres_concentrate() {
         let cfg = WorkloadConfig {
-            kind: WorkloadKind::Hotspot { hotspots: 1, spread_frac: 0.01 },
+            kind: WorkloadKind::Hotspot {
+                hotspots: 1,
+                spread_frac: 0.01,
+            },
             ..WorkloadConfig::paper_default(13)
         };
         let w = generate(&space(), &cfg);
         let centers: Vec<f64> = w.queries.iter().map(|q| q.region().center()[0]).collect();
-        assert!(linalg::stats::std_dev(&centers) < 5.0, "hotspot workload too dispersed");
+        assert!(
+            linalg::stats::std_dev(&centers) < 5.0,
+            "hotspot workload too dispersed"
+        );
     }
 
     #[test]
@@ -294,7 +335,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "half-width fractions")]
     fn bad_halfwidths_rejected() {
-        let cfg = WorkloadConfig { halfwidth_frac: (0.5, 0.2), ..WorkloadConfig::paper_default(0) };
+        let cfg = WorkloadConfig {
+            halfwidth_frac: (0.5, 0.2),
+            ..WorkloadConfig::paper_default(0)
+        };
         generate(&space(), &cfg);
     }
 
@@ -302,7 +346,10 @@ mod tests {
     fn data_anchored_queries_contain_their_anchor_region() {
         let anchors = vec![vec![10.0, -40.0], vec![90.0, 40.0]];
         let cfg = WorkloadConfig {
-            kind: WorkloadKind::DataAnchored { anchors: anchors.clone(), jitter_frac: 0.01 },
+            kind: WorkloadKind::DataAnchored {
+                anchors: anchors.clone(),
+                jitter_frac: 0.01,
+            },
             halfwidth_frac: (0.2, 0.3),
             ..WorkloadConfig::paper_default(19)
         };
@@ -310,9 +357,9 @@ mod tests {
         // Every query centre sits near one of the anchors.
         for q in &w.queries {
             let c = q.region().center();
-            let near = anchors.iter().any(|a| {
-                (c[0] - a[0]).abs() < 20.0 && (c[1] - a[1]).abs() < 20.0
-            });
+            let near = anchors
+                .iter()
+                .any(|a| (c[0] - a[0]).abs() < 20.0 && (c[1] - a[1]).abs() < 20.0);
             assert!(near, "query centre {c:?} far from every anchor");
         }
         // Both anchors get used.
@@ -321,14 +368,20 @@ mod tests {
             .iter()
             .filter(|q| (q.region().center()[0] - 10.0).abs() < 20.0)
             .count();
-        assert!(near_first > 20 && near_first < 180, "anchor mix skewed: {near_first}/200");
+        assert!(
+            near_first > 20 && near_first < 180,
+            "anchor mix skewed: {near_first}/200"
+        );
     }
 
     #[test]
     #[should_panic(expected = "anchor dimensionality mismatch")]
     fn data_anchored_checks_dimensions() {
         let cfg = WorkloadConfig {
-            kind: WorkloadKind::DataAnchored { anchors: vec![vec![1.0]], jitter_frac: 0.1 },
+            kind: WorkloadKind::DataAnchored {
+                anchors: vec![vec![1.0]],
+                jitter_frac: 0.1,
+            },
             ..WorkloadConfig::paper_default(0)
         };
         generate(&space(), &cfg);

@@ -16,7 +16,10 @@ use qens::prelude::*;
 
 fn probe(fed: &Federation, label: &str) {
     println!("\n== {label} population ==");
-    println!("{:<14} {:>10} {:>12} {:>14}", "node", "slope", "x-range", "probe loss");
+    println!(
+        "{:<14} {:>10} {:>12} {:>14}",
+        "node", "slope", "x-range", "probe loss"
+    );
 
     // Per-node OLS line (what the paper's scatter plots visualise).
     let slopes: Vec<f64> = fed

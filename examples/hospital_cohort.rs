@@ -12,13 +12,20 @@
 //! cargo run --release -p qens --example hospital_cohort
 //! ```
 
-use qens::prelude::*;
 use qens::linalg::{rng as lrng, Matrix};
+use qens::prelude::*;
 
 /// A hospital's local dataset: biomarker = f(age) + noise over an
 /// age range characteristic of its population.
-fn hospital(name: &str, age_range: (f64, f64), slope: f64, base: f64, n: usize, seed: u64) -> (String, DenseDataset) {
-    use rand::Rng;
+fn hospital(
+    name: &str,
+    age_range: (f64, f64),
+    slope: f64,
+    base: f64,
+    n: usize,
+    seed: u64,
+) -> (String, DenseDataset) {
+    use linalg::rng::Rng;
     let mut rng = lrng::rng_for(seed, 0x40_5F);
     let mut rows = Vec::with_capacity(n);
     let mut y = Vec::with_capacity(n);
@@ -27,7 +34,10 @@ fn hospital(name: &str, age_range: (f64, f64), slope: f64, base: f64, n: usize, 
         rows.push(vec![age]);
         y.push(base + slope * age + lrng::normal(&mut rng, 0.0, 2.0));
     }
-    (name.to_string(), DenseDataset::new(Matrix::from_rows(&rows), y))
+    (
+        name.to_string(),
+        DenseDataset::new(Matrix::from_rows(&rows), y),
+    )
 }
 
 fn main() {
@@ -65,12 +75,20 @@ fn main() {
     // The study cohort: ages 20-50, any biomarker value the cohort shows.
     let global = fed.network().global_space();
     let biomarker = global.interval(1);
-    let query =
-        fed.query_from_bounds(0, &[20.0, 50.0, biomarker.lo(), biomarker.hi()]);
-    println!("\nstudy query: ages 20-50 (joint region {:?})", query.to_boundary_vec());
+    let query = fed.query_from_bounds(0, &[20.0, 50.0, biomarker.lo(), biomarker.hi()]);
+    println!(
+        "\nstudy query: ages 20-50 (joint region {:?})",
+        query.to_boundary_vec()
+    );
 
     let outcome = fed
-        .run_query(&query, &PolicyKind::QueryDriven { epsilon: 0.05, l: 4 })
+        .run_query(
+            &query,
+            &PolicyKind::QueryDriven {
+                epsilon: 0.05,
+                l: 4,
+            },
+        )
         .expect("several hospitals treat this cohort");
 
     println!("\nselected hospitals (ranked):");
@@ -87,17 +105,35 @@ fn main() {
         .network()
         .nodes()
         .iter()
-        .filter(|n| outcome.selection.participants.iter().all(|p| p.node != n.id()))
+        .filter(|n| {
+            outcome
+                .selection
+                .participants
+                .iter()
+                .all(|p| p.node != n.id())
+        })
         .map(|n| n.name())
         .collect();
     println!("  excluded: {excluded:?}");
 
-    let loss = outcome.query_loss(fed.network(), &query).expect("cohort data exists");
-    let all = fed.run_query(&query, &PolicyKind::AllNodes).expect("all-nodes always runs");
-    let all_loss = all.query_loss(fed.network(), &query).expect("cohort data exists");
+    let loss = outcome
+        .query_loss(fed.network(), &query)
+        .expect("cohort data exists");
+    let all = fed
+        .run_query(&query, &PolicyKind::AllNodes)
+        .expect("all-nodes always runs");
+    let all_loss = all
+        .query_loss(fed.network(), &query)
+        .expect("cohort data exists");
     println!("\ncohort-model loss (scaled MSE):");
-    println!("  query-driven hospitals : {loss:.6}  ({} patients)", outcome.accounting.samples_used);
-    println!("  every hospital         : {all_loss:.6}  ({} patients)", all.accounting.samples_used);
+    println!(
+        "  query-driven hospitals : {loss:.6}  ({} patients)",
+        outcome.accounting.samples_used
+    );
+    println!(
+        "  every hospital         : {all_loss:.6}  ({} patients)",
+        all.accounting.samples_used
+    );
     println!(
         "\nthe children's and geriatric populations would only have dragged the \
          cohort model away from the 20-50 regime - the selection left them out."

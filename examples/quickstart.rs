@@ -28,13 +28,20 @@ fn main() {
     // An analytics query over the "leader-like" region of the data space:
     // feature x in [0, 20], label y in [0, 45].
     let query = fed.query_from_bounds(0, &[0.0, 20.0, 0.0, 45.0]);
-    println!("\nquery {}: region {:?}", query.id(), query.to_boundary_vec());
+    println!(
+        "\nquery {}: region {:?}",
+        query.id(),
+        query.to_boundary_vec()
+    );
 
     // --- query-driven selection (the paper) ---
     let outcome = fed
         .run_query(&query, &PolicyKind::query_driven(3))
         .expect("the query overlaps at least one node");
-    println!("\nquery-driven selection picked {} nodes:", outcome.selection.len());
+    println!(
+        "\nquery-driven selection picked {} nodes:",
+        outcome.selection.len()
+    );
     for p in &outcome.selection.participants {
         let node = fed.network().node(p.node);
         println!(
@@ -46,13 +53,17 @@ fn main() {
             p.training_samples(fed.network()),
         );
     }
-    let ours = outcome.query_loss(fed.network(), &query).expect("test data exists");
+    let ours = outcome
+        .query_loss(fed.network(), &query)
+        .expect("test data exists");
 
     // --- random selection baseline ---
     let random = fed
         .run_query(&query, &PolicyKind::Random { l: 3, seed: 7 })
         .expect("random selection always picks nodes");
-    let random_loss = random.query_loss(fed.network(), &query).expect("test data exists");
+    let random_loss = random
+        .query_loss(fed.network(), &query)
+        .expect("test data exists");
 
     println!("\nper-query loss on the requested data region (scaled MSE):");
     println!("  query-driven : {ours:.6}");
@@ -67,6 +78,8 @@ fn main() {
     if ours < random_loss {
         println!("\nquery-driven selection won, as the paper predicts.");
     } else {
-        println!("\nrandom got lucky on this draw - try another seed; the averages tell the story.");
+        println!(
+            "\nrandom got lucky on this draw - try another seed; the averages tell the story."
+        );
     }
 }

@@ -42,8 +42,14 @@ fn main() {
 
     // Three domain queries: clean regime, typical conditions, episodes.
     let queries = [
-        ("clean-air regime", fed.query_from_bounds(0, &[0.0, 60.0, 0.0, 45.0])),
-        ("typical urban day", fed.query_from_bounds(1, &[60.0, 220.0, 40.0, 170.0])),
+        (
+            "clean-air regime",
+            fed.query_from_bounds(0, &[0.0, 60.0, 0.0, 45.0]),
+        ),
+        (
+            "typical urban day",
+            fed.query_from_bounds(1, &[60.0, 220.0, 40.0, 170.0]),
+        ),
         (
             "heavy-pollution episodes",
             fed.query_from_bounds(2, &[250.0, pm10_hi, 200.0, pm25_hi]),
@@ -51,7 +57,11 @@ fn main() {
     ];
 
     for (label, query) in &queries {
-        println!("\n--- query {}: {label} ({:?}) ---", query.id(), query.to_boundary_vec());
+        println!(
+            "\n--- query {}: {label} ({:?}) ---",
+            query.id(),
+            query.to_boundary_vec()
+        );
         match fed.run_query(query, &PolicyKind::query_driven(4)) {
             Ok(outcome) => {
                 print!("  selected:");
@@ -85,14 +95,21 @@ fn main() {
 
     // A short dynamic workload comparing all four mechanisms (mini Fig. 7).
     println!("\n--- 30-query dynamic workload, mechanism comparison ---");
-    let wl = fed.workload(&WorkloadConfig { n_queries: 30, ..WorkloadConfig::paper_default(11) });
+    let wl = fed.workload(&WorkloadConfig {
+        n_queries: 30,
+        ..WorkloadConfig::paper_default(11)
+    });
     let rows = compare_policies(
         &fed,
         &wl,
         &[
             PolicyKind::query_driven(4),
             PolicyKind::Random { l: 4, seed: 3 },
-            PolicyKind::GameTheory { leader: 0, l: 4, seed: 3 },
+            PolicyKind::GameTheory {
+                leader: 0,
+                l: 4,
+                seed: 3,
+            },
             PolicyKind::AllNodes,
         ],
     );

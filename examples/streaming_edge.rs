@@ -11,17 +11,32 @@
 //! cargo run --release -p qens --example streaming_edge
 //! ```
 
+use qens::airdata::scenario::NodeSpec;
 use qens::cluster::MiniBatchKMeans;
 use qens::linalg::Matrix;
 use qens::prelude::*;
-use qens::airdata::scenario::NodeSpec;
 
 fn main() {
     // Three nodes; node 2 starts far away from the query region and
     // drifts toward it epoch by epoch.
-    let stationary_a = NodeSpec { x_range: (0.0, 20.0), slope: 2.0, intercept: 3.0, noise_std: 2.0 };
-    let stationary_b = NodeSpec { x_range: (40.0, 70.0), slope: -1.0, intercept: 90.0, noise_std: 2.0 };
-    let drifting_start = NodeSpec { x_range: (80.0, 100.0), slope: 2.0, intercept: 3.0, noise_std: 2.0 };
+    let stationary_a = NodeSpec {
+        x_range: (0.0, 20.0),
+        slope: 2.0,
+        intercept: 3.0,
+        noise_std: 2.0,
+    };
+    let stationary_b = NodeSpec {
+        x_range: (40.0, 70.0),
+        slope: -1.0,
+        intercept: 90.0,
+        noise_std: 2.0,
+    };
+    let drifting_start = NodeSpec {
+        x_range: (80.0, 100.0),
+        slope: 2.0,
+        intercept: 3.0,
+        noise_std: 2.0,
+    };
 
     let fed = FederationBuilder::new()
         .datasets(vec![
@@ -40,7 +55,10 @@ fn main() {
 
     // Mutable copy of the network we evolve over rounds.
     let mut network = fed.network().clone();
-    let policy = QueryDriven { epsilon: 0.05, ..QueryDriven::top_l(3) };
+    let policy = QueryDriven {
+        epsilon: 0.05,
+        ..QueryDriven::top_l(3)
+    };
 
     for round in 0..5u64 {
         // Fresh data arrives: the drifting node's range walks toward the
@@ -65,7 +83,10 @@ fn main() {
 
         let ctx = SelectionContext::new(&network, &query);
         let sel = policy.select(&ctx);
-        print!("round {round}: drifting node covers x>= {:>5.0}; selected:", shift.max(0.0));
+        print!(
+            "round {round}: drifting node covers x>= {:>5.0}; selected:",
+            shift.max(0.0)
+        );
         for p in &sel.participants {
             print!(
                 " {}(r={:.2}, est {:.0} samples in region)",

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the qens workspace.
+#
+# Runs entirely offline (no crates-io access is required — the default
+# feature set of every crate is dependency-free):
+#
+#   1. release build of the whole workspace,
+#   2. the full test suite,
+#   3. rustfmt check,
+#   4. the repro smoke path, which runs the selection→train→aggregate
+#      pipeline end to end and asserts a non-empty telemetry snapshot
+#      spanning cluster/selection/mlkit/fedlearn/edgesim.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> repro --smoke (pipeline + telemetry health)"
+cargo run -q -p bench --bin repro --release --offline -- --smoke
+
+echo "verify OK"

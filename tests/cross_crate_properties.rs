@@ -1,24 +1,30 @@
-//! Property-based tests spanning the whole pipeline: random node
+//! Property-style tests spanning the whole pipeline: random node
 //! populations and random queries must uphold the system invariants.
+//! (Deterministic sweeps over the in-tree RNG; no proptest needed
+//! offline.)
 
-use proptest::prelude::*;
-use qens::prelude::*;
 use qens::airdata::scenario::{nodes_from_specs, NodeSpec};
+use qens::linalg::rng::{rng_for, Rng};
+use qens::prelude::*;
 
-/// Strategy: a population of 2–6 synthetic regression nodes with random
-/// ranges and slopes.
-fn population() -> impl Strategy<Value = Vec<NodeSpec>> {
-    prop::collection::vec(
-        (-50.0_f64..50.0, 5.0_f64..60.0, -4.0_f64..4.0, -20.0_f64..20.0, 0.5_f64..5.0).prop_map(
-            |(lo, span, slope, intercept, noise)| NodeSpec {
+const CASES: usize = 16;
+
+/// A population of 2–6 synthetic regression nodes with random ranges
+/// and slopes.
+fn population(rng: &mut impl Rng) -> Vec<NodeSpec> {
+    let count = rng.gen_range(2..6usize);
+    (0..count)
+        .map(|_| {
+            let lo = rng.gen_range(-50.0..50.0);
+            let span = rng.gen_range(5.0..60.0);
+            NodeSpec {
                 x_range: (lo, lo + span),
-                slope,
-                intercept,
-                noise_std: noise,
-            },
-        ),
-        2..6,
-    )
+                slope: rng.gen_range(-4.0..4.0),
+                intercept: rng.gen_range(-20.0..20.0),
+                noise_std: rng.gen_range(0.5..5.0),
+            }
+        })
+        .collect()
 }
 
 fn build_fed(specs: &[NodeSpec], seed: u64) -> Federation {
@@ -31,14 +37,16 @@ fn build_fed(specs: &[NodeSpec], seed: u64) -> Federation {
         .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Whatever the population and query, a successful round satisfies
-    /// the resource and weight invariants.
-    #[test]
-    fn round_invariants(specs in population(), seed in 0_u64..100,
-                        qx in -60.0_f64..60.0, qw in 1.0_f64..80.0) {
+/// Whatever the population and query, a successful round satisfies the
+/// resource and weight invariants.
+#[test]
+fn round_invariants() {
+    let mut rng = rng_for(0xCC, 1);
+    for _ in 0..CASES {
+        let specs = population(&mut rng);
+        let seed = rng.gen_range(0..100u64);
+        let qx = rng.gen_range(-60.0..60.0);
+        let qw = rng.gen_range(1.0..80.0);
         let fed = build_fed(&specs, seed);
         let global = fed.network().global_space();
         let y = global.interval(1);
@@ -47,30 +55,35 @@ proptest! {
             Err(FederationError::NoParticipants { .. }) => {
                 // Legal when the query misses every cluster.
             }
-            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+            Err(e) => panic!("unexpected error {e}"),
             Ok(out) => {
-                prop_assert!(out.selection.len() <= 3);
-                prop_assert!(out.accounting.samples_used <= out.accounting.samples_total);
-                prop_assert!(out.accounting.data_fraction() <= 1.0 + 1e-12);
+                assert!(out.selection.len() <= 3);
+                assert!(out.accounting.samples_used <= out.accounting.samples_total);
+                assert!(out.accounting.data_fraction() <= 1.0 + 1e-12);
                 let lambdas = out.selection.lambda_weights();
-                prop_assert!((lambdas.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                assert!((lambdas.iter().sum::<f64>() - 1.0).abs() < 1e-9);
                 if let Some(loss) = out.query_loss(fed.network(), &q) {
-                    prop_assert!(loss.is_finite() && loss >= 0.0);
+                    assert!(loss.is_finite() && loss >= 0.0);
                 }
                 // Participant rankings are positive and sorted.
                 for w in out.selection.participants.windows(2) {
-                    prop_assert!(w[0].ranking >= w[1].ranking);
+                    assert!(w[0].ranking >= w[1].ranking);
                 }
                 for p in &out.selection.participants {
-                    prop_assert!(p.ranking > 0.0);
+                    assert!(p.ranking > 0.0);
                 }
             }
         }
     }
+}
 
-    /// Selection never invents nodes and never duplicates them.
-    #[test]
-    fn selection_returns_distinct_known_nodes(specs in population(), seed in 0_u64..50) {
+/// Selection never invents nodes and never duplicates them.
+#[test]
+fn selection_returns_distinct_known_nodes() {
+    let mut rng = rng_for(0xCC, 2);
+    for _ in 0..CASES {
+        let specs = population(&mut rng);
+        let seed = rng.gen_range(0..50u64);
         let fed = build_fed(&specs, seed);
         let bounds = fed.network().global_space().to_boundary_vec();
         let q = Query::from_boundary_vec(1, &bounds);
@@ -85,37 +98,68 @@ proptest! {
             let before = ids.len();
             ids.sort_unstable();
             ids.dedup();
-            prop_assert_eq!(ids.len(), before, "duplicate participants from {}", policy.name());
+            assert_eq!(
+                ids.len(),
+                before,
+                "duplicate participants from {}",
+                policy.name()
+            );
             for id in ids {
-                prop_assert!(id < fed.network().len());
+                assert!(id < fed.network().len());
             }
         }
     }
+}
 
-    /// Data selectivity can only shrink what a participant trains on.
-    #[test]
-    fn selectivity_is_monotone(specs in population(), seed in 0_u64..50,
-                               qx in -60.0_f64..60.0, qw in 5.0_f64..60.0) {
+/// Data selectivity can only shrink what a participant trains on.
+#[test]
+fn selectivity_is_monotone() {
+    let mut rng = rng_for(0xCC, 3);
+    for _ in 0..CASES {
+        let specs = population(&mut rng);
+        let seed = rng.gen_range(0..50u64);
+        let qx = rng.gen_range(-60.0..60.0);
+        let qw = rng.gen_range(5.0..60.0);
         let fed = build_fed(&specs, seed);
         let global = fed.network().global_space();
         let y = global.interval(1);
         let q = fed.query_from_bounds(2, &[qx, qx + qw, y.lo(), y.hi()]);
-        let with = fed.run_query(&q, &PolicyKind::QueryDriven { epsilon: 0.05, l: 10 });
-        let without = fed.run_query(&q, &PolicyKind::QueryDrivenNoSelectivity { epsilon: 0.05, l: 10 });
+        let with = fed.run_query(
+            &q,
+            &PolicyKind::QueryDriven {
+                epsilon: 0.05,
+                l: 10,
+            },
+        );
+        let without = fed.run_query(
+            &q,
+            &PolicyKind::QueryDrivenNoSelectivity {
+                epsilon: 0.05,
+                l: 10,
+            },
+        );
         if let (Ok(a), Ok(b)) = (with, without) {
-            prop_assert!(a.accounting.samples_used <= b.accounting.samples_used);
-            prop_assert_eq!(a.selection.len(), b.selection.len());
+            assert!(a.accounting.samples_used <= b.accounting.samples_used);
+            assert_eq!(a.selection.len(), b.selection.len());
         }
     }
+}
 
-    /// A larger ε never selects *more* clusters on any node.
-    #[test]
-    fn epsilon_is_monotone(specs in population(), seed in 0_u64..50) {
+/// A larger ε never selects *more* clusters on any node.
+#[test]
+fn epsilon_is_monotone() {
+    let mut rng = rng_for(0xCC, 4);
+    for _ in 0..CASES {
+        let specs = population(&mut rng);
+        let seed = rng.gen_range(0..50u64);
         let fed = build_fed(&specs, seed);
         let bounds = fed.network().global_space().to_boundary_vec();
         let q = Query::from_boundary_vec(3, &bounds);
         let count = |eps: f64| {
-            let policy = QueryDriven { epsilon: eps, ..QueryDriven::top_l(10) };
+            let policy = QueryDriven {
+                epsilon: eps,
+                ..QueryDriven::top_l(10)
+            };
             let ctx = SelectionContext::new(fed.network(), &q);
             policy
                 .select(&ctx)
@@ -126,6 +170,9 @@ proptest! {
         };
         let loose = count(0.01);
         let tight = count(0.3);
-        prop_assert!(tight <= loose, "eps=0.3 selected {tight} clusters vs {loose} at 0.01");
+        assert!(
+            tight <= loose,
+            "eps=0.3 selected {tight} clusters vs {loose} at 0.01"
+        );
     }
 }

@@ -27,7 +27,11 @@ fn summaries_are_the_only_leader_visible_state() {
             assert!(s.wire_bytes() < 128);
             total += s.size;
         }
-        assert_eq!(total, node.len(), "summaries must partition the node's data");
+        assert_eq!(
+            total,
+            node.len(),
+            "summaries must partition the node's data"
+        );
     }
 }
 
@@ -38,8 +42,16 @@ fn ranking_prefers_nodes_whose_data_matches_the_query() {
     // (x in [0,21], y = 2x+3); this query targets exactly that region.
     let q = fed.query_from_bounds(0, &[0.0, 20.0, 0.0, 45.0]);
     let out = fed.run_query(&q, &PolicyKind::query_driven(8)).unwrap();
-    let selected: Vec<usize> = out.selection.participants.iter().map(|p| p.node.0).collect();
-    assert!(selected.contains(&0) && selected.contains(&1), "selected {selected:?}");
+    let selected: Vec<usize> = out
+        .selection
+        .participants
+        .iter()
+        .map(|p| p.node.0)
+        .collect();
+    assert!(
+        selected.contains(&0) && selected.contains(&1),
+        "selected {selected:?}"
+    );
     // And they rank at the top.
     assert!(selected[0] == 0 || selected[0] == 1);
     assert!(selected[1] == 0 || selected[1] == 1);
@@ -83,7 +95,10 @@ fn aggregation_weights_match_selection_rankings() {
 #[test]
 fn accounting_is_internally_consistent() {
     let fed = hetero_fed(5);
-    let wl = fed.workload(&WorkloadConfig { n_queries: 10, ..WorkloadConfig::paper_default(5) });
+    let wl = fed.workload(&WorkloadConfig {
+        n_queries: 10,
+        ..WorkloadConfig::paper_default(5)
+    });
     let res = fed.run_workload(&wl, &PolicyKind::query_driven(3));
     for (row, q) in res
         .accounting
@@ -108,7 +123,10 @@ fn air_quality_pipeline_runs_end_to_end() {
         .epochs(5)
         .build();
     assert_eq!(fed.network().len(), 10);
-    let wl = fed.workload(&WorkloadConfig { n_queries: 6, ..WorkloadConfig::paper_default(2) });
+    let wl = fed.workload(&WorkloadConfig {
+        n_queries: 6,
+        ..WorkloadConfig::paper_default(2)
+    });
     let res = fed.run_workload(&wl, &PolicyKind::query_driven(4));
     let ok = res.per_query.len() - res.failed_queries();
     assert!(ok >= 3, "too many failed queries: {}", res.failed_queries());
@@ -139,7 +157,16 @@ fn gt_baseline_has_visible_selection_overhead() {
     let fed = hetero_fed(11);
     let q = fed.query_from_bounds(0, &[0.0, 20.0, 0.0, 45.0]);
     let ours = fed.run_query(&q, &PolicyKind::query_driven(3)).unwrap();
-    let gt = fed.run_query(&q, &PolicyKind::GameTheory { leader: 0, l: 3, seed: 3 }).unwrap();
+    let gt = fed
+        .run_query(
+            &q,
+            &PolicyKind::GameTheory {
+                leader: 0,
+                l: 3,
+                seed: 3,
+            },
+        )
+        .unwrap();
     // GT pays a probe round before training: more simulated time and more
     // bytes than the summary-only query-driven mechanism.
     assert!(gt.accounting.sim_seconds > ours.accounting.sim_seconds);
@@ -190,7 +217,9 @@ fn multi_feature_federation_runs_in_higher_dimensions() {
     let space = fed.network().global_space();
     let o3 = space.interval(3);
     let q = fed.query_from_bounds(0, &[15.0, 35.0, 1.0, 4.0, 10.0, 80.0, o3.lo(), o3.hi()]);
-    let out = fed.run_query(&q, &PolicyKind::query_driven(3)).expect("summer region has data");
+    let out = fed
+        .run_query(&q, &PolicyKind::query_driven(3))
+        .expect("summer region has data");
     assert!(!out.selection.is_empty());
     if let Some(loss) = out.query_loss(fed.network(), &q) {
         assert!(loss.is_finite() && loss >= 0.0);
@@ -211,7 +240,10 @@ fn leader_cardinality_estimates_track_reality() {
     }
     assert!(exact_total > 0, "query region must contain data");
     let err = (est_total - exact_total as f64).abs() / exact_total as f64;
-    assert!(err < 0.5, "estimate {est_total} vs exact {exact_total} (err {err})");
+    assert!(
+        err < 0.5,
+        "estimate {est_total} vs exact {exact_total} (err {err})"
+    );
 }
 
 #[test]
@@ -221,7 +253,10 @@ fn slow_links_raise_round_time() {
     let nodes = scenario::heterogeneous_nodes(5, 100, 3);
     let build = |slow: bool| {
         let mut net = EdgeNetwork::from_datasets(
-            nodes.iter().map(|n| (n.name.clone(), n.dataset.clone())).collect(),
+            nodes
+                .iter()
+                .map(|n| (n.name.clone(), n.dataset.clone()))
+                .collect(),
         );
         if slow {
             net = net.with_random_links((1e3, 2e3), (0.5, 1.0), 7);
@@ -265,36 +300,53 @@ fn multi_round_and_stage_order_are_deterministic() {
         (1, StageOrder::Interleaved),
         (3, StageOrder::Sequential),
     ] {
-        assert_eq!(run(rounds, order), run(rounds, order), "rounds={rounds} order={order:?}");
+        assert_eq!(
+            run(rounds, order),
+            run(rounds, order),
+            "rounds={rounds} order={order:?}"
+        );
     }
     // The variants genuinely differ from each other.
-    assert_ne!(run(1, StageOrder::Sequential), run(1, StageOrder::Interleaved));
+    assert_ne!(
+        run(1, StageOrder::Sequential),
+        run(1, StageOrder::Interleaved)
+    );
 }
 
 #[test]
 fn private_summaries_still_select_sensibly() {
     let nodes = scenario::heterogeneous_nodes(8, 150, 5);
-    let mut net = EdgeNetwork::from_datasets(
-        nodes.into_iter().map(|n| (n.name, n.dataset)).collect(),
-    );
+    let mut net =
+        EdgeNetwork::from_datasets(nodes.into_iter().map(|n| (n.name, n.dataset)).collect());
     net.quantize_all_private(5, 2, 0.5);
     let q = Query::from_boundary_vec(0, &[0.0, 20.0, 0.0, 45.0]);
     let ctx = SelectionContext::new(&net, &q);
     let sel = QueryDriven::top_l(3).select(&ctx);
-    assert!(!sel.is_empty(), "noised summaries must still support the leader query");
+    assert!(
+        !sel.is_empty(),
+        "noised summaries must still support the leader query"
+    );
     // The leader-pattern nodes (0 and 1) still surface under eps = 0.5.
     let picked: Vec<usize> = sel.participants.iter().map(|p| p.node.0).collect();
-    assert!(picked.contains(&0) || picked.contains(&1), "picked {picked:?}");
+    assert!(
+        picked.contains(&0) || picked.contains(&1),
+        "picked {picked:?}"
+    );
 }
 
 #[test]
 fn whole_pipeline_is_deterministic() {
     let run = || {
         let fed = hetero_fed(42);
-        let wl =
-            fed.workload(&WorkloadConfig { n_queries: 5, ..WorkloadConfig::paper_default(42) });
+        let wl = fed.workload(&WorkloadConfig {
+            n_queries: 5,
+            ..WorkloadConfig::paper_default(42)
+        });
         let res = fed.run_workload(&wl, &PolicyKind::query_driven(3));
-        res.per_query.iter().filter_map(|r| r.loss).collect::<Vec<f64>>()
+        res.per_query
+            .iter()
+            .filter_map(|r| r.loss)
+            .collect::<Vec<f64>>()
     };
     assert_eq!(run(), run());
 }

