@@ -11,7 +11,7 @@ use linalg::rng::{rng_for, Rng, SliceRandom};
 const CASES: usize = 24;
 
 fn random_station(rng: &mut impl Rng) -> &'static str {
-    *STATIONS.choose(rng).expect("stations are non-empty")
+    STATIONS.choose(rng).expect("stations are non-empty")
 }
 
 fn random_config(rng: &mut impl Rng) -> GeneratorConfig {

@@ -8,8 +8,9 @@
 //! `cargo test` smoke-runs every kernel once.
 
 use bench::harness::{black_box, Harness};
-use qens::cluster::{KMeans, KMeansConfig};
+use qens::cluster::{self, KMeans, KMeansConfig};
 use qens::linalg::Matrix;
+use qens::par;
 use qens::prelude::*;
 
 fn bench_overlap(h: &mut Harness) {
@@ -111,6 +112,112 @@ fn bench_training(h: &mut Harness) {
     });
 }
 
+/// Serial-vs-pooled comparisons for the kernels wired through the `par`
+/// pool. Both sides run the *same* chunked code (1-thread pools run it
+/// inline), so the ratio isolates scheduling cost/benefit; results are
+/// bit-identical by the pool's determinism contract. On a single-core
+/// box the pooled numbers show pure overhead — see EXPERIMENTS.md.
+fn bench_pool_kernels(h: &mut Harness) {
+    let workers = par::default_threads().max(2);
+    let serial = par::sized(1);
+    let pooled = par::sized(workers);
+
+    // k-means Lloyd assignment: the O(rows * k * dim) inner loop.
+    let mut rng = qens::linalg::rng::rng_for(11, 4);
+    let rows: Vec<Vec<f64>> = (0..20_000)
+        .map(|_| {
+            vec![
+                qens::linalg::rng::normal(&mut rng, 0.0, 10.0),
+                qens::linalg::rng::normal(&mut rng, 5.0, 3.0),
+                qens::linalg::rng::normal(&mut rng, -2.0, 6.0),
+            ]
+        })
+        .collect();
+    let data = Matrix::from_rows(&rows);
+    let model = KMeans::fit_with_pool(&data, &KMeansConfig::with_k(5, 7), &serial);
+    let mut assignments = vec![0usize; data.rows()];
+    let ser = h
+        .bench("kmeans_assign_20000x3_serial", || {
+            cluster::kmeans::assign_chunked(
+                black_box(&data),
+                model.centroids(),
+                black_box(&mut assignments),
+                &serial,
+            );
+        })
+        .min_nanos;
+    let par_nanos = h
+        .bench("kmeans_assign_20000x3_pooled", || {
+            cluster::kmeans::assign_chunked(
+                black_box(&data),
+                model.centroids(),
+                black_box(&mut assignments),
+                &pooled,
+            );
+        })
+        .min_nanos;
+    if !h.is_fast() {
+        println!(
+            "kmeans assign speedup on {workers} workers: {:.2}x (serial {ser:.0} ns, pooled {par_nanos:.0} ns)",
+            ser / par_nanos
+        );
+    }
+
+    // Per-node selection scoring over a larger population.
+    let fed = FederationBuilder::new()
+        .heterogeneous_nodes(24, 400)
+        .seed(2)
+        .epochs(1)
+        .build();
+    let q = fed.query_from_bounds(0, &[0.0, 20.0, 0.0, 45.0]);
+    let policy = QueryDriven::top_l(8);
+    let ctx = SelectionContext::new(fed.network(), &q);
+    let ser = h
+        .bench("select_24_nodes_serial", || {
+            black_box(policy.select_with_pool(black_box(&ctx), &serial));
+        })
+        .min_nanos;
+    let par_nanos = h
+        .bench("select_24_nodes_pooled", || {
+            black_box(policy.select_with_pool(black_box(&ctx), &pooled));
+        })
+        .min_nanos;
+    if !h.is_fast() {
+        println!(
+            "selection speedup on {workers} workers: {:.2}x (serial {ser:.0} ns, pooled {par_nanos:.0} ns)",
+            ser / par_nanos
+        );
+    }
+
+    // Full federation round: participants train as pool jobs. Reuses the
+    // leader-region query, which the selection bench above shows has
+    // supporting clusters (a full-space query dilutes every overlap
+    // ratio below ε on this 24-node population).
+    let rq = fed.query_from_bounds(1, &[0.0, 20.0, 0.0, 45.0]);
+    let base = fed.config().clone();
+    let ser_cfg = qens::fedlearn::FederationConfig {
+        parallel: false,
+        ..base.clone()
+    };
+    let par_cfg = base.with_thread_count(workers);
+    let ser = h
+        .bench("run_query_24_nodes_serial", || {
+            black_box(qens::fedlearn::run_query(fed.network(), &rq, &policy, &ser_cfg).unwrap());
+        })
+        .min_nanos;
+    let par_nanos = h
+        .bench("run_query_24_nodes_pooled", || {
+            black_box(qens::fedlearn::run_query(fed.network(), &rq, &policy, &par_cfg).unwrap());
+        })
+        .min_nanos;
+    if !h.is_fast() {
+        println!(
+            "run_query speedup on {workers} workers: {:.2}x (serial {ser:.0} ns, pooled {par_nanos:.0} ns)",
+            ser / par_nanos
+        );
+    }
+}
+
 fn main() {
     let mut h = Harness::from_env();
     qens::telemetry::set_enabled(false);
@@ -118,4 +225,5 @@ fn main() {
     bench_node_scoring(&mut h);
     bench_kmeans(&mut h);
     bench_training(&mut h);
+    bench_pool_kernels(&mut h);
 }

@@ -1,7 +1,17 @@
 //! Lloyd's k-means with k-means++ initialisation.
+//!
+//! The Lloyd hot loops (assignment, centroid sums, inertia) run on the
+//! bounded [`par::ThreadPool`] with fixed row chunking and ordered
+//! per-chunk partial reductions, so a fit is bit-identical for any
+//! worker count (including the inline serial path of a 1-thread pool).
 
 use linalg::rng::Rng;
 use linalg::{ops, rng, Matrix};
+use par::ThreadPool;
+
+/// Rows per pool task in the chunked Lloyd kernels. Fixed (never derived
+/// from the worker count) so partial-reduction order is deterministic.
+const ROW_CHUNK: usize = par::DEFAULT_CHUNK;
 
 /// Centroid initialisation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +82,15 @@ impl KMeans {
     /// # Panics
     /// Panics if `data` is empty or `config.k == 0`.
     pub fn fit(data: &Matrix, config: &KMeansConfig) -> Self {
+        Self::fit_with_pool(data, config, par::global())
+    }
+
+    /// [`KMeans::fit`] on an explicit, injectable pool handle.
+    ///
+    /// The fit is bit-identical for every `pool.threads()` value
+    /// (chunked kernels with ordered partial reductions); a 1-thread
+    /// pool is the inline serial reference.
+    pub fn fit_with_pool(data: &Matrix, config: &KMeansConfig, pool: &ThreadPool) -> Self {
         assert!(config.k > 0, "k must be positive");
         assert!(data.rows() > 0, "cannot cluster an empty dataset");
         let _fit_span = telemetry::span!("qens_cluster_kmeans_fit_nanos");
@@ -92,10 +111,11 @@ impl KMeans {
             iterations = it + 1;
             {
                 let _s = telemetry::span!("qens_cluster_kmeans_assign_nanos");
-                assign(data, &centroids, &mut assignments);
+                assign(data, &centroids, &mut assignments, pool);
             }
             let update_span = telemetry::span!("qens_cluster_kmeans_update_nanos");
-            let new_centroids = recompute_centroids(data, &assignments, k, &centroids, &mut rng);
+            let new_centroids =
+                recompute_centroids(data, &assignments, k, &centroids, &mut rng, pool);
             update_span.finish();
             let movement: f64 = (0..k)
                 .map(|c| ops::squared_distance(centroids.row(c), new_centroids.row(c)))
@@ -108,8 +128,8 @@ impl KMeans {
         }
         telemetry::counter!("qens_cluster_kmeans_iterations_total").add(iterations as u64);
         // Final assignment against the final centroids.
-        assign(data, &centroids, &mut assignments);
-        let inertia = compute_inertia(data, &centroids, &assignments);
+        assign(data, &centroids, &mut assignments, pool);
+        let inertia = compute_inertia(data, &centroids, &assignments, pool);
         Self {
             centroids,
             assignments,
@@ -186,34 +206,77 @@ fn nearest_centroid(centroids: &Matrix, point: &[f64]) -> (usize, f64) {
     best
 }
 
-fn assign(data: &Matrix, centroids: &Matrix, assignments: &mut [usize]) {
-    for (i, row) in data.row_iter().enumerate() {
-        assignments[i] = nearest_centroid(centroids, row).0;
-    }
+/// Lloyd assignment over fixed row chunks: each pool task fills a
+/// disjoint slice of `assignments`. Elementwise, so trivially
+/// worker-count independent. Public for the `kernels` bench's
+/// serial-vs-pooled comparison.
+pub fn assign_chunked(
+    data: &Matrix,
+    centroids: &Matrix,
+    assignments: &mut [usize],
+    pool: &ThreadPool,
+) {
+    assert_eq!(assignments.len(), data.rows(), "one assignment per row");
+    pool.for_each_chunk(assignments, ROW_CHUNK, |offset, part| {
+        for (j, slot) in part.iter_mut().enumerate() {
+            *slot = nearest_centroid(centroids, data.row(offset + j)).0;
+        }
+    });
 }
 
-fn compute_inertia(data: &Matrix, centroids: &Matrix, assignments: &[usize]) -> f64 {
-    data.row_iter()
-        .zip(assignments)
-        .map(|(row, &a)| ops::squared_distance(row, centroids.row(a)))
-        .sum()
+fn assign(data: &Matrix, centroids: &Matrix, assignments: &mut [usize], pool: &ThreadPool) {
+    assign_chunked(data, centroids, assignments, pool);
+}
+
+/// Quantisation loss (Eq. 1) as ordered per-chunk partial sums: chunk
+/// boundaries depend only on the row count, and the partials are reduced
+/// in chunk order, so the value is bit-identical for any worker count.
+fn compute_inertia(
+    data: &Matrix,
+    centroids: &Matrix,
+    assignments: &[usize],
+    pool: &ThreadPool,
+) -> f64 {
+    pool.map_chunks(data.rows(), ROW_CHUNK, |range| {
+        range
+            .map(|i| ops::squared_distance(data.row(i), centroids.row(assignments[i])))
+            .sum::<f64>()
+    })
+    .iter()
+    .sum()
 }
 
 /// Recomputes centroids as member means; an emptied cluster is re-seeded at
 /// the sample farthest from its current centroid so K never degrades.
+///
+/// The member sums are accumulated as per-chunk partial `(sums, counts)`
+/// pairs reduced in chunk order — deterministic for any worker count.
 fn recompute_centroids(
     data: &Matrix,
     assignments: &[usize],
     k: usize,
     old: &Matrix,
     rng: &mut impl Rng,
+    pool: &ThreadPool,
 ) -> Matrix {
     let d = data.cols();
+    let partials: Vec<(Matrix, Vec<usize>)> = pool.map_chunks(data.rows(), ROW_CHUNK, |range| {
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in range {
+            let a = assignments[i];
+            ops::axpy(1.0, data.row(i), sums.row_mut(a));
+            counts[a] += 1;
+        }
+        (sums, counts)
+    });
     let mut sums = Matrix::zeros(k, d);
     let mut counts = vec![0usize; k];
-    for (row, &a) in data.row_iter().zip(assignments) {
-        ops::axpy(1.0, row, sums.row_mut(a));
-        counts[a] += 1;
+    for (part_sums, part_counts) in partials {
+        sums.axpy_inplace(1.0, &part_sums);
+        for (total, part) in counts.iter_mut().zip(&part_counts) {
+            *total += part;
+        }
     }
     for (c, &count) in counts.iter().enumerate() {
         if count > 0 {
@@ -400,6 +463,34 @@ mod tests {
         let m = KMeans::fit(&data, &KMeansConfig::with_k(3, 8));
         assert!(m.inertia() < 1e-12);
         assert!(m.centroids().all_finite());
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_pool_sizes() {
+        // > ROW_CHUNK samples so the pooled path really splits the rows
+        // into several chunks.
+        let (data, _) = blobs(17, 500); // 1500 rows
+        let cfg = KMeansConfig::with_k(4, 13);
+        let serial = KMeans::fit_with_pool(&data, &cfg, &par::ThreadPool::new(1));
+        for threads in [2, 4, 7] {
+            let pooled = KMeans::fit_with_pool(&data, &cfg, &par::ThreadPool::new(threads));
+            assert_eq!(serial.centroids(), pooled.centroids(), "{threads} threads");
+            assert_eq!(serial.assignments(), pooled.assignments());
+            assert_eq!(serial.inertia().to_bits(), pooled.inertia().to_bits());
+            assert_eq!(serial.iterations(), pooled.iterations());
+        }
+    }
+
+    #[test]
+    fn assign_chunked_matches_predict() {
+        let (data, _) = blobs(21, 400); // 1200 rows, crosses a chunk edge
+        let m = KMeans::fit(&data, &KMeansConfig::with_k(3, 2));
+        let pool = par::ThreadPool::new(3);
+        let mut assignments = vec![0usize; data.rows()];
+        assign_chunked(&data, m.centroids(), &mut assignments, &pool);
+        for (i, row) in data.row_iter().enumerate() {
+            assert_eq!(assignments[i], m.predict(row));
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub struct FederationBuilder {
     rounds: usize,
     stage_order: StageOrder,
     telemetry: Option<bool>,
+    threads: Option<usize>,
 }
 
 impl Default for FederationBuilder {
@@ -75,6 +76,7 @@ impl FederationBuilder {
             rounds: 1,
             stage_order: StageOrder::Sequential,
             telemetry: None,
+            threads: None,
         }
     }
 
@@ -217,6 +219,17 @@ impl FederationBuilder {
         self
     }
 
+    /// Pins the training thread pool to exactly `n` workers (backed by a
+    /// process-wide cached pool, [`par::sized`]; threads are created once
+    /// per process, not per query). When never called, the federation
+    /// uses the global pool ([`par::global`]): `QENS_THREADS` or the
+    /// machine's available parallelism. `n == 1` runs participants
+    /// inline on the caller — results are bit-identical either way.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
     /// Materialises the federation: generates/loads node data, builds the
     /// network and quantises every node.
     pub fn build(self) -> Federation {
@@ -271,6 +284,7 @@ impl FederationBuilder {
             aggregation,
             model_seed: self.seed,
             parallel: true,
+            threads: self.threads,
             stage_order: self.stage_order,
             rounds: self.rounds,
         };
@@ -456,6 +470,32 @@ mod tests {
             "{} of 15 anchored queries failed",
             res.failed_queries()
         );
+    }
+
+    #[test]
+    fn pinned_thread_counts_change_nothing_observable() {
+        let build = |threads: Option<usize>| {
+            let mut b = FederationBuilder::new()
+                .heterogeneous_nodes(5, 60)
+                .seed(21)
+                .epochs(3);
+            if let Some(n) = threads {
+                b = b.threads(n);
+            }
+            b.build()
+        };
+        let q = Query::from_boundary_vec(2, &[0.0, 20.0, 0.0, 45.0]);
+        let losses: Vec<f64> = [None, Some(1), Some(3)]
+            .into_iter()
+            .map(|t| {
+                let fed = build(t);
+                assert_eq!(fed.config().threads, t);
+                let out = fed.run_query(&q, &PolicyKind::query_driven(2)).unwrap();
+                out.query_loss(fed.network(), &q).unwrap()
+            })
+            .collect();
+        assert_eq!(losses[0].to_bits(), losses[1].to_bits());
+        assert_eq!(losses[0].to_bits(), losses[2].to_bits());
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub use fedlearn;
 pub use geom;
 pub use linalg;
 pub use mlkit;
+pub use par;
 pub use selection;
 pub use telemetry;
 pub use workload;

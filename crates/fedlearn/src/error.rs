@@ -16,6 +16,17 @@ pub enum FederationError {
         /// The affected query.
         query_id: u64,
     },
+    /// The federation configuration cannot be executed as given (e.g.
+    /// multi-round refinement with an aggregation rule that produces no
+    /// single weight vector to re-broadcast). Recoverable: callers such
+    /// as the repro binary and bench sweeps can skip the combination
+    /// instead of crashing.
+    UnsupportedConfig {
+        /// The query whose round was refused.
+        query_id: u64,
+        /// Human-readable explanation of the rejected combination.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for FederationError {
@@ -33,6 +44,9 @@ impl std::fmt::Display for FederationError {
                     "query {query_id}: selected participants hold no training data"
                 )
             }
+            FederationError::UnsupportedConfig { query_id, reason } => {
+                write!(f, "query {query_id}: unsupported configuration: {reason}")
+            }
         }
     }
 }
@@ -49,5 +63,11 @@ mod tests {
         assert!(e.to_string().contains("42"));
         let e = FederationError::NoTrainingData { query_id: 7 };
         assert!(e.to_string().contains("7"));
+        let e = FederationError::UnsupportedConfig {
+            query_id: 9,
+            reason: "multi-round refinement requires FedAvg".into(),
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains("FedAvg"));
     }
 }

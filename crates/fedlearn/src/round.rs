@@ -7,7 +7,6 @@ use geom::Query;
 use linalg::rng as lrng;
 use mlkit::{DenseDataset, Model, ModelKind, Regressor, TrainConfig};
 use selection::{Participant, Selection, SelectionContext, SelectionPolicy};
-use std::sync::Mutex;
 
 use crate::aggregate::{Aggregation, GlobalModel};
 use crate::error::FederationError;
@@ -43,9 +42,16 @@ pub struct FederationConfig {
     pub aggregation: Aggregation,
     /// Seed for the initial global model.
     pub model_seed: u64,
-    /// Train participants on parallel threads (deterministic either way;
-    /// serial mode exists for timing experiments that want one core).
+    /// Train participants on the bounded [`par`] thread pool
+    /// (deterministic either way; serial mode exists for timing
+    /// experiments that want one core).
     pub parallel: bool,
+    /// Worker count for participant training: `Some(n)` pins a cached
+    /// process-wide pool of exactly `n` workers ([`par::sized`]), `None`
+    /// uses the global pool ([`par::global`]: `QENS_THREADS` or the
+    /// machine's available parallelism). Either way threads are created
+    /// once per process — never once per participant-round.
+    pub threads: Option<usize>,
     /// Supporting-cluster visit order (see [`StageOrder`]).
     pub stage_order: StageOrder,
     /// Communication rounds. The paper's protocol is single-round
@@ -67,6 +73,7 @@ impl FederationConfig {
             aggregation: Aggregation::WeightedAveraging,
             model_seed: seed,
             parallel: true,
+            threads: None,
             stage_order: StageOrder::Sequential,
             rounds: 1,
         }
@@ -80,9 +87,17 @@ impl FederationConfig {
             aggregation: Aggregation::WeightedAveraging,
             model_seed: seed,
             parallel: true,
+            threads: None,
             stage_order: StageOrder::Sequential,
             rounds: 1,
         }
+    }
+
+    /// Pins the training pool's worker count (see
+    /// [`FederationConfig::threads`]).
+    pub fn with_thread_count(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
     }
 
     /// Swaps the aggregation rule.
@@ -160,6 +175,21 @@ struct LocalResult {
     wall_seconds: f64,
 }
 
+/// Wall-clock credited to one communication round.
+///
+/// When the participants trained concurrently on the pool the round is
+/// over once the *slowest* one finishes (max); when they trained one
+/// after another on the caller's thread the round took the *sum* of the
+/// individual walls. Using max unconditionally (the old behaviour)
+/// under-reports serial runs by up to a factor of the participant count.
+fn round_wall_seconds(pooled: bool, walls: &[f64]) -> f64 {
+    if pooled {
+        walls.iter().copied().fold(0.0, f64::max)
+    } else {
+        walls.iter().sum()
+    }
+}
+
 /// Runs one complete round: selection → local training → aggregation.
 ///
 /// Training is deterministic in the configuration regardless of
@@ -171,10 +201,20 @@ pub fn run_query(
     policy: &dyn SelectionPolicy,
     config: &FederationConfig,
 ) -> Result<RoundOutcome, FederationError> {
-    assert!(
-        config.rounds == 1 || config.aggregation == Aggregation::FedAvgWeights,
-        "multi-round refinement requires FedAvg weight aggregation"
-    );
+    if config.rounds == 0 {
+        return Err(FederationError::UnsupportedConfig {
+            query_id: query.id(),
+            reason: "at least one communication round is required".into(),
+        });
+    }
+    if config.rounds > 1 && config.aggregation != Aggregation::FedAvgWeights {
+        return Err(FederationError::UnsupportedConfig {
+            query_id: query.id(),
+            reason: "multi-round refinement requires FedAvg weight aggregation \
+                     (prediction ensembles have no single weight vector to re-broadcast)"
+                .into(),
+        });
+    }
     // Per-query attribution: every metric recorded until the scope drops
     // is credited to this query id in the registry's query ring.
     let _query_scope = telemetry::QueryScope::begin(query.id());
@@ -249,64 +289,71 @@ pub fn run_query(
         ..QueryAccounting::default()
     };
 
+    // The training pool: resolved once per call, but the workers behind
+    // it live for the whole process ([`par::global`] / [`par::sized`]) —
+    // no per-round or per-participant thread creation.
+    let sized_pool;
+    let pool: &par::ThreadPool = match config.threads {
+        Some(n) => {
+            sized_pool = par::sized(n);
+            &sized_pool
+        }
+        None => par::global(),
+    };
+
     let mut global = None;
     for round in 0..config.rounds {
-        let results: Mutex<Vec<LocalResult>> = Mutex::new(Vec::with_capacity(nonempty.len()));
         let broadcast = &initial;
-        let train_one =
-            |(index, participant, stages): &(usize, &Participant, Vec<DenseDataset>)| {
-                let node = network.node(participant.node);
-                let mut model = broadcast.clone();
-                let train_cfg = TrainConfig {
-                    seed: lrng::derive_seed(
-                        config.train.seed,
-                        query.id() ^ ((node.id().0 as u64) << 32) ^ ((round as u64) << 48),
-                    ),
-                    ..config.train.clone()
-                };
-                let samples_used: usize = stages.iter().map(DenseDataset::len).sum();
-                // Counter adds are relaxed atomics, so these totals are
-                // identical whether participants train on threads or inline.
-                telemetry::counter!("qens_fedlearn_participants_total").incr();
-                telemetry::counter!("qens_fedlearn_stages_total").add(stages.len() as u64);
-                telemetry::counter!("qens_fedlearn_samples_used_total").add(samples_used as u64);
-                let train_span = telemetry::span!("qens_fedlearn_train_nanos");
-                let start = Instant::now();
-                let report = match config.stage_order {
-                    StageOrder::Sequential => {
-                        mlkit::train_incremental(&mut model, stages, &train_cfg)
-                    }
-                    StageOrder::Interleaved => {
-                        mlkit::train_interleaved(&mut model, stages, &train_cfg)
-                    }
-                };
-                let wall = start.elapsed().as_secs_f64();
-                train_span.finish();
-                telemetry::counter!("qens_fedlearn_sample_visits_total")
-                    .add(report.samples_seen as u64);
-                results.lock().unwrap().push(LocalResult {
-                    index: *index,
-                    model,
-                    samples_used,
-                    sample_visits: report.samples_seen,
-                    wall_seconds: wall,
-                });
+        let train_one = |(index, participant, stages): &(
+            usize,
+            &Participant,
+            Vec<DenseDataset>,
+        )|
+         -> LocalResult {
+            let node = network.node(participant.node);
+            let mut model = broadcast.clone();
+            let train_cfg = TrainConfig {
+                seed: lrng::derive_seed(
+                    config.train.seed,
+                    query.id() ^ ((node.id().0 as u64) << 32) ^ ((round as u64) << 48),
+                ),
+                ..config.train.clone()
             };
-
-        if config.parallel && nonempty.len() > 1 {
-            std::thread::scope(|scope| {
-                for job in &nonempty {
-                    scope.spawn(move || train_one(job));
-                }
-            });
-        } else {
-            for job in &nonempty {
-                train_one(job);
+            let samples_used: usize = stages.iter().map(DenseDataset::len).sum();
+            // Counter adds are relaxed atomics, so these totals are
+            // identical whether participants train on threads or inline.
+            telemetry::counter!("qens_fedlearn_participants_total").incr();
+            telemetry::counter!("qens_fedlearn_stages_total").add(stages.len() as u64);
+            telemetry::counter!("qens_fedlearn_samples_used_total").add(samples_used as u64);
+            let train_span = telemetry::span!("qens_fedlearn_train_nanos");
+            let start = Instant::now();
+            let report = match config.stage_order {
+                StageOrder::Sequential => mlkit::train_incremental(&mut model, stages, &train_cfg),
+                StageOrder::Interleaved => mlkit::train_interleaved(&mut model, stages, &train_cfg),
+            };
+            let wall = start.elapsed().as_secs_f64();
+            train_span.finish();
+            telemetry::counter!("qens_fedlearn_sample_visits_total")
+                .add(report.samples_seen as u64);
+            LocalResult {
+                index: *index,
+                model,
+                samples_used,
+                sample_visits: report.samples_seen,
+                wall_seconds: wall,
             }
-        }
+        };
 
-        let mut results = results.into_inner().unwrap();
-        results.sort_by_key(|r| r.index);
+        // One pool job per participant (chunk size 1): results land in
+        // job order, so no post-hoc sort is needed — the pool writes each
+        // result into its own index slot.
+        let pooled = config.parallel && nonempty.len() > 1 && pool.threads() > 1;
+        let results: Vec<LocalResult> = if pooled {
+            pool.map_indexed(&nonempty, 1, |_, job| train_one(job))
+        } else {
+            nonempty.iter().map(|job| train_one(job)).collect()
+        };
+        debug_assert!(results.windows(2).all(|w| w[0].index < w[1].index));
 
         // Aggregate this round's local models.
         let lambdas: Vec<f64> = results
@@ -337,7 +384,8 @@ pub fn run_query(
         accounting.sample_visits += results.iter().map(|r| r.sample_visits).sum::<usize>();
         accounting.sim_seconds += per_node_seconds.iter().copied().fold(0.0, f64::max);
         accounting.sim_seconds_total += per_node_seconds.iter().sum::<f64>();
-        accounting.wall_seconds += results.iter().map(|r| r.wall_seconds).fold(0.0, f64::max);
+        let walls: Vec<f64> = results.iter().map(|r| r.wall_seconds).collect();
+        accounting.wall_seconds += round_wall_seconds(pooled, &walls);
         accounting.bytes_transferred += results.len() * 2 * model_bytes;
 
         // Broadcast the averaged weights back for the next round.
@@ -537,14 +585,92 @@ mod tests {
         assert!(matches!(three.global, GlobalModel::Single(_)));
     }
 
+    /// Regression: this combination used to `assert!` (a process abort in
+    /// release sweeps); it must instead surface as a recoverable error.
     #[test]
-    #[should_panic(expected = "multi-round refinement requires FedAvg")]
-    fn multi_round_with_ensemble_rejected() {
+    fn multi_round_with_ensemble_returns_unsupported_config() {
         let net = network(false);
-        let q = Query::from_boundary_vec(0, &[0.0, 50.0, 0.0, 100.0]);
+        let q = Query::from_boundary_vec(11, &[0.0, 50.0, 0.0, 100.0]);
         let mut cfg = fast_cfg(1);
         cfg.rounds = 2; // without switching the aggregation rule
-        let _ = run_query(&net, &q, &QueryDriven::top_l(2), &cfg);
+        let err = run_query(&net, &q, &QueryDriven::top_l(2), &cfg).unwrap_err();
+        match err {
+            FederationError::UnsupportedConfig { query_id, reason } => {
+                assert_eq!(query_id, 11);
+                assert!(reason.contains("FedAvg"), "reason was {reason:?}");
+            }
+            other => panic!("expected UnsupportedConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_rounds_returns_unsupported_config() {
+        let net = network(false);
+        let q = Query::from_boundary_vec(4, &[0.0, 50.0, 0.0, 100.0]);
+        let mut cfg = fast_cfg(1);
+        cfg.rounds = 0;
+        let err = run_query(&net, &q, &QueryDriven::top_l(2), &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            FederationError::UnsupportedConfig { query_id: 4, .. }
+        ));
+    }
+
+    /// Regression: serial rounds used to credit only the *slowest*
+    /// participant's wall time (max) even though the participants ran one
+    /// after another; the serial ledger must use the sum.
+    #[test]
+    fn wall_clock_sums_when_serial_and_maxes_when_pooled() {
+        let walls = [0.5, 0.125, 0.25, 0.0625];
+        assert_eq!(
+            round_wall_seconds(false, &walls),
+            0.5 + 0.125 + 0.25 + 0.0625
+        );
+        assert_eq!(round_wall_seconds(true, &walls), 0.5);
+        // The invariant the ledger relies on: a serial round can never be
+        // credited less wall time than a pooled one (sum >= max, for any
+        // non-negative walls).
+        let mut rng_walls = Vec::new();
+        for i in 0..100u64 {
+            rng_walls.push(((i * 2654435761) % 1000) as f64 / 1000.0);
+            assert!(
+                round_wall_seconds(false, &rng_walls) >= round_wall_seconds(true, &rng_walls),
+                "serial wall must dominate pooled wall for {rng_walls:?}"
+            );
+        }
+        assert_eq!(round_wall_seconds(false, &[]), 0.0);
+        assert_eq!(round_wall_seconds(true, &[]), 0.0);
+    }
+
+    /// End-to-end version of the invariant above. Real timing on a busy
+    /// (possibly single-core) CI box is noisy, so the comparison keeps a
+    /// generous margin: serial wall must be at least half the pooled
+    /// wall. The exact sum-vs-max semantics are pinned by the unit test
+    /// on [`round_wall_seconds`].
+    #[test]
+    fn serial_wall_clock_dominates_pooled_wall_clock() {
+        let net = network(true);
+        let q = leader_query();
+        let cfg = fast_cfg(13).with_thread_count(4);
+        let pooled = run_query(&net, &q, &QueryDriven::top_l(3), &cfg).unwrap();
+        let ser = run_query(
+            &net,
+            &q,
+            &QueryDriven::top_l(3),
+            &FederationConfig {
+                parallel: false,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert!(pooled.accounting.wall_seconds > 0.0);
+        assert!(ser.accounting.wall_seconds > 0.0);
+        assert!(
+            ser.accounting.wall_seconds >= pooled.accounting.wall_seconds * 0.5,
+            "serial wall {} vs pooled wall {}",
+            ser.accounting.wall_seconds,
+            pooled.accounting.wall_seconds
+        );
     }
 
     #[test]

@@ -57,14 +57,17 @@ impl Interval {
         Self::new(x, x)
     }
 
-    /// The smallest interval containing every value in `xs`.
+    /// The smallest interval containing every *finite* value in `xs`.
     ///
-    /// Returns `None` if `xs` is empty or all-NaN.
+    /// Non-finite values (NaN and ±∞) are skipped: an interval's bounds
+    /// must be finite (see [`Interval::new`]), so an infinite sample can
+    /// contribute no usable bound. Returns `None` if `xs` is empty or
+    /// holds no finite value.
     pub fn bounding(xs: &[f64]) -> Option<Self> {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for &x in xs {
-            if x.is_nan() {
+            if !x.is_finite() {
                 continue;
             }
             lo = lo.min(x);
@@ -248,6 +251,32 @@ mod tests {
             Some(Interval::new(-1.0, 2.0))
         );
         assert_eq!(Interval::bounding(&[5.0]), Some(Interval::point(5.0)));
+    }
+
+    /// Regression: `bounding` used to skip only NaN, so an infinite
+    /// sample flowed into `Interval::new` and tripped its finiteness
+    /// assert (a panic deep inside summary construction). Non-finite
+    /// values must be skipped like NaN, with `None` when nothing finite
+    /// remains.
+    #[test]
+    fn bounding_skips_non_finite_values() {
+        assert_eq!(Interval::bounding(&[f64::INFINITY]), None);
+        assert_eq!(
+            Interval::bounding(&[f64::NEG_INFINITY, f64::INFINITY]),
+            None
+        );
+        assert_eq!(
+            Interval::bounding(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY]),
+            None
+        );
+        assert_eq!(
+            Interval::bounding(&[1.0, f64::INFINITY]),
+            Some(Interval::point(1.0))
+        );
+        assert_eq!(
+            Interval::bounding(&[f64::NEG_INFINITY, -2.0, 7.0, f64::NAN]),
+            Some(Interval::new(-2.0, 7.0))
+        );
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! The paper's query-driven node-selection mechanism (§III-C).
 
+use par::ThreadPool;
+
 use crate::policy::{Participant, Selection, SelectionContext, SelectionPolicy, SupportingCluster};
+
+/// Nodes per pool task when scoring a network. Fixed (independent of the
+/// worker count) so the scored list is identical for any pool; small
+/// because per-node scoring is `O(K·d)` — a few nodes amortise the task
+/// dispatch without starving wide pools on mid-sized networks.
+const NODE_CHUNK: usize = 8;
 
 /// How the ranked list is cut down to the participant set (Eq. 5 and the
 /// top-ℓ alternative the paper describes alongside it).
@@ -73,12 +81,16 @@ impl QueryDriven {
         node: &edgesim::EdgeNode,
         query: &geom::Query,
     ) -> (f64, Vec<SupportingCluster>) {
-        let summaries = node.summaries();
+        // The quantisation check must run *before* any summary access:
+        // if it came second, a summaries() implementation that itself
+        // panics on an unquantized node would mask the friendly
+        // "call quantize_all first" guidance below.
         assert!(
             node.is_quantized(),
             "node {} has no cluster summaries; call EdgeNetwork::quantize_all first",
             node.id()
         );
+        let summaries = node.summaries();
         let k_total = summaries.len();
         let mut supporting: Vec<SupportingCluster> = summaries
             .iter()
@@ -112,32 +124,29 @@ impl QueryDriven {
         };
         (ranking, supporting)
     }
-}
 
-impl SelectionPolicy for QueryDriven {
-    fn name(&self) -> &'static str {
-        match self.rule {
-            RankingRule::PaperEq4 => "query-driven",
-            RankingRule::PotentialOnly => "query-driven (potential-only)",
-            RankingRule::CountOnly => "query-driven (count-only)",
-        }
-    }
-
-    fn select(&self, ctx: &SelectionContext<'_>) -> Selection {
+    /// [`SelectionPolicy::select`] on an explicit pool handle: the
+    /// leader's `O(N·K·d)` Eq. 2–4 kernel scores nodes on fixed chunks
+    /// of the node list, each result written back to its node index, so
+    /// the ranked list (and the subsequent deterministic sort) is
+    /// bit-identical for any worker count. Telemetry counters inside
+    /// [`QueryDriven::score_node`] are relaxed atomic adds, so their
+    /// totals are scheduling-independent too.
+    pub fn select_with_pool(&self, ctx: &SelectionContext<'_>, pool: &ThreadPool) -> Selection {
         let _span = telemetry::span!("qens_selection_select_nanos");
-        let mut scored: Vec<Participant> = ctx
-            .network
-            .nodes()
-            .iter()
-            .filter_map(|node| {
+        let nodes = ctx.network.nodes();
+        // Indexed map over the nodes; order restored (by construction)
+        // before the ranking sort below.
+        let scored_by_node: Vec<Option<Participant>> =
+            pool.map_indexed(nodes, NODE_CHUNK, |_, node| {
                 let (ranking, supporting) = self.score_node(node, ctx.query);
                 (ranking > 0.0 && !supporting.is_empty()).then_some(Participant {
                     node: node.id(),
                     ranking,
                     supporting_clusters: supporting,
                 })
-            })
-            .collect();
+            });
+        let mut scored: Vec<Participant> = scored_by_node.into_iter().flatten().collect();
         // Best-ranked first; node id breaks ties deterministically.
         scored.sort_by(|a, b| {
             b.ranking
@@ -164,6 +173,20 @@ impl SelectionPolicy for QueryDriven {
             rank_hist.record((p.ranking * 1e6) as u64);
         }
         Selection { participants }
+    }
+}
+
+impl SelectionPolicy for QueryDriven {
+    fn name(&self) -> &'static str {
+        match self.rule {
+            RankingRule::PaperEq4 => "query-driven",
+            RankingRule::PotentialOnly => "query-driven (potential-only)",
+            RankingRule::CountOnly => "query-driven (count-only)",
+        }
+    }
+
+    fn select(&self, ctx: &SelectionContext<'_>) -> Selection {
+        self.select_with_pool(ctx, par::global())
     }
 }
 
@@ -323,6 +346,41 @@ mod tests {
         let a = QueryDriven::top_l(2).select(&SelectionContext::new(&net, &query));
         let b = QueryDriven::top_l(2).select(&SelectionContext::new(&net, &query));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn selection_is_bit_identical_across_pool_sizes() {
+        // More nodes than NODE_CHUNK so the pooled path really fans out.
+        let mut datasets = Vec::new();
+        for i in 0..20 {
+            datasets.push((format!("n{i}"), node_dataset(i as f64 * 1.5)));
+        }
+        let mut net = EdgeNetwork::from_datasets(datasets);
+        net.quantize_all(3, 5);
+        let query = Query::from_boundary_vec(0, &[0.0, 30.0, 0.0, 30.0]);
+        let policy = QueryDriven {
+            cap: SelectionCap::AllPositive,
+            ..QueryDriven::top_l(20)
+        };
+        let ctx = SelectionContext::new(&net, &query);
+        let serial = policy.select_with_pool(&ctx, &par::ThreadPool::new(1));
+        assert!(serial.len() >= 2, "query must rank several nodes");
+        for threads in [2, 4, 9] {
+            let pooled = policy.select_with_pool(&ctx, &par::ThreadPool::new(threads));
+            assert_eq!(serial, pooled, "selection diverged at {threads} threads");
+        }
+    }
+
+    /// Regression (scoring an unquantized node): the `is_quantized`
+    /// check must run before any summary access so the caller always
+    /// gets the actionable "call quantize_all first" message.
+    #[test]
+    #[should_panic(expected = "call EdgeNetwork::quantize_all first")]
+    fn unquantized_node_scoring_panics_with_guidance() {
+        // No quantize_all: the node has no summaries.
+        let net = EdgeNetwork::from_datasets(vec![("raw".into(), node_dataset(0.0))]);
+        let query = Query::from_boundary_vec(0, &[0.0, 15.0, 0.0, 15.0]);
+        QueryDriven::top_l(1).score_node(&net.nodes()[0], &query);
     }
 
     #[test]

@@ -24,7 +24,7 @@ impl SpanGuard {
         if !crate::enabled() {
             return Self { target: None };
         }
-        let hist: &'static Histogram = &**slot.get_or_init(|| crate::global().histogram(name));
+        let hist: &'static Histogram = slot.get_or_init(|| crate::global().histogram(name));
         Self {
             target: Some((hist, Instant::now())),
         }

@@ -6,8 +6,12 @@
 #
 #   1. release build of the whole workspace,
 #   2. the full test suite,
-#   3. rustfmt check,
-#   4. the repro smoke path, which runs the selection→train→aggregate
+#   3. the full test suite again under QENS_THREADS=2, exercising the
+#      env-configured global `par` pool (the determinism suite injects
+#      pools explicitly; this pass covers the environment path),
+#   4. clippy with warnings denied,
+#   5. rustfmt check,
+#   6. the repro smoke path, which runs the selection→train→aggregate
 #      pipeline end to end and asserts a non-empty telemetry snapshot
 #      spanning cluster/selection/mlkit/fedlearn/edgesim.
 #
@@ -20,6 +24,12 @@ cargo build --workspace --release --offline
 
 echo "==> cargo test -q --offline"
 cargo test -q --offline
+
+echo "==> QENS_THREADS=2 cargo test -q --offline (global pool path)"
+QENS_THREADS=2 cargo test -q --offline
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
