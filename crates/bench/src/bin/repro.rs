@@ -82,7 +82,41 @@ fn run_smoke() {
         2,
         "expected one per-query snapshot per smoke query"
     );
-    println!("smoke OK: pipeline + telemetry healthy");
+
+    // Fault smoke: the same tiny federation under a hostile plan. The
+    // trace JSON lands in results/fault_trace.json — `scripts/verify.sh`
+    // diffs two runs of it (at different QENS_THREADS) byte-for-byte.
+    let faulty = FederationBuilder::new()
+        .heterogeneous_nodes(4, 60)
+        .clusters_per_node(3)
+        .seed(7)
+        .epochs(2)
+        .faults(FaultSpec::unreliable_edge(7).with_dropout(0.3))
+        .fault_tolerance(FaultTolerance::full_strength())
+        .build();
+    let q = faulty.query_from_bounds(2, &[0.0, 20.0, 0.0, 45.0]);
+    let out = faulty
+        .run_query(&q, &PolicyKind::query_driven(2))
+        .expect("fault smoke query runs");
+    assert!(
+        out.query_loss(faulty.network(), &q)
+            .expect("fault smoke query has data")
+            .is_finite(),
+        "fault smoke loss must be finite"
+    );
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let trace_path = dir.join("fault_trace.json");
+    std::fs::write(&trace_path, out.fault_trace.to_json()).expect("write fault_trace.json");
+    println!(
+        "fault smoke: {} events ({} retries, {} dropped, {} replacements) -> {}",
+        out.fault_trace.len(),
+        out.accounting.retries,
+        out.accounting.dropped_participants,
+        out.accounting.replacements,
+        trace_path.display()
+    );
+    println!("smoke OK: pipeline + telemetry + fault engine healthy");
 }
 
 fn run_table1(scale: ExperimentScale) {
@@ -206,6 +240,30 @@ fn run_fig8_fig9(scale: ExperimentScale) {
     println!("(series written to results/fig8_fig9.csv)\n");
 }
 
+fn run_fig8_faults(scale: ExperimentScale) {
+    let rows = figures::fig8_faults(scale);
+    println!("{}", report::render_fault_sweep(&rows));
+    report::write_csv(
+        &results_dir().join("fig8_faults.csv"),
+        "dropout,policy,mean_loss,completed,failed,replacements,dropped,mean_sim_seconds",
+        &report::fault_sweep_csv_rows(&rows),
+    )
+    .expect("write fig8_faults csv");
+    // The headline claim: the standby-backed mechanism still trains
+    // models at heavy dropout instead of collapsing.
+    let ours_heavy = rows
+        .iter()
+        .filter(|r| r.policy.contains("query-driven") && r.dropout >= 0.5)
+        .collect::<Vec<_>>();
+    assert!(
+        ours_heavy
+            .iter()
+            .any(|r| r.completed > 0 && r.mean_loss.is_some_and(f64::is_finite)),
+        "query-driven selection should degrade gracefully at >= 50% dropout"
+    );
+    println!("(series written to results/fig8_faults.csv)\n");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--smoke") {
@@ -237,6 +295,7 @@ fn main() {
         "fig6" => run_fig6(scale),
         "fig7" => run_fig7(scale),
         "fig8" | "fig9" | "fig8_fig9" => run_fig8_fig9(scale),
+        "faults" | "fig8_faults" => run_fig8_faults(scale),
         "extended" => run_extended(scale),
         "all" => {
             run_table1(scale);
@@ -248,12 +307,13 @@ fn main() {
             run_fig6(scale);
             run_fig7(scale);
             run_fig8_fig9(scale);
+            run_fig8_faults(scale);
             run_extended(scale);
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
-                 table1|table2|table3|fig1|fig2|fig5|fig6|fig7|fig8|fig9|extended|all \
+                 table1|table2|table3|fig1|fig2|fig5|fig6|fig7|fig8|fig9|faults|extended|all \
                  [--paper | --smoke]"
             );
             std::process::exit(2);

@@ -116,6 +116,49 @@ pub fn render_fig7(model: &str, rows: &[PolicyComparison]) -> String {
     out
 }
 
+/// Renders the "Fig. 8 under faults" dropout-sweep table.
+pub fn render_fault_sweep(rows: &[crate::figures::FaultSweepRow]) -> String {
+    let mut out = String::from(
+        "Fig. 8 under faults: mean loss vs dropout rate \
+         (full-strength tolerance for both policies)\n",
+    );
+    out.push_str(&format!(
+        "{:>8} {:<18} {:>12} {:>10} {:>8} {:>13} {:>9}\n",
+        "dropout", "mechanism", "mean loss", "completed", "failed", "replacements", "dropped"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>7.0}% {:<18} {:>12.6} {:>10} {:>8} {:>13} {:>9}\n",
+            100.0 * r.dropout,
+            r.policy,
+            r.mean_loss.unwrap_or(f64::NAN),
+            r.completed,
+            r.failed,
+            r.replacements,
+            r.dropped
+        ));
+    }
+    out
+}
+
+/// CSV rows of a fault sweep.
+pub fn fault_sweep_csv_rows(rows: &[crate::figures::FaultSweepRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.dropout),
+                r.policy.clone(),
+                format!("{:.6}", r.mean_loss.unwrap_or(f64::NAN)),
+                r.completed.to_string(),
+                r.failed.to_string(),
+                r.replacements.to_string(),
+                r.dropped.to_string(),
+                format!("{:.6}", r.mean_sim_seconds),
+            ]
+        })
+        .collect()
+}
+
 /// Renders the Fig. 8/9 per-query series.
 pub fn render_fig8_fig9(series: &SelectivitySeries) -> String {
     let mut out =

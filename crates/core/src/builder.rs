@@ -3,6 +3,7 @@
 use airdata::scenario;
 use airdata::Feature;
 use edgesim::{CostModel, EdgeNetwork};
+use faults::{FaultSpec, FaultTolerance};
 use fedlearn::{run_query, run_stream, FederationConfig, RoundOutcome, StreamResult};
 use fedlearn::{Aggregation, FederationError, StageOrder};
 use geom::Query;
@@ -48,6 +49,9 @@ pub struct FederationBuilder {
     stage_order: StageOrder,
     telemetry: Option<bool>,
     threads: Option<usize>,
+    faults: Option<FaultSpec>,
+    tolerance: FaultTolerance,
+    link_range: Option<((f64, f64), (f64, f64))>,
 }
 
 impl Default for FederationBuilder {
@@ -77,6 +81,9 @@ impl FederationBuilder {
             stage_order: StageOrder::Sequential,
             telemetry: None,
             threads: None,
+            faults: None,
+            tolerance: FaultTolerance::default(),
+            link_range: None,
         }
     }
 
@@ -209,6 +216,33 @@ impl FederationBuilder {
         self
     }
 
+    /// Draws heterogeneous per-node uplinks: bandwidth uniform in
+    /// `[bw_lo, bw_hi]` bytes/s and latency uniform in `[lat_lo, lat_hi]`
+    /// seconds (deterministic in the master seed).
+    pub fn links(mut self, bandwidth: (f64, f64), latency: (f64, f64)) -> Self {
+        self.link_range = Some((bandwidth, latency));
+        self
+    }
+
+    /// Injects deterministic faults (dropout, stragglers, link loss,
+    /// crashes) into every round. The schedule is a pure function of the
+    /// federation seed and each query id — see the `faults` crate. An
+    /// inert spec (all probabilities zero) leaves runs bit-identical to
+    /// never calling this.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// Configures how the leader tolerates faults: retry/backoff budget,
+    /// straggler deadline and quorum rule (which also controls ranked
+    /// standby promotion). Defaults to [`FaultTolerance::default`]:
+    /// three upload attempts, no deadline, quorum of one.
+    pub fn fault_tolerance(mut self, tolerance: FaultTolerance) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
     /// Turns the global telemetry registry on (or off) when the
     /// federation is built, overriding the `QENS_TELEMETRY` environment
     /// variable. Left untouched when never called, so an already-enabled
@@ -264,6 +298,9 @@ impl FederationBuilder {
         if let Some((lo, hi)) = self.capacity_range {
             network = network.with_random_capacities(lo, hi, self.seed);
         }
+        if let Some((bw, lat)) = self.link_range {
+            network = network.with_random_links(bw, lat, self.seed);
+        }
         network.quantize_all(self.k, self.seed);
 
         let mut train = match self.model {
@@ -287,6 +324,8 @@ impl FederationBuilder {
             threads: self.threads,
             stage_order: self.stage_order,
             rounds: self.rounds,
+            faults: self.faults,
+            tolerance: self.tolerance,
         };
         Federation {
             network,
@@ -496,6 +535,44 @@ mod tests {
             .collect();
         assert_eq!(losses[0].to_bits(), losses[1].to_bits());
         assert_eq!(losses[0].to_bits(), losses[2].to_bits());
+    }
+
+    #[test]
+    fn faults_and_tolerance_flow_through_the_builder() {
+        let build = |spec: Option<FaultSpec>| {
+            let mut b = FederationBuilder::new()
+                .heterogeneous_nodes(6, 100)
+                .seed(7)
+                .epochs(3)
+                .links((1e6, 20e6), (0.005, 0.05))
+                // Quorum of one: aggregate whoever survives instead of
+                // failing the round on heavy dropout (full-strength
+                // promotion is exercised in the fedlearn tests).
+                .fault_tolerance(FaultTolerance::default());
+            if let Some(s) = spec {
+                b = b.faults(s);
+            }
+            b.build()
+        };
+        let clean = build(None);
+        let q = clean.query_from_bounds(0, &[0.0, 20.0, 0.0, 45.0]);
+        let base = clean.run_query(&q, &PolicyKind::query_driven(3)).unwrap();
+        assert!(base.fault_trace.is_empty());
+
+        // Heavy dropout still completes: survivors (plus any promoted
+        // ranked standbys) carry the round.
+        let faulty = build(Some(FaultSpec::dropout(1, 0.5)));
+        assert_eq!(faulty.config().faults, Some(FaultSpec::dropout(1, 0.5)));
+        let out = faulty.run_query(&q, &PolicyKind::query_driven(3)).unwrap();
+        assert!(out.query_loss(faulty.network(), &q).unwrap().is_finite());
+
+        // An inert spec is bit-identical to never configuring faults.
+        let inert = build(Some(FaultSpec::none()));
+        let same = inert.run_query(&q, &PolicyKind::query_driven(3)).unwrap();
+        assert_eq!(
+            base.query_loss(clean.network(), &q).unwrap().to_bits(),
+            same.query_loss(inert.network(), &q).unwrap().to_bits()
+        );
     }
 
     #[test]

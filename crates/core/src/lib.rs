@@ -47,6 +47,7 @@
 pub use airdata;
 pub use cluster;
 pub use edgesim;
+pub use faults;
 pub use fedlearn;
 pub use geom;
 pub use linalg;

@@ -8,7 +8,10 @@ pub use crate::policy_kind::PolicyKind;
 
 pub use airdata::scenario;
 pub use airdata::Feature;
-pub use edgesim::{CostModel, EdgeNetwork, EdgeNode, NodeId, QueryAccounting, SpaceScaler};
+pub use edgesim::{
+    CostModel, EdgeNetwork, EdgeNode, LinkProfile, NodeId, QueryAccounting, SpaceScaler,
+};
+pub use faults::{FaultEvent, FaultSpec, FaultTolerance, FaultTrace, Quorum, RetryPolicy};
 pub use fedlearn::{
     Aggregation, FederationConfig, FederationError, GlobalModel, RoundOutcome, StageOrder,
     StreamResult,

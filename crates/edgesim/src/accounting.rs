@@ -29,6 +29,19 @@ pub struct QueryAccounting {
     pub wall_seconds: f64,
     /// Bytes shipped (summaries + model weights).
     pub bytes_transferred: usize,
+    /// Model-transfer attempts lost on the wire and retried (each lost
+    /// attempt is one retry, whether or not the transfer eventually
+    /// succeeded).
+    pub retries: usize,
+    /// Participants that never reported in some round: transient
+    /// dropouts, crashes, exhausted transfer budgets and deadline
+    /// misses all count once per node-round.
+    pub dropped_participants: usize,
+    /// Ranked standby nodes promoted to cover failed participants.
+    pub replacements: usize,
+    /// Rounds a participant's (completed) work was discarded because it
+    /// finished past the straggler deadline.
+    pub deadline_misses: usize,
 }
 
 impl QueryAccounting {
@@ -64,6 +77,24 @@ impl QueryAccounting {
         telemetry::histogram!("qens_edgesim_query_wall_micros")
             .record((self.wall_seconds * 1e6) as u64);
         telemetry::histogram!("qens_edgesim_query_bytes").record(self.bytes_transferred as u64);
+        // Fault/reaction counters. Recorded serially at the leader, so
+        // totals are scheduling-independent like every other domain
+        // counter. Guarded so fault-free runs register no fault metrics
+        // at all (the registry stays byte-identical to pre-fault runs).
+        if self.retries > 0 {
+            telemetry::counter!("qens_fault_retries_total").add(self.retries as u64);
+        }
+        if self.dropped_participants > 0 {
+            telemetry::counter!("qens_fault_dropped_participants_total")
+                .add(self.dropped_participants as u64);
+        }
+        if self.replacements > 0 {
+            telemetry::counter!("qens_fault_replacements_total").add(self.replacements as u64);
+        }
+        if self.deadline_misses > 0 {
+            telemetry::counter!("qens_fault_deadline_misses_total")
+                .add(self.deadline_misses as u64);
+        }
     }
 }
 
@@ -125,6 +156,15 @@ mod tests {
     fn data_fraction_is_guarded() {
         assert_eq!(row(0, 10, 40, 0.0).data_fraction(), 0.25);
         assert_eq!(row(0, 0, 0, 0.0).data_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fault_fields_default_to_zero() {
+        let r = QueryAccounting::default();
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.dropped_participants, 0);
+        assert_eq!(r.replacements, 0);
+        assert_eq!(r.deadline_misses, 0);
     }
 
     #[test]

@@ -37,6 +37,23 @@ impl LinkProfile {
     pub fn transfer_seconds(&self, bytes: usize) -> f64 {
         self.latency_seconds + bytes as f64 / self.bytes_per_second
     }
+
+    /// Per-link fault hook: the extra simulated seconds charged for
+    /// `failed_attempts` lost transfers of `bytes` each, retried under
+    /// `retry`'s capped exponential backoff. Each lost attempt pays the
+    /// full wire time (the bytes were sent — and lost) plus the backoff
+    /// wait before the next try. Zero failed attempts cost exactly
+    /// nothing, keeping fault-free accounting bit-identical.
+    pub fn retry_penalty_seconds(
+        &self,
+        bytes: usize,
+        failed_attempts: usize,
+        retry: &faults::RetryPolicy,
+    ) -> f64 {
+        (1..=failed_attempts)
+            .map(|k| self.transfer_seconds(bytes) + retry.backoff_before(k))
+            .sum()
+    }
 }
 
 /// Cost-model parameters.
@@ -78,6 +95,20 @@ impl CostModel {
     /// Simulated time to ship `bytes` one way.
     pub fn transfer_seconds(&self, bytes: usize) -> f64 {
         self.latency_seconds + bytes as f64 / self.bytes_per_second
+    }
+
+    /// Shared-link variant of [`LinkProfile::retry_penalty_seconds`]:
+    /// the extra seconds `failed_attempts` lost transfers cost on the
+    /// default (network-wide) link profile.
+    pub fn retry_penalty_seconds(
+        &self,
+        bytes: usize,
+        failed_attempts: usize,
+        retry: &faults::RetryPolicy,
+    ) -> f64 {
+        (1..=failed_attempts)
+            .map(|k| self.transfer_seconds(bytes) + retry.backoff_before(k))
+            .sum()
     }
 
     /// Round time when participants work in parallel and the leader waits
@@ -148,5 +179,45 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         CostModel::default().training_seconds(10, 0.0);
+    }
+
+    #[test]
+    fn retry_penalty_is_zero_for_no_failures() {
+        let retry = faults::RetryPolicy::default();
+        assert_eq!(
+            CostModel::default().retry_penalty_seconds(1000, 0, &retry),
+            0.0
+        );
+        assert_eq!(
+            LinkProfile::default().retry_penalty_seconds(1000, 0, &retry),
+            0.0
+        );
+    }
+
+    #[test]
+    fn retry_penalty_sums_wire_time_and_backoff() {
+        let link = LinkProfile {
+            bytes_per_second: 100.0,
+            latency_seconds: 0.5,
+        };
+        let retry = faults::RetryPolicy {
+            max_attempts: 4,
+            base_backoff_seconds: 1.0,
+            backoff_multiplier: 2.0,
+            max_backoff_seconds: 1.5,
+        };
+        // One lost 100-byte transfer: wire time 1.5 s + backoff_before(1) = 1.0 s.
+        let one = link.retry_penalty_seconds(100, 1, &retry);
+        assert!((one - 2.5).abs() < 1e-12);
+        // Two losses: + wire 1.5 + backoff_before(2) capped at 1.5.
+        let two = link.retry_penalty_seconds(100, 2, &retry);
+        assert!((two - (2.5 + 3.0)).abs() < 1e-12);
+        // Shared-link CostModel variant agrees with an equivalent profile.
+        let m = CostModel {
+            seconds_per_sample_visit: 1.0,
+            bytes_per_second: 100.0,
+            latency_seconds: 0.5,
+        };
+        assert!((m.retry_penalty_seconds(100, 2, &retry) - two).abs() < 1e-12);
     }
 }

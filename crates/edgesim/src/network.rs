@@ -41,26 +41,27 @@ impl EdgeNetwork {
     /// Assigns heterogeneous capacities drawn uniformly from
     /// `[lo, hi]` (deterministic in `seed`).
     ///
+    /// Mutates capacities in place: link profiles set by
+    /// [`EdgeNetwork::with_random_links`] and any cached quantisation
+    /// survive, so the builder methods compose in either order.
+    ///
     /// # Panics
     /// Panics if `lo <= 0` or `lo > hi`.
     pub fn with_random_capacities(mut self, lo: f64, hi: f64, seed: u64) -> Self {
         assert!(lo > 0.0 && lo <= hi, "capacity range ({lo}, {hi}) invalid");
         let mut rng = lrng::rng_for(seed, 0xCAFE);
-        let caps: Vec<f64> = (0..self.nodes.len())
-            .map(|_| rng.gen_range(lo..=hi))
-            .collect();
-        self.nodes = self
-            .nodes
-            .into_iter()
-            .zip(caps)
-            .map(|(n, c)| EdgeNode::new(n.id(), n.name().to_string(), n.data().clone(), c))
-            .collect();
+        for node in &mut self.nodes {
+            node.set_capacity(rng.gen_range(lo..=hi));
+        }
         self
     }
 
     /// Draws heterogeneous per-node uplinks: bandwidth uniform in
     /// `[bw_lo, bw_hi]` bytes/s and latency uniform in `[lat_lo, lat_hi]`
     /// seconds (deterministic in `seed`).
+    ///
+    /// Mutates links in place: capacities and any cached quantisation
+    /// survive, so the builder methods compose in either order.
     ///
     /// # Panics
     /// Panics on empty or inverted ranges.
@@ -79,19 +80,12 @@ impl EdgeNetwork {
             "latency range ({lat_lo}, {lat_hi}) invalid"
         );
         let mut rng = lrng::rng_for(seed, 0x11_4B);
-        self.nodes = self
-            .nodes
-            .into_iter()
-            .map(|n| {
-                let link = LinkProfile {
-                    bytes_per_second: rng.gen_range(bw_lo..=bw_hi),
-                    latency_seconds: rng.gen_range(lat_lo..=lat_hi),
-                };
-                let capacity = n.capacity();
-                EdgeNode::new(n.id(), n.name().to_string(), n.data().clone(), capacity)
-                    .with_link(link)
-            })
-            .collect();
+        for node in &mut self.nodes {
+            node.set_link(LinkProfile {
+                bytes_per_second: rng.gen_range(bw_lo..=bw_hi),
+                latency_seconds: rng.gen_range(lat_lo..=lat_hi),
+            });
+        }
         self
     }
 
@@ -131,6 +125,15 @@ impl EdgeNetwork {
     /// Panics if the id is out of range.
     pub fn node(&self, id: NodeId) -> &EdgeNode {
         &self.nodes[id.0]
+    }
+
+    /// Mutable access to one node (e.g. to pin a capacity or link
+    /// profile for a targeted experiment).
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut EdgeNode {
+        &mut self.nodes[id.0]
     }
 
     /// Number of nodes `N`.
@@ -264,6 +267,43 @@ mod tests {
             .with_random_capacities(0.5, 2.0, 3)
             .with_random_links((1e6, 20e6), (0.0, 0.1), 3);
         assert!(net.nodes().iter().any(|n| n.capacity() != 1.0));
+    }
+
+    #[test]
+    fn builder_methods_are_order_independent() {
+        // Regression: with_random_capacities used to rebuild nodes via
+        // EdgeNode::new, silently resetting link profiles (and dropping
+        // quantisation) assigned earlier in the chain.
+        let links_first = network()
+            .with_random_links((1e6, 20e6), (0.005, 0.1), 7)
+            .with_random_capacities(0.5, 2.0, 3);
+        let caps_first = network()
+            .with_random_capacities(0.5, 2.0, 3)
+            .with_random_links((1e6, 20e6), (0.005, 0.1), 7);
+        for (a, b) in links_first.nodes().iter().zip(caps_first.nodes()) {
+            assert_eq!(a.link(), b.link(), "links must survive capacity draw");
+            assert_eq!(a.capacity(), b.capacity());
+        }
+        // And the draws actually changed both attributes.
+        assert!(links_first.nodes().iter().any(|n| n.capacity() != 1.0));
+        assert!(links_first
+            .nodes()
+            .iter()
+            .any(|n| *n.link() != LinkProfile::default()));
+    }
+
+    #[test]
+    fn capacity_and_link_draws_preserve_quantisation() {
+        let mut net = network();
+        net.quantize_all(3, 9);
+        let summaries: Vec<_> = net.nodes().iter().map(|n| n.summaries().to_vec()).collect();
+        let net =
+            net.with_random_capacities(0.5, 2.0, 3)
+                .with_random_links((1e6, 20e6), (0.005, 0.1), 7);
+        for (node, before) in net.nodes().iter().zip(&summaries) {
+            assert!(node.is_quantized(), "quantisation must survive the draws");
+            assert_eq!(node.summaries(), &before[..]);
+        }
     }
 
     #[test]

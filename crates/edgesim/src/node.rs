@@ -61,6 +61,18 @@ impl EdgeNode {
 
     /// Replaces the node's uplink profile.
     pub fn with_link(mut self, link: LinkProfile) -> Self {
+        self.set_link(link);
+        self
+    }
+
+    /// In-place variant of [`EdgeNode::with_link`]. Touches *only* the
+    /// link: capacity, data and any cached quantisation survive, which
+    /// is what keeps [`crate::EdgeNetwork`]'s builder methods
+    /// order-independent.
+    ///
+    /// # Panics
+    /// Panics on non-positive bandwidth or negative latency.
+    pub fn set_link(&mut self, link: LinkProfile) {
         assert!(
             link.bytes_per_second > 0.0,
             "link bandwidth must be positive"
@@ -70,7 +82,16 @@ impl EdgeNode {
             "link latency cannot be negative"
         );
         self.link = link;
-        self
+    }
+
+    /// Replaces the node's compute capacity in place, preserving the
+    /// link profile, data and any cached quantisation.
+    ///
+    /// # Panics
+    /// Panics if `capacity <= 0`.
+    pub fn set_capacity(&mut self, capacity: f64) {
+        assert!(capacity > 0.0, "capacity must be positive, got {capacity}");
+        self.capacity = capacity;
     }
 
     /// Node id.

@@ -1,0 +1,281 @@
+//! The deterministic fault oracle.
+
+use linalg::rng::{self as lrng, Rng};
+
+use crate::spec::FaultSpec;
+
+/// Distinguishes the independent per-event random streams. Each label is
+/// mixed into the seed derivation so dropout, straggler and link draws
+/// never correlate.
+const STREAM_DROPOUT: u64 = 0xD201;
+const STREAM_STRAGGLER: u64 = 0xD202;
+const STREAM_SLOWDOWN: u64 = 0xD203;
+const STREAM_LINK: u64 = 0xD204;
+
+/// What the plan decreed for one participant in one round, *before*
+/// training starts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParticipantFate {
+    /// The node is permanently dead (crash schedule reached).
+    Crashed,
+    /// The node silently misses this round (transient).
+    Dropped,
+    /// The node trains; `slowdown >= 1` scales its simulated training
+    /// time (1.0 = healthy, > 1.0 = straggler).
+    Participates {
+        /// Simulated-time multiplier on local training.
+        slowdown: f64,
+    },
+}
+
+/// A fully deterministic fault plan for one query's federation rounds.
+///
+/// The plan is a **pure oracle**: every method takes `&self` and
+/// computes its answer from `(seed, query, node, round, attempt)` alone
+/// through the SplitMix64/xoshiro derivation chain — no interior
+/// mutability, no shared RNG stream, no evaluation-order sensitivity.
+/// That is what makes the workspace's determinism invariant ("same seed
+/// ⇒ same everything, for any `QENS_THREADS`") extend to fault
+/// scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    /// Population size the plan covers (all nodes, not just the
+    /// selected cohort — promoted standbys consult the same plan).
+    n_nodes: usize,
+    /// `derive_seed(spec.seed, query_id)` — two queries under the same
+    /// spec see different, individually reproducible fault patterns.
+    query_seed: u64,
+}
+
+impl FaultPlan {
+    /// Builds the plan for one query over an `n_nodes` population.
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`FaultSpec::validate`] — the spec is
+    /// caller input and an invalid probability would silently skew every
+    /// draw.
+    pub fn for_query(spec: FaultSpec, n_nodes: usize, query_id: u64) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid FaultSpec: {e}");
+        }
+        let query_seed = lrng::derive_seed(spec.seed, query_id ^ 0xFA17_5EED);
+        Self {
+            spec,
+            n_nodes,
+            query_seed,
+        }
+    }
+
+    /// The spec the plan was built from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Population size the plan covers.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// True when the plan can never fire an event.
+    pub fn is_inert(&self) -> bool {
+        self.spec.is_inert()
+    }
+
+    /// One deterministic uniform draw in `[0, 1)` for an event key.
+    fn draw(&self, stream: u64, node: usize, round: usize, extra: u64) -> f64 {
+        let key = stream
+            ^ ((node as u64) << 20)
+            ^ ((round as u64) << 44)
+            ^ extra.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        lrng::rng_for(self.query_seed, key).gen::<f64>()
+    }
+
+    /// Whether the crash schedule has permanently killed `node` by
+    /// `round` (inclusive).
+    pub fn crashed(&self, node: usize, round: usize) -> bool {
+        self.spec
+            .crash_at_round
+            .iter()
+            .any(|&(n, k)| n == node && round >= k)
+    }
+
+    /// Whether `node` transiently drops out of `round`.
+    pub fn drops_out(&self, node: usize, round: usize) -> bool {
+        self.spec.dropout_probability > 0.0
+            && self.draw(STREAM_DROPOUT, node, round, 0) < self.spec.dropout_probability
+    }
+
+    /// The training slowdown factor for `node` in `round` (1.0 when the
+    /// node is healthy; drawn uniformly from the spec's range when it
+    /// straggles).
+    pub fn slowdown(&self, node: usize, round: usize) -> f64 {
+        if self.spec.straggler_probability > 0.0
+            && self.draw(STREAM_STRAGGLER, node, round, 0) < self.spec.straggler_probability
+        {
+            let (lo, hi) = self.spec.straggler_slowdown;
+            lo + self.draw(STREAM_SLOWDOWN, node, round, 0) * (hi - lo)
+        } else {
+            1.0
+        }
+    }
+
+    /// The participant's fate for one round, combining the crash
+    /// schedule, the dropout draw and the straggler draw.
+    pub fn fate(&self, node: usize, round: usize) -> ParticipantFate {
+        if self.crashed(node, round) {
+            ParticipantFate::Crashed
+        } else if self.drops_out(node, round) {
+            ParticipantFate::Dropped
+        } else {
+            ParticipantFate::Participates {
+                slowdown: self.slowdown(node, round),
+            }
+        }
+    }
+
+    /// Whether transfer attempt `attempt` (0-based) from `node` in
+    /// `round` is lost on the wire. Each attempt is an independent
+    /// deterministic draw, so a retry loop simply increments `attempt`.
+    pub fn transfer_attempt_fails(&self, node: usize, round: usize, attempt: usize) -> bool {
+        self.spec.link_loss_probability > 0.0
+            && self.draw(STREAM_LINK, node, round, attempt as u64 + 1)
+                < self.spec.link_loss_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(p: FaultSpec) -> FaultPlan {
+        FaultPlan::for_query(p, 16, 7)
+    }
+
+    #[test]
+    fn inert_plan_never_fires() {
+        let p = plan(FaultSpec::none());
+        assert!(p.is_inert());
+        for node in 0..16 {
+            for round in 0..4 {
+                assert_eq!(
+                    p.fate(node, round),
+                    ParticipantFate::Participates { slowdown: 1.0 }
+                );
+                for attempt in 0..8 {
+                    assert!(!p.transfer_attempt_fails(node, round, attempt));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_is_deterministic_and_order_independent() {
+        let a = plan(FaultSpec::unreliable_edge(42));
+        let b = plan(FaultSpec::unreliable_edge(42));
+        // Query ids and seeds fully determine the answers; evaluation
+        // order is irrelevant (pure functions).
+        let mut forward = Vec::new();
+        for node in 0..16 {
+            for round in 0..3 {
+                forward.push((
+                    a.fate(node, round),
+                    a.transfer_attempt_fails(node, round, 2),
+                ));
+            }
+        }
+        let mut backward = Vec::new();
+        for node in (0..16).rev() {
+            for round in (0..3).rev() {
+                backward.push((
+                    b.fate(node, round),
+                    b.transfer_attempt_fails(node, round, 2),
+                ));
+            }
+        }
+        backward.reverse();
+        // Rows were collected (node-major) in opposite orders; align.
+        let mut backward_aligned = vec![backward[0]; backward.len()];
+        let rounds = 3;
+        for (i, item) in backward.iter().enumerate() {
+            let node = i / rounds;
+            let round = i % rounds;
+            backward_aligned[node * rounds + round] = *item;
+        }
+        assert_eq!(forward, backward_aligned);
+    }
+
+    #[test]
+    fn different_queries_see_different_patterns() {
+        let spec = FaultSpec::dropout(11, 0.5);
+        let a = FaultPlan::for_query(spec.clone(), 32, 1);
+        let b = FaultPlan::for_query(spec, 32, 2);
+        let fa: Vec<bool> = (0..32).map(|n| a.drops_out(n, 0)).collect();
+        let fb: Vec<bool> = (0..32).map(|n| b.drops_out(n, 0)).collect();
+        assert_ne!(fa, fb, "distinct query ids must decorrelate the draws");
+    }
+
+    #[test]
+    fn dropout_rate_tracks_probability() {
+        let p = plan(FaultSpec::dropout(3, 0.3));
+        let hits = (0..4000).filter(|&i| p.drops_out(i % 16, i / 16)).count();
+        let rate = hits as f64 / 4000.0;
+        assert!((rate - 0.3).abs() < 0.05, "observed dropout rate {rate}");
+    }
+
+    #[test]
+    fn link_loss_rate_tracks_probability_and_attempts_are_independent() {
+        let p = plan(FaultSpec::none().with_link_loss(0.25));
+        let hits = (0..4000)
+            .filter(|&i| p.transfer_attempt_fails(i % 16, 0, i / 16))
+            .count();
+        let rate = hits as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.05, "observed loss rate {rate}");
+        // A node whose first attempt fails must not fail all retries.
+        let mut saw_recovery = false;
+        for node in 0..16 {
+            if p.transfer_attempt_fails(node, 0, 0) && !p.transfer_attempt_fails(node, 0, 1) {
+                saw_recovery = true;
+            }
+        }
+        assert!(
+            saw_recovery,
+            "retries never recovered — attempts correlated?"
+        );
+    }
+
+    #[test]
+    fn slowdowns_stay_in_range() {
+        let p = plan(FaultSpec::none().with_stragglers(0.5, (2.0, 6.0)));
+        let mut straggled = 0;
+        for node in 0..16 {
+            for round in 0..16 {
+                let s = p.slowdown(node, round);
+                if s > 1.0 {
+                    straggled += 1;
+                    assert!((2.0..=6.0).contains(&s), "slowdown {s} out of range");
+                } else {
+                    assert_eq!(s, 1.0);
+                }
+            }
+        }
+        assert!(straggled > 0, "0.5 straggler probability never fired");
+    }
+
+    #[test]
+    fn crash_schedule_is_permanent_and_dominates() {
+        let p = plan(FaultSpec::none().with_crash(3, 2));
+        assert!(!p.crashed(3, 0));
+        assert!(!p.crashed(3, 1));
+        assert!(p.crashed(3, 2));
+        assert!(p.crashed(3, 7));
+        assert!(!p.crashed(4, 7));
+        assert_eq!(p.fate(3, 5), ParticipantFate::Crashed);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FaultSpec")]
+    fn invalid_spec_is_rejected() {
+        plan(FaultSpec::dropout(0, 2.0));
+    }
+}

@@ -27,6 +27,20 @@ pub enum FederationError {
         /// Human-readable explanation of the rejected combination.
         reason: String,
     },
+    /// A communication round ended with fewer reporting participants than
+    /// the configured quorum even after promoting every available ranked
+    /// standby. Recoverable: stream runners record the failed query and
+    /// move on.
+    QuorumLost {
+        /// The query whose federation collapsed.
+        query_id: u64,
+        /// The communication round that fell below quorum.
+        round: usize,
+        /// Participants that still reported that round.
+        survivors: usize,
+        /// The survivor count the quorum rule demanded.
+        required: usize,
+    },
 }
 
 impl std::fmt::Display for FederationError {
@@ -46,6 +60,19 @@ impl std::fmt::Display for FederationError {
             }
             FederationError::UnsupportedConfig { query_id, reason } => {
                 write!(f, "query {query_id}: unsupported configuration: {reason}")
+            }
+            FederationError::QuorumLost {
+                query_id,
+                round,
+                survivors,
+                required,
+            } => {
+                write!(
+                    f,
+                    "query {query_id}: quorum lost in round {round}: \
+                     {survivors} of the required {required} participants reported \
+                     (standby list exhausted)"
+                )
             }
         }
     }
@@ -69,5 +96,14 @@ mod tests {
         };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains("FedAvg"));
+        let e = FederationError::QuorumLost {
+            query_id: 13,
+            round: 2,
+            survivors: 1,
+            required: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("13") && msg.contains("round 2"));
+        assert!(msg.contains("1 of the required 3"));
     }
 }

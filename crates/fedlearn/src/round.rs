@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use edgesim::{EdgeNetwork, QueryAccounting, SpaceScaler};
+use faults::{FaultEvent, FaultPlan, FaultSpec, FaultTolerance, FaultTrace, ParticipantFate};
 use geom::Query;
 use linalg::rng as lrng;
 use mlkit::{DenseDataset, Model, ModelKind, Regressor, TrainConfig};
@@ -62,6 +63,17 @@ pub struct FederationConfig {
     /// [`Aggregation::FedAvgWeights`] (prediction ensembles have no
     /// single weight vector to re-broadcast).
     pub rounds: usize,
+    /// Fault injection: `None` (the default) runs the fault-free engine —
+    /// bit-identical to releases that predate the fault subsystem —
+    /// while `Some(spec)` drives the deterministic [`faults::FaultPlan`]
+    /// oracle (same seed ⇒ same events, for any thread count).
+    pub faults: Option<FaultSpec>,
+    /// How the federation reacts to injected faults: transfer retries
+    /// with capped exponential backoff, an optional straggler deadline,
+    /// and the quorum rule that triggers ranked standby promotion.
+    /// Consulted only where a fault actually fires, so the default
+    /// tolerance adds nothing to a fault-free run.
+    pub tolerance: FaultTolerance,
 }
 
 impl FederationConfig {
@@ -76,6 +88,8 @@ impl FederationConfig {
             threads: None,
             stage_order: StageOrder::Sequential,
             rounds: 1,
+            faults: None,
+            tolerance: FaultTolerance::default(),
         }
     }
 
@@ -90,6 +104,8 @@ impl FederationConfig {
             threads: None,
             stage_order: StageOrder::Sequential,
             rounds: 1,
+            faults: None,
+            tolerance: FaultTolerance::default(),
         }
     }
 
@@ -108,12 +124,29 @@ impl FederationConfig {
 
     /// Enables FedAvg-style multi-round refinement (implies
     /// [`Aggregation::FedAvgWeights`]).
+    ///
+    /// `rounds == 0` is not rejected here: [`run_query`] surfaces it as
+    /// the recoverable [`FederationError::UnsupportedConfig`] instead of
+    /// aborting the process mid-sweep.
     pub fn with_rounds(mut self, rounds: usize) -> Self {
-        assert!(rounds >= 1, "at least one round is required");
         self.rounds = rounds;
         if rounds > 1 {
             self.aggregation = Aggregation::FedAvgWeights;
         }
+        self
+    }
+
+    /// Enables deterministic fault injection (see
+    /// [`FederationConfig::faults`]).
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// Sets the fault reaction policy (see
+    /// [`FederationConfig::tolerance`]).
+    pub fn with_tolerance(mut self, tolerance: FaultTolerance) -> Self {
+        self.tolerance = tolerance;
         self
     }
 }
@@ -130,6 +163,13 @@ pub struct RoundOutcome {
     pub selection: Selection,
     /// The resource ledger.
     pub accounting: QueryAccounting,
+    /// Every fault (and fault reaction) that fired, in leader
+    /// observation order. Empty for fault-free runs.
+    pub fault_trace: FaultTrace,
+    /// The cohort still active when the last round closed: the initially
+    /// selected participants with training data, minus permanent
+    /// crashes, plus promoted standbys.
+    pub final_cohort: Vec<Participant>,
 }
 
 impl RoundOutcome {
@@ -175,6 +215,27 @@ struct LocalResult {
     wall_seconds: f64,
 }
 
+/// One member of the active training cohort. Owned (not borrowed from
+/// the [`Selection`]) because fault tolerance may extend the cohort with
+/// promoted standbys mid-round.
+struct CohortMember {
+    participant: Participant,
+    stages: Vec<DenseDataset>,
+}
+
+impl CohortMember {
+    fn has_data(&self) -> bool {
+        self.stages.iter().any(|s| !s.is_empty())
+    }
+}
+
+/// A participant whose report reached the leader in time this round.
+struct Survivor {
+    ranking: f64,
+    samples_used: usize,
+    model: Model,
+}
+
 /// Wall-clock credited to one communication round.
 ///
 /// When the participants trained concurrently on the pool the round is
@@ -215,6 +276,14 @@ pub fn run_query(
                 .into(),
         });
     }
+    if let Some(spec) = &config.faults {
+        if let Err(reason) = spec.validate() {
+            return Err(FederationError::UnsupportedConfig {
+                query_id: query.id(),
+                reason: format!("invalid fault spec: {reason}"),
+            });
+        }
+    }
     // Per-query attribution: every metric recorded until the scope drops
     // is credited to this query id in the registry's query ring.
     let _query_scope = telemetry::QueryScope::begin(query.id());
@@ -234,29 +303,28 @@ pub fn run_query(
     let mut initial = config.model.build(dim, config.model_seed);
 
     // Per-participant training stages (scaled).
-    let jobs: Vec<(usize, &Participant, Vec<DenseDataset>)> = selection
+    let build_member = |p: &Participant| -> CohortMember {
+        let node = network.node(p.node);
+        let stages: Vec<DenseDataset> = if p.supporting_clusters.is_empty() {
+            vec![scaler.transform_dataset(&node.full_dataset())]
+        } else {
+            p.supporting_clusters
+                .iter()
+                .map(|c| scaler.transform_dataset(&node.cluster_dataset(c.cluster_id)))
+                .collect()
+        };
+        CohortMember {
+            participant: p.clone(),
+            stages,
+        }
+    };
+    let mut cohort: Vec<CohortMember> = selection
         .participants
         .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            let node = network.node(p.node);
-            let stages: Vec<DenseDataset> = if p.supporting_clusters.is_empty() {
-                vec![scaler.transform_dataset(&node.full_dataset())]
-            } else {
-                p.supporting_clusters
-                    .iter()
-                    .map(|c| scaler.transform_dataset(&node.cluster_dataset(c.cluster_id)))
-                    .collect()
-            };
-            (i, p, stages)
-        })
+        .map(&build_member)
+        .filter(CohortMember::has_data)
         .collect();
-
-    let nonempty: Vec<&(usize, &Participant, Vec<DenseDataset>)> = jobs
-        .iter()
-        .filter(|(_, _, stages)| stages.iter().any(|s| !s.is_empty()))
-        .collect();
-    if nonempty.is_empty() {
+    if cohort.is_empty() {
         return Err(FederationError::NoTrainingData {
             query_id: query.id(),
         });
@@ -276,7 +344,7 @@ pub fn run_query(
         };
     let mut accounting = QueryAccounting {
         query_id: query.id(),
-        nodes_selected: nonempty.len(),
+        nodes_selected: cohort.len(),
         samples_total: network.total_samples(),
         sample_visits: overhead
             .per_node_visits
@@ -301,16 +369,26 @@ pub fn run_query(
         None => par::global(),
     };
 
+    // The deterministic fault oracle for this query. `None` — no spec,
+    // or an inert one — is the fault-free fast path: every fate below
+    // then defaults to healthy and no event can fire, which keeps the
+    // arithmetic (and therefore the outcome) bit-identical to the
+    // pre-fault engine.
+    let plan: Option<FaultPlan> = config
+        .faults
+        .as_ref()
+        .filter(|spec| !spec.is_inert())
+        .map(|spec| FaultPlan::for_query(spec.clone(), network.len(), query.id()));
+    // Quorum is a fraction/count of the *originally selected* cohort.
+    let required = config.tolerance.quorum.required(cohort.len());
+    let mut trace = FaultTrace::default();
+    let mut standby_queue = selection.standby.iter();
+
     let mut global = None;
     for round in 0..config.rounds {
         let broadcast = &initial;
-        let train_one = |(index, participant, stages): &(
-            usize,
-            &Participant,
-            Vec<DenseDataset>,
-        )|
-         -> LocalResult {
-            let node = network.node(participant.node);
+        let train_one = |index: usize, member: &CohortMember| -> LocalResult {
+            let node = network.node(member.participant.node);
             let mut model = broadcast.clone();
             let train_cfg = TrainConfig {
                 seed: lrng::derive_seed(
@@ -319,24 +397,28 @@ pub fn run_query(
                 ),
                 ..config.train.clone()
             };
-            let samples_used: usize = stages.iter().map(DenseDataset::len).sum();
+            let samples_used: usize = member.stages.iter().map(DenseDataset::len).sum();
             // Counter adds are relaxed atomics, so these totals are
             // identical whether participants train on threads or inline.
             telemetry::counter!("qens_fedlearn_participants_total").incr();
-            telemetry::counter!("qens_fedlearn_stages_total").add(stages.len() as u64);
+            telemetry::counter!("qens_fedlearn_stages_total").add(member.stages.len() as u64);
             telemetry::counter!("qens_fedlearn_samples_used_total").add(samples_used as u64);
             let train_span = telemetry::span!("qens_fedlearn_train_nanos");
             let start = Instant::now();
             let report = match config.stage_order {
-                StageOrder::Sequential => mlkit::train_incremental(&mut model, stages, &train_cfg),
-                StageOrder::Interleaved => mlkit::train_interleaved(&mut model, stages, &train_cfg),
+                StageOrder::Sequential => {
+                    mlkit::train_incremental(&mut model, &member.stages, &train_cfg)
+                }
+                StageOrder::Interleaved => {
+                    mlkit::train_interleaved(&mut model, &member.stages, &train_cfg)
+                }
             };
             let wall = start.elapsed().as_secs_f64();
             train_span.finish();
             telemetry::counter!("qens_fedlearn_sample_visits_total")
                 .add(report.samples_seen as u64);
             LocalResult {
-                index: *index,
+                index,
                 model,
                 samples_used,
                 sample_visits: report.samples_seen,
@@ -344,49 +426,238 @@ pub fn run_query(
             }
         };
 
-        // One pool job per participant (chunk size 1): results land in
-        // job order, so no post-hoc sort is needed — the pool writes each
-        // result into its own index slot.
-        let pooled = config.parallel && nonempty.len() > 1 && pool.threads() > 1;
-        let results: Vec<LocalResult> = if pooled {
-            pool.map_indexed(&nonempty, 1, |_, job| train_one(job))
-        } else {
-            nonempty.iter().map(|job| train_one(job)).collect()
-        };
-        debug_assert!(results.windows(2).all(|w| w[0].index < w[1].index));
+        // Per-round ledgers, accumulated across cohort batches (the
+        // initial cohort plus any promoted-standby batches).
+        let mut survivors: Vec<Survivor> = Vec::new();
+        let mut per_node_seconds: Vec<f64> = Vec::new();
+        let mut round_bytes = 0usize;
+        let mut round_samples_used = 0usize;
+        let mut round_sample_visits = 0usize;
+        let mut crashed_indices: Vec<usize> = Vec::new();
+        let mut pending: Vec<usize> = (0..cohort.len()).collect();
 
-        // Aggregate this round's local models.
-        let lambdas: Vec<f64> = results
-            .iter()
-            .map(|r| selection.participants[r.index].ranking)
-            .collect();
-        let samples: Vec<usize> = results.iter().map(|r| r.samples_used).collect();
-        let models: Vec<Model> = results.iter().map(|r| r.model.clone()).collect();
+        loop {
+            // Fate pass (serial, roster order): the plan is a pure
+            // oracle, so this order affects only the trace layout —
+            // which is exactly what makes the trace bit-identical
+            // across runs and thread counts.
+            let mut attempters: Vec<usize> = Vec::new();
+            let mut slowdowns: Vec<f64> = Vec::new();
+            for &ci in &pending {
+                let node_idx = cohort[ci].participant.node.0;
+                let fate = plan
+                    .as_ref()
+                    .map_or(ParticipantFate::Participates { slowdown: 1.0 }, |p| {
+                        p.fate(node_idx, round)
+                    });
+                match fate {
+                    ParticipantFate::Crashed => {
+                        trace.push(FaultEvent::Crash {
+                            node: node_idx,
+                            round,
+                        });
+                        accounting.dropped_participants += 1;
+                        crashed_indices.push(ci);
+                    }
+                    ParticipantFate::Dropped => {
+                        trace.push(FaultEvent::Dropout {
+                            node: node_idx,
+                            round,
+                        });
+                        accounting.dropped_participants += 1;
+                    }
+                    ParticipantFate::Participates { slowdown } => {
+                        if slowdown > 1.0 {
+                            trace.push(FaultEvent::Straggler {
+                                node: node_idx,
+                                round,
+                                slowdown,
+                            });
+                        }
+                        attempters.push(ci);
+                        slowdowns.push(slowdown);
+                    }
+                }
+            }
+
+            // Training pass: one pool job per attempter (chunk size 1),
+            // so results land in attempter order — the pool writes each
+            // result into its own index slot, for any worker count.
+            let (results, pooled) = {
+                let batch_jobs: Vec<&CohortMember> =
+                    attempters.iter().map(|&ci| &cohort[ci]).collect();
+                let pooled = config.parallel && batch_jobs.len() > 1 && pool.threads() > 1;
+                let results: Vec<LocalResult> = if pooled {
+                    pool.map_indexed(&batch_jobs, 1, |i, member| train_one(i, member))
+                } else {
+                    batch_jobs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, member)| train_one(i, member))
+                        .collect()
+                };
+                (results, pooled)
+            };
+            debug_assert!(results.windows(2).all(|w| w[0].index < w[1].index));
+            let walls: Vec<f64> = results.iter().map(|r| r.wall_seconds).collect();
+            accounting.wall_seconds += round_wall_seconds(pooled, &walls);
+
+            // Transfer/deadline pass (serial, attempter order).
+            for r in results {
+                let ci = attempters[r.index];
+                let member = &cohort[ci];
+                let node = network.node(member.participant.node);
+                let node_idx = member.participant.node.0;
+                let slowdown = slowdowns[r.index];
+                round_samples_used += r.samples_used;
+                round_sample_visits += r.sample_visits;
+                let train_sim = cost.training_seconds(r.sample_visits, node.capacity()) * slowdown;
+
+                // Upload attempts under the retry budget: each lost
+                // attempt is an independent deterministic draw.
+                let max_attempts = config.tolerance.retry.max_attempts.max(1);
+                let mut failed = 0usize;
+                let mut delivered = plan.is_none();
+                if let Some(p) = plan.as_ref() {
+                    for attempt in 0..max_attempts {
+                        if p.transfer_attempt_fails(node_idx, round, attempt) {
+                            trace.push(FaultEvent::LinkLoss {
+                                node: node_idx,
+                                round,
+                                attempt,
+                            });
+                            failed += 1;
+                        } else {
+                            delivered = true;
+                            break;
+                        }
+                    }
+                }
+                accounting.retries += failed;
+                let retry_penalty =
+                    node.link()
+                        .retry_penalty_seconds(model_bytes, failed, &config.tolerance.retry);
+                if !delivered {
+                    // Retry budget exhausted: the report never reached
+                    // the leader. Charge the broadcast plus every lost
+                    // upload; there is no model to aggregate.
+                    trace.push(FaultEvent::TransferFailed {
+                        node: node_idx,
+                        round,
+                        attempts: failed,
+                    });
+                    accounting.dropped_participants += 1;
+                    per_node_seconds.push(
+                        train_sim + node.link().transfer_seconds(model_bytes) + retry_penalty,
+                    );
+                    round_bytes += (1 + failed) * model_bytes;
+                    continue;
+                }
+                if failed > 0 {
+                    trace.push(FaultEvent::RetrySuccess {
+                        node: node_idx,
+                        round,
+                        retries: failed,
+                    });
+                }
+                // Fault-free identity: slowdown is 1.0 and the penalty
+                // 0.0 here, so `finish` reduces bit-exactly to the
+                // pre-fault `training + transfer(2·bytes)` charge.
+                let finish =
+                    train_sim + node.link().transfer_seconds(2 * model_bytes) + retry_penalty;
+                if let Some(deadline) = config.tolerance.straggler_deadline_seconds {
+                    if finish > deadline {
+                        // The leader stopped waiting at the deadline; the
+                        // (completed) work is discarded for this round.
+                        trace.push(FaultEvent::DeadlineMiss {
+                            node: node_idx,
+                            round,
+                            deadline_seconds: deadline,
+                            finish_seconds: finish,
+                        });
+                        accounting.deadline_misses += 1;
+                        accounting.dropped_participants += 1;
+                        per_node_seconds.push(deadline);
+                        round_bytes += (2 + failed) * model_bytes;
+                        continue;
+                    }
+                }
+                per_node_seconds.push(finish);
+                round_bytes += (2 + failed) * model_bytes;
+                survivors.push(Survivor {
+                    ranking: member.participant.ranking,
+                    samples_used: r.samples_used,
+                    model: r.model,
+                });
+            }
+
+            if survivors.len() >= required {
+                break;
+            }
+            // Below quorum: promote ranked standbys to cover the
+            // deficit, then run them through the same round's fate /
+            // training / transfer passes.
+            let deficit = required - survivors.len();
+            let mut promoted: Vec<usize> = Vec::new();
+            while promoted.len() < deficit {
+                let Some(p) = standby_queue.next() else { break };
+                let member = build_member(p);
+                // Standbys without training data are skipped — they
+                // could never report a model.
+                if member.has_data() {
+                    trace.push(FaultEvent::Replacement {
+                        standby: p.node.0,
+                        round,
+                    });
+                    accounting.replacements += 1;
+                    cohort.push(member);
+                    promoted.push(cohort.len() - 1);
+                }
+            }
+            if promoted.is_empty() {
+                trace.push(FaultEvent::QuorumLost {
+                    round,
+                    survivors: survivors.len(),
+                    required,
+                });
+                return Err(FederationError::QuorumLost {
+                    query_id: query.id(),
+                    round,
+                    survivors: survivors.len(),
+                    required,
+                });
+            }
+            pending = promoted;
+        }
+
+        // Aggregate the survivors' local models.
+        let lambdas: Vec<f64> = survivors.iter().map(|s| s.ranking).collect();
+        let samples: Vec<usize> = survivors.iter().map(|s| s.samples_used).collect();
+        let models: Vec<Model> = survivors.into_iter().map(|s| s.model).collect();
         let agg_span = telemetry::span!("qens_fedlearn_aggregate_nanos");
         let aggregated = GlobalModel::aggregate(config.aggregation, models, &lambdas, &samples);
         agg_span.finish();
         telemetry::counter!("qens_fedlearn_rounds_total").incr();
-        telemetry::counter!("qens_fedlearn_model_bytes_total")
-            .add((results.len() * 2 * model_bytes) as u64);
+        telemetry::counter!("qens_fedlearn_model_bytes_total").add(round_bytes as u64);
 
-        // Accounting: every round pays training on the slowest node plus
-        // two model transfers per participant, each at the node's own
-        // uplink speed.
-        let per_node_seconds: Vec<f64> = results
-            .iter()
-            .map(|r| {
-                let node = network.node(selection.participants[r.index].node);
-                cost.training_seconds(r.sample_visits, node.capacity())
-                    + node.link().transfer_seconds(2 * model_bytes)
-            })
-            .collect();
-        accounting.samples_used = results.iter().map(|r| r.samples_used).sum();
-        accounting.sample_visits += results.iter().map(|r| r.sample_visits).sum::<usize>();
+        // Accounting: every round pays training on the slowest charged
+        // node plus the model transfers that actually happened, each at
+        // the node's own uplink speed.
+        accounting.samples_used = round_samples_used;
+        accounting.sample_visits += round_sample_visits;
         accounting.sim_seconds += per_node_seconds.iter().copied().fold(0.0, f64::max);
         accounting.sim_seconds_total += per_node_seconds.iter().sum::<f64>();
-        let walls: Vec<f64> = results.iter().map(|r| r.wall_seconds).collect();
-        accounting.wall_seconds += round_wall_seconds(pooled, &walls);
-        accounting.bytes_transferred += results.len() * 2 * model_bytes;
+        accounting.bytes_transferred += round_bytes;
+
+        // Permanent crashes leave the cohort before the next round.
+        if !crashed_indices.is_empty() {
+            let mut keep = vec![true; cohort.len()];
+            for &ci in &crashed_indices {
+                keep[ci] = false;
+            }
+            let mut it = keep.into_iter();
+            cohort.retain(|_| it.next().expect("keep mask covers the cohort"));
+        }
 
         // Broadcast the averaged weights back for the next round.
         if let GlobalModel::Single(model) = &aggregated {
@@ -396,6 +667,7 @@ pub fn run_query(
     }
 
     let global = global.expect("at least one round ran");
+    let final_cohort: Vec<Participant> = cohort.iter().map(|m| m.participant.clone()).collect();
     // Satellite coupling: the simulator ledger and the telemetry counters
     // must tell the same story (asserted in tests/telemetry_pipeline.rs).
     accounting.commit_telemetry();
@@ -404,6 +676,8 @@ pub fn run_query(
         scaler,
         selection,
         accounting,
+        fault_trace: trace,
+        final_cohort,
     })
 }
 
@@ -616,6 +890,22 @@ mod tests {
         ));
     }
 
+    /// Regression: `with_rounds(0)` used to `assert!` (a process abort);
+    /// the builder must hand the value through so [`run_query`] can
+    /// reject it recoverably.
+    #[test]
+    fn with_rounds_zero_is_rejected_at_run_time_not_build_time() {
+        let cfg = fast_cfg(1).with_rounds(0); // must not panic
+        assert_eq!(cfg.rounds, 0);
+        let net = network(false);
+        let q = Query::from_boundary_vec(8, &[0.0, 50.0, 0.0, 100.0]);
+        let err = run_query(&net, &q, &QueryDriven::top_l(2), &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            FederationError::UnsupportedConfig { query_id: 8, .. }
+        ));
+    }
+
     /// Regression: serial rounds used to credit only the *slowest*
     /// participant's wall time (max) even though the participants ran one
     /// after another; the serial ledger must use the sum.
@@ -686,6 +976,329 @@ mod tests {
             let raw =
                 space.interval(0).lo() + row[0] * (space.interval(0).hi() - space.interval(0).lo());
             assert!((-1e-9..=10.0 + 1e-9).contains(&raw));
+        }
+    }
+
+    // ---------------- fault-injection engine ----------------
+
+    use faults::{FaultSpec, FaultTolerance, Quorum};
+
+    fn assert_outcomes_identical(a: &RoundOutcome, b: &RoundOutcome) {
+        match (&a.global, &b.global) {
+            (
+                GlobalModel::Ensemble {
+                    members: ma,
+                    lambdas: la,
+                },
+                GlobalModel::Ensemble {
+                    members: mb,
+                    lambdas: lb,
+                },
+            ) => {
+                assert_eq!(ma, mb);
+                assert_eq!(la, lb);
+            }
+            (GlobalModel::Single(ma), GlobalModel::Single(mb)) => assert_eq!(ma, mb),
+            other => panic!("global model shapes diverged: {other:?}"),
+        }
+        assert_eq!(a.selection, b.selection);
+        assert_eq!(a.final_cohort, b.final_cohort);
+        assert_eq!(a.fault_trace, b.fault_trace);
+        assert_eq!(a.fault_trace.to_json(), b.fault_trace.to_json());
+        // Everything except measured wall time must agree exactly.
+        assert_eq!(a.accounting.samples_used, b.accounting.samples_used);
+        assert_eq!(a.accounting.sample_visits, b.accounting.sample_visits);
+        assert_eq!(
+            a.accounting.bytes_transferred,
+            b.accounting.bytes_transferred
+        );
+        assert_eq!(a.accounting.sim_seconds, b.accounting.sim_seconds);
+        assert_eq!(
+            a.accounting.sim_seconds_total,
+            b.accounting.sim_seconds_total
+        );
+        assert_eq!(a.accounting.retries, b.accounting.retries);
+        assert_eq!(
+            a.accounting.dropped_participants,
+            b.accounting.dropped_participants
+        );
+        assert_eq!(a.accounting.replacements, b.accounting.replacements);
+        assert_eq!(a.accounting.deadline_misses, b.accounting.deadline_misses);
+    }
+
+    /// The headline invariant: disabling faults (or enabling an inert
+    /// spec) leaves `run_query` bit-identical to the pre-fault engine.
+    #[test]
+    fn inert_fault_spec_is_bit_identical_to_no_faults() {
+        let net = network(true);
+        let q = leader_query();
+        let plain = run_query(&net, &q, &QueryDriven::top_l(3), &fast_cfg(7)).unwrap();
+        let inert = run_query(
+            &net,
+            &q,
+            &QueryDriven::top_l(3),
+            &fast_cfg(7).with_faults(FaultSpec::none()),
+        )
+        .unwrap();
+        assert!(plain.fault_trace.is_empty());
+        assert!(inert.fault_trace.is_empty());
+        assert_eq!(plain.accounting.retries, 0);
+        assert_eq!(plain.accounting.dropped_participants, 0);
+        assert_outcomes_identical(&plain, &inert);
+    }
+
+    /// Same seed ⇒ same trace, cohort, accounting and model, for any
+    /// worker count (pinned pools of 1/2/4 workers plus the fully
+    /// serial path).
+    #[test]
+    fn faulty_runs_are_bit_identical_across_thread_counts() {
+        let net = network(true);
+        let q = leader_query();
+        let cfg = fast_cfg(11)
+            .with_faults(FaultSpec::unreliable_edge(42))
+            .with_tolerance(FaultTolerance::full_strength());
+        let reference = run_query(&net, &q, &QueryDriven::top_l(3), &cfg).unwrap();
+        assert!(
+            !reference.fault_trace.is_empty(),
+            "unreliable_edge(42) should fire at least one event"
+        );
+        for threads in [1usize, 2, 4] {
+            let out = run_query(
+                &net,
+                &q,
+                &QueryDriven::top_l(3),
+                &cfg.clone().with_thread_count(threads),
+            )
+            .unwrap();
+            assert_outcomes_identical(&reference, &out);
+        }
+        let serial = run_query(
+            &net,
+            &q,
+            &QueryDriven::top_l(3),
+            &FederationConfig {
+                parallel: false,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_outcomes_identical(&reference, &serial);
+    }
+
+    /// Degenerate survivor set: certain dropout for everyone and no
+    /// standby list (random selection has no ranking to promote from)
+    /// must surface as `QuorumLost`, never a panic.
+    #[test]
+    fn all_participants_dropping_is_quorum_lost() {
+        let net = network(true);
+        let q = leader_query();
+        let cfg = fast_cfg(3).with_faults(FaultSpec::dropout(1, 1.0));
+        let err = run_query(&net, &q, &RandomSelection { l: 3, seed: 9 }, &cfg).unwrap_err();
+        match err {
+            FederationError::QuorumLost {
+                survivors,
+                required,
+                round,
+                ..
+            } => {
+                assert_eq!(survivors, 0);
+                assert_eq!(required, 1);
+                assert_eq!(round, 0);
+            }
+            other => panic!("expected QuorumLost, got {other:?}"),
+        }
+    }
+
+    /// Degenerate survivor set: when exactly one participant survives,
+    /// the aggregate *is* that participant's model (weight 1.0).
+    #[test]
+    fn single_survivor_aggregates_to_its_own_model() {
+        let net = network(true);
+        let q = leader_query();
+        // Discover the cohort, then crash everyone except the best-ranked
+        // participant from round 0 on.
+        let baseline = run_query(&net, &q, &QueryDriven::top_l(3), &fast_cfg(5)).unwrap();
+        assert!(baseline.selection.len() >= 2, "need at least two selected");
+        let mut spec = FaultSpec::none();
+        for p in &baseline.selection.participants[1..] {
+            spec = spec.with_crash(p.node.0, 0);
+        }
+        let out = run_query(
+            &net,
+            &q,
+            &QueryDriven::top_l(3),
+            &fast_cfg(5).with_faults(spec),
+        )
+        .unwrap();
+        match &out.global {
+            GlobalModel::Ensemble { members, lambdas } => {
+                assert_eq!(members.len(), 1);
+                assert_eq!(lambdas, &vec![1.0]);
+                // The survivor in the baseline ensemble trained with the
+                // same derived seed, so the models agree exactly.
+                if let GlobalModel::Ensemble {
+                    members: base_members,
+                    ..
+                } = &baseline.global
+                {
+                    assert_eq!(members[0], base_members[0]);
+                } else {
+                    panic!("baseline should be an ensemble");
+                }
+            }
+            other => panic!("expected a single-member ensemble, got {other:?}"),
+        }
+        assert_eq!(out.fault_trace.count("crash"), baseline.selection.len() - 1);
+        assert_eq!(out.final_cohort.len(), 1);
+        assert_eq!(
+            out.final_cohort[0].node,
+            baseline.selection.participants[0].node
+        );
+    }
+
+    /// Ranked replacements: crashing a selected participant under a
+    /// full-strength quorum promotes the best-ranked standby into the
+    /// same round.
+    #[test]
+    fn crash_promotes_ranked_standby_at_full_strength() {
+        let net = network(true);
+        let q = leader_query();
+        // l = 1 guarantees a non-empty standby tail whenever more than
+        // one node supports the query.
+        let baseline = run_query(&net, &q, &QueryDriven::top_l(1), &fast_cfg(5)).unwrap();
+        assert!(
+            !baseline.selection.standby.is_empty(),
+            "need a standby tail for this scenario"
+        );
+        let selected = baseline.selection.participants[0].node.0;
+        let best_standby = baseline.selection.standby[0].node;
+        let out = run_query(
+            &net,
+            &q,
+            &QueryDriven::top_l(1),
+            &fast_cfg(5)
+                .with_faults(FaultSpec::none().with_crash(selected, 0))
+                .with_tolerance(FaultTolerance::full_strength()),
+        )
+        .unwrap();
+        assert_eq!(out.accounting.replacements, 1);
+        assert_eq!(out.fault_trace.count("replacement"), 1);
+        assert_eq!(out.fault_trace.count("crash"), 1);
+        assert_eq!(out.final_cohort.len(), 1);
+        assert_eq!(out.final_cohort[0].node, best_standby);
+        let loss = out.query_loss(&net, &q).unwrap();
+        assert!(loss.is_finite());
+    }
+
+    /// Replacement exhaustion: a quorum larger than selection + standby
+    /// can ever supply must fail with `QuorumLost` after the standby
+    /// list runs dry — not loop, not panic.
+    #[test]
+    fn standby_exhaustion_is_quorum_lost() {
+        let net = network(true);
+        let q = leader_query();
+        let baseline = run_query(&net, &q, &QueryDriven::top_l(1), &fast_cfg(5)).unwrap();
+        let supply = 1 + baseline.selection.standby.len();
+        let err = run_query(
+            &net,
+            &q,
+            &QueryDriven::top_l(1),
+            &fast_cfg(5)
+                .with_faults(
+                    FaultSpec::none().with_crash(baseline.selection.participants[0].node.0, 0),
+                )
+                .with_tolerance(FaultTolerance::default().with_quorum(Quorum::AtLeast(supply + 5))),
+        )
+        .unwrap_err();
+        match err {
+            FederationError::QuorumLost {
+                survivors,
+                required,
+                ..
+            } => {
+                assert_eq!(required, supply + 5);
+                assert!(survivors < required);
+                assert!(survivors <= supply);
+            }
+            other => panic!("expected QuorumLost, got {other:?}"),
+        }
+    }
+
+    /// Lossy links: retries are charged to the ledger and the trace, and
+    /// the federation still completes under the default retry budget.
+    #[test]
+    fn link_loss_charges_retries_and_extra_seconds() {
+        let net = network(true);
+        let q = leader_query();
+        let cfg = fast_cfg(7).with_rounds(3);
+        let clean = run_query(&net, &q, &QueryDriven::top_l(3), &cfg).unwrap();
+        let lossy = run_query(
+            &net,
+            &q,
+            &QueryDriven::top_l(3),
+            &cfg.clone()
+                .with_faults(FaultSpec::none().with_link_loss(0.75))
+                .with_tolerance(
+                    FaultTolerance::full_strength().with_retry(faults::RetryPolicy {
+                        max_attempts: 8,
+                        ..faults::RetryPolicy::default()
+                    }),
+                ),
+        )
+        .unwrap();
+        assert!(lossy.accounting.retries > 0, "0.75 loss never fired");
+        assert_eq!(
+            lossy.fault_trace.count("link_loss"),
+            lossy.accounting.retries
+        );
+        // Every lost attempt is paid for: strictly more simulated time
+        // and wire bytes than the clean run.
+        assert!(lossy.accounting.sim_seconds_total > clean.accounting.sim_seconds_total);
+        assert!(lossy.accounting.bytes_transferred > clean.accounting.bytes_transferred);
+        // Retry bookkeeping is consistent: successes plus exhaustions
+        // bound the per-node outcomes.
+        let successes = lossy.fault_trace.count("retry_success");
+        let exhausted = lossy.fault_trace.count("transfer_failed");
+        assert!(successes + exhausted > 0);
+        assert_eq!(lossy.accounting.dropped_participants, exhausted);
+    }
+
+    /// Straggler deadline: a node slowed far past the deadline is cut
+    /// off (work discarded, time capped), while fast peers survive.
+    #[test]
+    fn deadline_cuts_off_the_slow_node() {
+        let mut net = network(true);
+        let q = leader_query();
+        let clean = run_query(&net, &q, &QueryDriven::top_l(3), &fast_cfg(7)).unwrap();
+        assert!(clean.selection.len() >= 2, "need at least two selected");
+        // Make the worst-ranked selected node catastrophically slow.
+        let slow = clean.selection.participants.last().unwrap().node;
+        net.node_mut(slow).set_capacity(1e-4);
+        let deadline = clean.accounting.sim_seconds * 10.0;
+        let out = run_query(
+            &net,
+            &q,
+            &QueryDriven::top_l(3),
+            &fast_cfg(7)
+                .with_faults(FaultSpec::none().with_dropout(0.0).with_link_loss(0.0))
+                .with_tolerance(FaultTolerance::default().with_deadline(deadline)),
+        );
+        // An all-inert spec never builds a plan, but the deadline is a
+        // *tolerance* feature and must apply regardless of any plan.
+        let out = match out {
+            Ok(o) => o,
+            Err(e) => panic!("deadline run failed: {e}"),
+        };
+        assert_eq!(out.accounting.deadline_misses, 1);
+        assert_eq!(out.fault_trace.count("deadline_miss"), 1);
+        // The leader stopped waiting at the deadline: the round's sim
+        // time is capped by it (plus selection overhead, zero here).
+        assert!(out.accounting.sim_seconds <= deadline + 1e-9);
+        // The slow node's model was discarded.
+        if let GlobalModel::Ensemble { members, .. } = &out.global {
+            assert_eq!(members.len(), clean.selection.len() - 1);
+        } else {
+            panic!("expected ensemble");
         }
     }
 }

@@ -40,6 +40,9 @@ impl SelectionPolicy for RandomSelection {
                     supporting_clusters: Vec::new(),
                 })
                 .collect(),
+            // Random selection has no ranking, hence no principled
+            // replacement order: no standby tail.
+            standby: Vec::new(),
         }
     }
 }
@@ -66,6 +69,8 @@ impl SelectionPolicy for AllNodes {
                     supporting_clusters: Vec::new(),
                 })
                 .collect(),
+            // Everyone already participates; nothing is left to promote.
+            standby: Vec::new(),
         }
     }
 }
@@ -157,6 +162,9 @@ impl SelectionPolicy for GameTheory {
                     supporting_clusters: Vec::new(),
                 })
                 .collect(),
+            // The paper's game-theory baseline re-runs its probe per
+            // query; it keeps no ranked tail to promote from.
+            standby: Vec::new(),
         }
     }
 

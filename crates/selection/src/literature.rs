@@ -91,6 +91,7 @@ impl SelectionPolicy for DataCentric {
                     supporting_clusters: Vec::new(),
                 })
                 .collect(),
+            standby: Vec::new(),
         }
     }
 }
@@ -173,6 +174,7 @@ impl SelectionPolicy for FairStochastic {
                     supporting_clusters: Vec::new(),
                 })
                 .collect(),
+            standby: Vec::new(),
         }
     }
 }

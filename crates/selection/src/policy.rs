@@ -81,6 +81,12 @@ pub struct Selection {
     /// Selected participants (possibly empty when nothing overlaps the
     /// query).
     pub participants: Vec<Participant>,
+    /// The ranked tail *behind* the participant cut, best-ranked first:
+    /// nodes that supported the query but were trimmed by the cap.
+    /// Fault-tolerant federations promote from this list when selected
+    /// participants fail. Baselines without a ranking leave it empty —
+    /// they have no principled replacement order.
+    pub standby: Vec<Participant>,
 }
 
 impl Selection {
@@ -165,7 +171,7 @@ impl<P: SelectionPolicy> SelectionPolicy for WithoutSelectivity<P> {
 
     fn select(&self, ctx: &SelectionContext<'_>) -> Selection {
         let mut sel = self.0.select(ctx);
-        for p in &mut sel.participants {
+        for p in sel.participants.iter_mut().chain(sel.standby.iter_mut()) {
             p.supporting_clusters.clear();
         }
         sel
@@ -199,6 +205,7 @@ mod tests {
     fn lambda_weights_are_ranking_proportional_and_normalised() {
         let sel = Selection {
             participants: vec![participant(0, 3.0, &[]), participant(1, 1.0, &[])],
+            standby: Vec::new(),
         };
         let w = sel.lambda_weights();
         assert!((w[0] - 0.75).abs() < 1e-12);
@@ -210,6 +217,7 @@ mod tests {
     fn zero_rankings_fall_back_to_uniform() {
         let sel = Selection {
             participants: vec![participant(0, 0.0, &[]), participant(1, 0.0, &[])],
+            standby: Vec::new(),
         };
         assert_eq!(sel.lambda_weights(), vec![0.5, 0.5]);
         assert!(Selection::default().lambda_weights().is_empty());

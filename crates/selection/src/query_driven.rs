@@ -154,16 +154,21 @@ impl QueryDriven {
                 .expect("rankings are finite")
                 .then(a.node.cmp(&b.node))
         });
-        let participants = match self.cap {
+        // The cap splits the ranked list into participants and the
+        // standby tail. The tail keeps the ranking order, so a
+        // fault-tolerant federation promoting standby[0], standby[1], …
+        // follows exactly the ranking the paper's Eq. 4 produced.
+        let (participants, standby) = match self.cap {
             SelectionCap::TopL(l) => {
-                scored.truncate(l);
-                scored
+                let standby = scored.split_off(l.min(scored.len()));
+                (scored, standby)
             }
             SelectionCap::Threshold(psi) => {
-                scored.retain(|p| p.ranking >= psi);
-                scored
+                let cut = scored.partition_point(|p| p.ranking >= psi);
+                let standby = scored.split_off(cut);
+                (scored, standby)
             }
-            SelectionCap::AllPositive => scored,
+            SelectionCap::AllPositive => (scored, Vec::new()),
         };
         telemetry::counter!("qens_selection_participants_total").add(participants.len() as u64);
         // Rankings live in [0, K]; record micro-units so the log-scale
@@ -172,7 +177,10 @@ impl QueryDriven {
         for p in &participants {
             rank_hist.record((p.ranking * 1e6) as u64);
         }
-        Selection { participants }
+        Selection {
+            participants,
+            standby,
+        }
     }
 }
 
@@ -241,6 +249,57 @@ mod tests {
         let query = Query::from_boundary_vec(0, &[0.0, 30.0, 0.0, 30.0]);
         let sel = QueryDriven::top_l(1).select(&SelectionContext::new(&net, &query));
         assert_eq!(sel.len(), 1);
+    }
+
+    #[test]
+    fn top_l_keeps_the_trimmed_tail_as_ranked_standby() {
+        let net = network();
+        let query = Query::from_boundary_vec(0, &[0.0, 30.0, 0.0, 30.0]);
+        let ctx = SelectionContext::new(&net, &query);
+        let all = QueryDriven {
+            cap: SelectionCap::AllPositive,
+            ..QueryDriven::top_l(3)
+        }
+        .select(&ctx);
+        assert!(all.standby.is_empty(), "AllPositive trims nothing");
+        let capped = QueryDriven::top_l(1).select(&ctx);
+        // participants ++ standby reproduces the uncapped ranked list.
+        let mut rejoined = capped.participants.clone();
+        rejoined.extend(capped.standby.iter().cloned());
+        assert_eq!(rejoined, all.participants);
+        // Standby stays ranking-sorted and below the selected cohort.
+        for w in capped.standby.windows(2) {
+            assert!(w[0].ranking >= w[1].ranking);
+        }
+        if let (Some(last_in), Some(first_out)) =
+            (capped.participants.last(), capped.standby.first())
+        {
+            assert!(last_in.ranking >= first_out.ranking);
+        }
+        // Oversized l: everything selected, empty tail, no panic.
+        let all_in = QueryDriven::top_l(64).select(&ctx);
+        assert!(all_in.standby.is_empty());
+    }
+
+    #[test]
+    fn threshold_cap_tail_holds_below_psi_positives() {
+        let net = network();
+        let query = Query::from_boundary_vec(0, &[0.0, 22.0, 0.0, 22.0]);
+        let ctx = SelectionContext::new(&net, &query);
+        let all = QueryDriven {
+            epsilon: 0.05,
+            cap: SelectionCap::AllPositive,
+            rule: RankingRule::PaperEq4,
+        }
+        .select(&ctx);
+        assert!(all.len() >= 2);
+        let psi = all.participants[0].ranking * 0.99;
+        let sel = QueryDriven::threshold(0.05, psi).select(&ctx);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel.standby.len(), all.len() - 1);
+        for p in &sel.standby {
+            assert!(p.ranking < psi && p.ranking > 0.0);
+        }
     }
 
     #[test]

@@ -13,7 +13,11 @@
 #   5. rustfmt check,
 #   6. the repro smoke path, which runs the selection→train→aggregate
 #      pipeline end to end and asserts a non-empty telemetry snapshot
-#      spanning cluster/selection/mlkit/fedlearn/edgesim.
+#      spanning cluster/selection/mlkit/fedlearn/edgesim — and, under a
+#      nonzero-dropout fault plan, writes results/fault_trace.json,
+#   7. fault seed-stability: the smoke run is repeated under
+#      QENS_THREADS=1 and QENS_THREADS=2 and the two fault traces must
+#      be byte-identical (the faults crate's determinism contract).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -34,7 +38,16 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> repro --smoke (pipeline + telemetry health)"
+echo "==> repro --smoke (pipeline + telemetry + fault-engine health)"
 cargo run -q -p bench --bin repro --release --offline -- --smoke
+
+echo "==> fault seed-stability (byte-identical trace at QENS_THREADS=1 vs 2)"
+QENS_THREADS=1 cargo run -q -p bench --bin repro --release --offline -- --smoke
+cp results/fault_trace.json results/fault_trace.t1.json
+QENS_THREADS=2 cargo run -q -p bench --bin repro --release --offline -- --smoke
+cmp results/fault_trace.json results/fault_trace.t1.json \
+  || { echo "FAIL: fault trace differs between QENS_THREADS=1 and 2"; exit 1; }
+rm -f results/fault_trace.t1.json
+echo "fault trace is thread-count stable"
 
 echo "verify OK"
