@@ -5,6 +5,8 @@
 //! cargo run --release -p bench --bin repro -- fig7    # one experiment
 //! cargo run --release -p bench --bin repro -- all --paper   # full paper scale
 //! cargo run --release -p bench --bin repro -- --smoke # tiny end-to-end check
+//! cargo run --release -p bench --bin repro -- serve   # live /metrics endpoint
+//! cargo run --release -p bench --bin repro -- bench --check  # perf harness
 //! ```
 //!
 //! Printed rows state the measured values next to the paper's; CSV series
@@ -82,6 +84,15 @@ fn run_smoke() {
         2,
         "expected one per-query snapshot per smoke query"
     );
+    if let Some(h) = snap.histogram("qens_fedlearn_run_query_nanos") {
+        println!(
+            "run_query latency: p50 {:.0} ns, p95 {:.0} ns, p99 {:.0} ns over {} queries",
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.count
+        );
+    }
 
     // Fault smoke: the same tiny federation under a hostile plan. The
     // trace JSON lands in results/fault_trace.json — `scripts/verify.sh`
@@ -116,7 +127,35 @@ fn run_smoke() {
         out.accounting.replacements,
         trace_path.display()
     );
-    println!("smoke OK: pipeline + telemetry + fault engine healthy");
+
+    // Trace smoke: the same faulty query again, on the logical trace
+    // clock. `scripts/verify.sh` runs --smoke twice at different
+    // QENS_THREADS and byte-diffs results/trace.json — the logical
+    // clock is the determinism contract that makes that meaningful.
+    telemetry::trace::set_mode(Some(telemetry::trace::Clock::Logical));
+    telemetry::trace::clear();
+    let q = faulty.query_from_bounds(3, &[0.0, 20.0, 0.0, 45.0]);
+    faulty
+        .run_query(&q, &PolicyKind::query_driven(2))
+        .expect("trace smoke query runs");
+    let trace_json_path = dir.join("trace.json");
+    telemetry::trace::write_chrome(&trace_json_path, None).expect("write trace.json");
+    let trace_doc = std::fs::read_to_string(&trace_json_path).expect("read back trace.json");
+    assert!(
+        trace_doc.contains("\"ph\":\"B\"") && trace_doc.contains("\"ph\":\"E\""),
+        "trace smoke produced no spans"
+    );
+    assert!(
+        trace_doc.contains("fedlearn.round"),
+        "trace smoke is missing the round span"
+    );
+    telemetry::trace::set_mode(None);
+    println!(
+        "trace smoke: {} bytes of Chrome trace -> {} (open in Perfetto)",
+        trace_doc.len(),
+        trace_json_path.display()
+    );
+    println!("smoke OK: pipeline + telemetry + tracing + fault engine healthy");
 }
 
 fn run_table1(scale: ExperimentScale) {
@@ -268,6 +307,42 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--smoke") {
         run_smoke();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        let mut opts = bench::serve::ServeOptions::default();
+        let mut it = args.iter().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--once" => opts.once = true,
+                "--addr" => {
+                    opts.addr = it
+                        .next()
+                        .unwrap_or_else(|| {
+                            eprintln!("serve: --addr needs a host:port value");
+                            std::process::exit(2);
+                        })
+                        .clone();
+                }
+                other => {
+                    eprintln!(
+                        "serve: unknown flag {other:?}; expected [--addr host:port] [--once]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        telemetry::set_enabled(true);
+        if let Err(e) = bench::serve::serve(&opts) {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        let check = args.iter().any(|a| a == "--check");
+        telemetry::set_enabled(true);
+        bench::perf::run_bench(check, None);
         return;
     }
     let scale = if args.iter().any(|a| a == "--paper") {

@@ -13,7 +13,9 @@ use qens::prelude::*;
 
 pub mod figures;
 pub mod harness;
+pub mod perf;
 pub mod report;
+pub mod serve;
 pub mod tables;
 
 /// Experiment sizing.

@@ -1,0 +1,306 @@
+//! The perf-regression harness behind `repro bench`.
+//!
+//! Times a fixed set of kernels (k-means fit, query-driven selection,
+//! an end-to-end federated round, the Prometheus exporter) and writes
+//! `results/BENCH_qens.json` in a tiny stable schema:
+//!
+//! ```json
+//! {"schema":"qens-bench-v1","results":[
+//!   {"name":"kmeans_fit","nanos_per_iter":123456.0,"iters":32}, ...
+//! ]}
+//! ```
+//!
+//! `repro bench --check` additionally compares the fresh run against the
+//! committed baseline at the repository root (`BENCH_qens.json`) and
+//! prints a warning for every kernel slower than the tolerance band.
+//! The gate is **warn-only** by design: CI boxes and laptops disagree
+//! wildly on absolute nanoseconds, so a hard gate would only teach
+//! people to bump the baseline. The warnings make regressions visible
+//! in `scripts/verify.sh` output without ever failing the build.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use qens::prelude::*;
+
+/// Slowdown factor past which `--check` warns (fresh > baseline × band).
+pub const TOLERANCE_BAND: f64 = 3.0;
+
+/// One timed kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Kernel name (stable across runs; the compare key).
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub nanos_per_iter: f64,
+    /// Iterations the mean was taken over.
+    pub iters: usize,
+}
+
+/// Times `f` for `iters` iterations after `warmup` unmeasured ones.
+fn time_kernel<F: FnMut()>(name: &str, warmup: usize, iters: usize, mut f: F) -> BenchResult {
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    BenchResult {
+        name: name.to_string(),
+        nanos_per_iter: elapsed / iters as f64,
+        iters,
+    }
+}
+
+/// Runs the whole fixed suite. Deterministic inputs (seeded), measured
+/// wall time — so numbers vary per machine but the *set* of kernels and
+/// their inputs never do.
+pub fn run_suite() -> Vec<BenchResult> {
+    use qens::cluster::{KMeans, KMeansConfig};
+    use qens::linalg::Matrix;
+    use qens::selection::{QueryDriven, SelectionContext, SelectionPolicy};
+
+    let mut out = Vec::new();
+
+    // Kernel 1: k-means fit on a fixed 512x4 matrix, k = 5.
+    let rows: Vec<Vec<f64>> = (0..512)
+        .map(|i| {
+            let x = f64::from(i % 97);
+            vec![x, (x * 1.7) % 31.0, (x * 0.3) % 11.0, f64::from(i / 97)]
+        })
+        .collect();
+    let data = Matrix::from_rows(&rows);
+    let kconfig = KMeansConfig::with_k(5, 11);
+    out.push(time_kernel("kmeans_fit", 3, 24, || {
+        let _ = KMeans::fit(&data, &kconfig);
+    }));
+
+    // A small quantised federation shared by the remaining kernels.
+    let fed = FederationBuilder::new()
+        .heterogeneous_nodes(6, 120)
+        .clusters_per_node(4)
+        .seed(13)
+        .epochs(2)
+        .build();
+    let query = fed.query_from_bounds(0, &[0.0, 25.0, 0.0, 55.0]);
+
+    // Kernel 2: query-driven scoring + ranking over the population
+    // (the leader's Eq. 2-4 hot path).
+    let ranker = QueryDriven::top_l(3);
+    let ctx = SelectionContext::new(fed.network(), &query);
+    out.push(time_kernel("selection_rank", 5, 64, || {
+        let _ = ranker.select(&ctx);
+    }));
+
+    // Kernel 3: one end-to-end federated round (select + train + agg).
+    let policy = PolicyKind::query_driven(3);
+    out.push(time_kernel("fedlearn_round", 1, 8, || {
+        let _ = fed.run_query(&query, &policy);
+    }));
+
+    // Kernel 4: the Prometheus exporter over whatever the federation
+    // recorded above (text exposition is on the serve hot path).
+    let snap = qens::telemetry::global().snapshot();
+    out.push(time_kernel("prometheus_export", 5, 64, || {
+        let _ = qens::telemetry::export::to_prometheus(&snap);
+    }));
+
+    out
+}
+
+/// Serialises results in the stable `qens-bench-v1` schema.
+pub fn to_json(results: &[BenchResult]) -> String {
+    let mut s = String::from("{\"schema\":\"qens-bench-v1\",\"results\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"name\":\"{}\",\"nanos_per_iter\":{:.1},\"iters\":{}}}",
+            r.name, r.nanos_per_iter, r.iters
+        ));
+    }
+    s.push_str("]}\n");
+    s
+}
+
+/// Parses the `qens-bench-v1` schema back. Deliberately tiny — the
+/// format is machine-written with a fixed key order, so a scan for
+/// `"name":"…"` / `"nanos_per_iter":…` pairs is exact, not heuristic.
+pub fn from_json(doc: &str) -> Option<Vec<BenchResult>> {
+    if !doc.contains("\"schema\":\"qens-bench-v1\"") {
+        return None;
+    }
+    let mut results = Vec::new();
+    let mut rest = doc;
+    while let Some(start) = rest.find("{\"name\":\"") {
+        rest = &rest[start + "{\"name\":\"".len()..];
+        let name_end = rest.find('"')?;
+        let name = rest[..name_end].to_string();
+        let nanos_key = "\"nanos_per_iter\":";
+        let npos = rest.find(nanos_key)?;
+        let after = &rest[npos + nanos_key.len()..];
+        let num_end = after.find([',', '}'])?;
+        let nanos_per_iter: f64 = after[..num_end].trim().parse().ok()?;
+        let iters_key = "\"iters\":";
+        let ipos = rest.find(iters_key)?;
+        let after = &rest[ipos + iters_key.len()..];
+        let num_end = after.find(['}', ','])?;
+        let iters: usize = after[..num_end].trim().parse().ok()?;
+        results.push(BenchResult {
+            name,
+            nanos_per_iter,
+            iters,
+        });
+        rest = &rest[ipos..];
+    }
+    Some(results)
+}
+
+/// Compares fresh results against a baseline; returns warning lines
+/// (empty = all kernels within the band).
+pub fn compare(fresh: &[BenchResult], baseline: &[BenchResult]) -> Vec<String> {
+    let mut warnings = Vec::new();
+    for f in fresh {
+        let Some(b) = baseline.iter().find(|b| b.name == f.name) else {
+            warnings.push(format!(
+                "bench: kernel {:?} missing from baseline (new kernel? re-record the baseline)",
+                f.name
+            ));
+            continue;
+        };
+        if b.nanos_per_iter > 0.0 && f.nanos_per_iter > b.nanos_per_iter * TOLERANCE_BAND {
+            warnings.push(format!(
+                "bench: {} regressed {:.1}x ({:.0} ns/iter vs baseline {:.0} ns/iter, band {}x)",
+                f.name,
+                f.nanos_per_iter / b.nanos_per_iter,
+                f.nanos_per_iter,
+                b.nanos_per_iter,
+                TOLERANCE_BAND
+            ));
+        }
+    }
+    warnings
+}
+
+/// The `repro bench [--check]` entry point. Always writes
+/// `results/BENCH_qens.json`; with `check`, also warns (never fails)
+/// against the committed `BENCH_qens.json` at the repo root.
+pub fn run_bench(check: bool, baseline_path: Option<&Path>) {
+    let results = run_suite();
+    for r in &results {
+        println!(
+            "{:<24} {:>14.0} ns/iter  ({} iters)",
+            r.name, r.nanos_per_iter, r.iters
+        );
+    }
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_qens.json");
+    std::fs::write(&path, to_json(&results)).expect("write BENCH_qens.json");
+    println!("(bench results -> {})", path.display());
+
+    if check {
+        let baseline_path = baseline_path.unwrap_or(Path::new("BENCH_qens.json"));
+        match std::fs::read_to_string(baseline_path) {
+            Ok(doc) => match from_json(&doc) {
+                Some(baseline) => {
+                    let warnings = compare(&results, &baseline);
+                    if warnings.is_empty() {
+                        println!(
+                            "bench check OK: {} kernels within {}x of {}",
+                            results.len(),
+                            TOLERANCE_BAND,
+                            baseline_path.display()
+                        );
+                    } else {
+                        for w in &warnings {
+                            eprintln!("WARNING: {w}");
+                        }
+                        println!(
+                            "bench check: {} warning(s) against {} (warn-only, not failing)",
+                            warnings.len(),
+                            baseline_path.display()
+                        );
+                    }
+                }
+                None => eprintln!(
+                    "WARNING: bench: baseline {} is not qens-bench-v1; skipping compare",
+                    baseline_path.display()
+                ),
+            },
+            Err(e) => eprintln!(
+                "WARNING: bench: no baseline at {} ({e}); run `repro bench` and commit the file",
+                baseline_path.display()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(name: &str, nanos: f64) -> BenchResult {
+        BenchResult {
+            name: name.to_string(),
+            nanos_per_iter: nanos,
+            iters: 10,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let results = vec![r("kmeans_fit", 1234.5), r("fedlearn_round", 99.0)];
+        let doc = to_json(&results);
+        let parsed = from_json(&doc).expect("parse own output");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "kmeans_fit");
+        assert!((parsed[0].nanos_per_iter - 1234.5).abs() < 1e-9);
+        assert_eq!(parsed[1].iters, 10);
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_schemas() {
+        assert!(from_json("{\"schema\":\"other\"}").is_none());
+        assert!(from_json("not json at all").is_none());
+    }
+
+    #[test]
+    fn compare_warns_only_outside_the_band() {
+        let baseline = vec![r("a", 100.0), r("b", 100.0)];
+        let fresh = vec![r("a", 100.0 * TOLERANCE_BAND * 1.1), r("b", 120.0)];
+        let warnings = compare(&fresh, &baseline);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("\"a\"") || warnings[0].contains("a regressed"));
+    }
+
+    #[test]
+    fn compare_flags_kernels_missing_from_baseline() {
+        let warnings = compare(&[r("new_kernel", 1.0)], &[]);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("missing from baseline"));
+    }
+
+    #[test]
+    fn suite_runs_and_serialises() {
+        // Keep it cheap: just assert the suite produces the fixed kernel
+        // set and the serialised doc parses back.
+        let results = run_suite();
+        let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "kmeans_fit",
+                "selection_rank",
+                "fedlearn_round",
+                "prometheus_export"
+            ]
+        );
+        assert!(results.iter().all(|r| r.nanos_per_iter > 0.0));
+        let parsed = from_json(&to_json(&results)).expect("round trip");
+        assert_eq!(parsed.len(), results.len());
+    }
+}

@@ -1,0 +1,306 @@
+//! A live observability endpoint for a running federation leader.
+//!
+//! Hand-rolled HTTP/1.1 over [`std::net::TcpListener`] — the workspace
+//! must build with the crates-io registry unreachable, so there is no
+//! hyper/axum here, just enough of the protocol for scrapers:
+//!
+//! | path       | body                                                  |
+//! |------------|-------------------------------------------------------|
+//! | `/healthz` | `ok` (text/plain)                                     |
+//! | `/metrics` | Prometheus text exposition of the global registry     |
+//! | `/trace`   | Chrome trace-event JSON of the trace buffer           |
+//!
+//! `repro serve` binds the listener and serves forever; `repro serve
+//! --once` is the self-test mode `scripts/verify.sh` runs: it seeds a
+//! tiny faulty+traced workload, probes every endpoint over a plain
+//! [`std::net::TcpStream`], asserts the responses, and exits.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use qens::telemetry;
+
+/// Upper bound on accepted request head size (request line + headers).
+const MAX_REQUEST_BYTES: usize = 16 * 1024;
+
+/// What `serve` should bind and how long it should live.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// `host:port` to bind; port 0 asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Self-test mode: seed a workload, probe the endpoints once,
+    /// assert, exit.
+    pub once: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:9464".to_string(),
+            once: false,
+        }
+    }
+}
+
+/// One parsed request line: `GET /metrics HTTP/1.1` → `("GET", "/metrics")`.
+fn parse_request_head(stream: &mut TcpStream) -> std::io::Result<(String, String)> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.len() > MAX_REQUEST_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "request line too long",
+        ));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    // Drain the header block (we never need the headers themselves).
+    let mut drained = line.len();
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        drained += n;
+        if n == 0 || header == "\r\n" || header == "\n" || drained > MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    Ok((method, path))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Serves exactly one connection: parse, route, respond.
+fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    let (method, path) = parse_request_head(&mut stream)?;
+    if method != "GET" {
+        return write_response(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+    }
+    match path.split('?').next().unwrap_or("") {
+        "/healthz" => write_response(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
+        "/metrics" => {
+            let body = telemetry::export::to_prometheus(&telemetry::global().snapshot());
+            write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/trace" => {
+            let body = telemetry::trace::export_chrome(None);
+            write_response(&mut stream, "200 OK", "application/json", &body)
+        }
+        _ => write_response(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics, /healthz or /trace\n",
+        ),
+    }
+}
+
+/// A tiny faulty + traced workload so the endpoints have something to
+/// show: guarantees at least one `qens_fault_*` counter (retries /
+/// dropped participants) and `qens_trace_*` counters in `/metrics`, and
+/// a non-empty span tree in `/trace`.
+pub fn seed_observable_workload() {
+    use qens::prelude::*;
+    telemetry::trace::set_mode(Some(telemetry::trace::Clock::Wall));
+    telemetry::trace::clear();
+    let fed = FederationBuilder::new()
+        .heterogeneous_nodes(4, 60)
+        .clusters_per_node(3)
+        .seed(7)
+        .epochs(2)
+        .telemetry(true)
+        .faults(
+            FaultSpec::unreliable_edge(7)
+                .with_dropout(0.3)
+                .with_link_loss(0.6),
+        )
+        .fault_tolerance(FaultTolerance::full_strength())
+        .build();
+    for qid in 0..3u64 {
+        let q = fed.query_from_bounds(qid, &[0.0, 20.0, 0.0, 45.0]);
+        // Quorum loss under a hostile plan is acceptable here — every
+        // attempt still records metrics and trace events.
+        let _ = fed.run_query(&q, &PolicyKind::query_driven(2));
+    }
+}
+
+/// One self-probe: connect, send a minimal GET, return `(status, body)`.
+fn probe(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Runs the endpoint. Blocking; returns only in `--once` mode (or on a
+/// bind error).
+///
+/// # Panics
+/// In `--once` mode, panics if any endpoint misbehaves — that is the
+/// point (verify.sh treats the panic as a failed gate).
+pub fn serve(opts: &ServeOptions) -> std::io::Result<()> {
+    if opts.once {
+        return serve_once();
+    }
+    telemetry::set_enabled(true);
+    let listener = TcpListener::bind(&opts.addr)?;
+    println!(
+        "serving http://{} (/metrics, /healthz, /trace); Ctrl-C to stop",
+        listener.local_addr()?
+    );
+    for stream in listener.incoming() {
+        match stream {
+            Ok(s) => {
+                if let Err(e) = handle_connection(s) {
+                    eprintln!("connection error: {e}");
+                }
+            }
+            Err(e) => eprintln!("accept error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// The `--once` self-test: ephemeral port, three probes, hard asserts.
+fn serve_once() -> std::io::Result<()> {
+    seed_observable_workload();
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    const PROBES: usize = 4;
+    let server = std::thread::spawn(move || {
+        for _ in 0..PROBES {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if let Err(e) = handle_connection(stream) {
+                        eprintln!("connection error: {e}");
+                    }
+                }
+                Err(e) => eprintln!("accept error: {e}"),
+            }
+        }
+    });
+
+    let (health_status, health_body) = probe(&addr, "/healthz")?;
+    assert_eq!(health_status, 200, "/healthz must return 200");
+    assert!(health_body.contains("ok"), "/healthz body must say ok");
+
+    let (metrics_status, metrics_body) = probe(&addr, "/metrics")?;
+    assert_eq!(metrics_status, 200, "/metrics must return 200");
+    assert!(
+        metrics_body.lines().any(|l| l.starts_with("qens_")),
+        "/metrics must expose qens_* series"
+    );
+    assert!(
+        metrics_body.contains("qens_fault_"),
+        "/metrics must expose at least one qens_fault_* series"
+    );
+    assert!(
+        metrics_body.contains("qens_trace_"),
+        "/metrics must expose at least one qens_trace_* series"
+    );
+    assert!(
+        metrics_body.contains("# HELP") && metrics_body.contains("# TYPE"),
+        "/metrics must carry HELP/TYPE metadata"
+    );
+
+    let (trace_status, trace_body) = probe(&addr, "/trace")?;
+    assert_eq!(trace_status, 200, "/trace must return 200");
+    assert!(
+        trace_body.contains("\"traceEvents\"") && trace_body.contains("\"ph\":\"B\""),
+        "/trace must contain a non-empty Chrome trace"
+    );
+
+    let (missing_status, _) = probe(&addr, "/nope")?;
+    assert_eq!(missing_status, 404, "unknown paths must 404");
+
+    server.join().expect("server thread");
+    let series = metrics_body
+        .lines()
+        .filter(|l| l.starts_with("qens_"))
+        .count();
+    println!(
+        "serve --once OK: /healthz 200, /metrics 200 ({series} qens_* samples), /trace 200 ({} bytes)",
+        trace_body.len()
+    );
+    telemetry::trace::set_mode(None);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full `--once` loop is exercised by `scripts/verify.sh`; here
+    /// we pin the request-head parser and the response writer.
+    #[test]
+    fn http_round_trip_over_a_local_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            handle_connection(stream).unwrap();
+        });
+        let (status, body) = probe(&addr, "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_post_is_405() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                handle_connection(stream).unwrap();
+            }
+        });
+        let (status, _) = probe(&addr, "/definitely-not-here").unwrap();
+        assert_eq!(status, 404);
+        // POST by hand.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+        server.join().unwrap();
+    }
+}

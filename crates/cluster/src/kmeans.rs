@@ -96,6 +96,12 @@ impl KMeans {
         let _fit_span = telemetry::span!("qens_cluster_kmeans_fit_nanos");
         telemetry::counter!("qens_cluster_kmeans_fits_total").incr();
         let k = config.k.min(data.rows());
+        // Deterministic leader-side trace: the fit runs on the caller's
+        // thread and its iteration count is bit-identical for any pool.
+        let _trace_fit = telemetry::trace::span_args(
+            "cluster.kmeans",
+            &[("k", k as u64), ("rows", data.rows() as u64)],
+        );
         let mut rng = rng::rng_for(config.seed, 0xC1_15_7E_12);
 
         let mut centroids = match config.init {
@@ -109,13 +115,18 @@ impl KMeans {
 
         for it in 0..config.max_iters {
             iterations = it + 1;
+            let _iter_span =
+                telemetry::trace::span_args("cluster.kmeans.iter", &[("iter", it as u64)]);
             {
                 let _s = telemetry::span!("qens_cluster_kmeans_assign_nanos");
+                let _t = telemetry::trace::span("cluster.kmeans.assign");
                 assign(data, &centroids, &mut assignments, pool);
             }
             let update_span = telemetry::span!("qens_cluster_kmeans_update_nanos");
+            let trace_update = telemetry::trace::span("cluster.kmeans.update");
             let new_centroids =
                 recompute_centroids(data, &assignments, k, &centroids, &mut rng, pool);
+            trace_update.finish();
             update_span.finish();
             let movement: f64 = (0..k)
                 .map(|c| ops::squared_distance(centroids.row(c), new_centroids.row(c)))
@@ -127,6 +138,13 @@ impl KMeans {
             }
         }
         telemetry::counter!("qens_cluster_kmeans_iterations_total").add(iterations as u64);
+        telemetry::trace::instant(
+            "cluster.kmeans.done",
+            &[
+                ("iterations", iterations as u64),
+                ("converged", u64::from(converged)),
+            ],
+        );
         // Final assignment against the final centroids.
         assign(data, &centroids, &mut assignments, pool);
         let inertia = compute_inertia(data, &centroids, &assignments, pool);

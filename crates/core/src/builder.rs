@@ -48,6 +48,7 @@ pub struct FederationBuilder {
     rounds: usize,
     stage_order: StageOrder,
     telemetry: Option<bool>,
+    trace: Option<Option<telemetry::trace::Clock>>,
     threads: Option<usize>,
     faults: Option<FaultSpec>,
     tolerance: FaultTolerance,
@@ -80,6 +81,7 @@ impl FederationBuilder {
             rounds: 1,
             stage_order: StageOrder::Sequential,
             telemetry: None,
+            trace: None,
             threads: None,
             faults: None,
             tolerance: FaultTolerance::default(),
@@ -253,6 +255,17 @@ impl FederationBuilder {
         self
     }
 
+    /// Turns structured query tracing on (with the given clock) or off
+    /// when the federation is built, overriding `QENS_TRACE`. Pass
+    /// `Some(Clock::Logical)` for the deterministic tick clock (traces
+    /// byte-identical across thread counts) or `Some(Clock::Wall)` for
+    /// profiler-style nanosecond timestamps. Export the buffer with
+    /// [`telemetry::trace::export_chrome`] / `write_chrome`.
+    pub fn trace(mut self, clock: Option<telemetry::trace::Clock>) -> Self {
+        self.trace = Some(clock);
+        self
+    }
+
     /// Pins the training thread pool to exactly `n` workers (backed by a
     /// process-wide cached pool, [`par::sized`]; threads are created once
     /// per process, not per query). When never called, the federation
@@ -269,6 +282,9 @@ impl FederationBuilder {
     pub fn build(self) -> Federation {
         if let Some(on) = self.telemetry {
             telemetry::set_enabled(on);
+        }
+        if let Some(clock) = self.trace {
+            telemetry::trace::set_mode(clock);
         }
         let datasets: Vec<(String, mlkit::DenseDataset)> = match self.source {
             NodeSource::AirQuality {

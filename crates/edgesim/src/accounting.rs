@@ -61,6 +61,17 @@ impl QueryAccounting {
     /// accounting rows — `tests/telemetry_pipeline.rs` asserts exactly
     /// that. No-op while telemetry is disabled.
     pub fn commit_telemetry(&self) {
+        // One deterministic point event per committed ledger — the
+        // leader commits serially, so this records on the logical clock.
+        telemetry::trace::instant(
+            "edgesim.accounting",
+            &[
+                ("nodes", self.nodes_selected as u64),
+                ("samples", self.samples_used as u64),
+                ("bytes", self.bytes_transferred as u64),
+                ("retries", self.retries as u64),
+            ],
+        );
         telemetry::counter!("qens_edgesim_queries_total").incr();
         telemetry::counter!("qens_edgesim_nodes_selected_total").add(self.nodes_selected as u64);
         telemetry::counter!("qens_edgesim_samples_used_total").add(self.samples_used as u64);

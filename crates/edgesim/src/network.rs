@@ -99,6 +99,10 @@ impl EdgeNetwork {
     /// "to avoid biases"). Each node derives its own k-means seed.
     pub fn quantize_all(&mut self, k: usize, seed: u64) {
         let _span = telemetry::span!("qens_edgesim_quantize_all_nanos");
+        let _trace = telemetry::trace::span_args(
+            "edgesim.quantize_all",
+            &[("k", k as u64), ("nodes", self.nodes.len() as u64)],
+        );
         for node in &mut self.nodes {
             node.quantize(k, lrng::derive_seed(seed, node.id().0 as u64));
         }

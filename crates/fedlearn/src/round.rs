@@ -285,11 +285,22 @@ pub fn run_query(
         }
     }
     // Per-query attribution: every metric recorded until the scope drops
-    // is credited to this query id in the registry's query ring.
+    // is credited to this query id in the registry's query ring, and every
+    // trace event is stamped with the query id (the root of the tree).
     let _query_scope = telemetry::QueryScope::begin(query.id());
     let _run_span = telemetry::span!("qens_fedlearn_run_query_nanos");
+    let _trace_query = telemetry::trace::query_span(query.id());
     let ctx = SelectionContext::new(network, query);
+    let select_span = telemetry::trace::span("fedlearn.select");
     let selection = policy.select(&ctx);
+    select_span.finish();
+    telemetry::trace::instant(
+        "fedlearn.selected",
+        &[
+            ("participants", selection.participants.len() as u64),
+            ("standby", selection.standby.len() as u64),
+        ],
+    );
     if selection.is_empty() {
         return Err(FederationError::NoParticipants {
             query_id: query.id(),
@@ -386,6 +397,7 @@ pub fn run_query(
 
     let mut global = None;
     for round in 0..config.rounds {
+        let _round_span = telemetry::trace::span_args("fedlearn.round", &[("round", round as u64)]);
         let broadcast = &initial;
         let train_one = |index: usize, member: &CohortMember| -> LocalResult {
             let node = network.node(member.participant.node);
@@ -404,6 +416,16 @@ pub fn run_query(
             telemetry::counter!("qens_fedlearn_stages_total").add(member.stages.len() as u64);
             telemetry::counter!("qens_fedlearn_samples_used_total").add(samples_used as u64);
             let train_span = telemetry::span!("qens_fedlearn_train_nanos");
+            // Worker-side span: wall mode only (participants may train on
+            // pool threads, so the event order is scheduling-dependent).
+            let _trace_train = telemetry::trace::wall_span_args(
+                "fedlearn.train",
+                &[
+                    ("node", node.id().0 as u64),
+                    ("round", round as u64),
+                    ("samples", samples_used as u64),
+                ],
+            );
             let start = Instant::now();
             let report = match config.stage_order {
                 StageOrder::Sequential => {
@@ -456,6 +478,10 @@ pub fn run_query(
                             node: node_idx,
                             round,
                         });
+                        telemetry::trace::instant(
+                            "fault.crash",
+                            &[("node", node_idx as u64), ("round", round as u64)],
+                        );
                         accounting.dropped_participants += 1;
                         crashed_indices.push(ci);
                     }
@@ -464,6 +490,10 @@ pub fn run_query(
                             node: node_idx,
                             round,
                         });
+                        telemetry::trace::instant(
+                            "fault.dropout",
+                            &[("node", node_idx as u64), ("round", round as u64)],
+                        );
                         accounting.dropped_participants += 1;
                     }
                     ParticipantFate::Participates { slowdown } => {
@@ -473,6 +503,14 @@ pub fn run_query(
                                 round,
                                 slowdown,
                             });
+                            telemetry::trace::instant(
+                                "fault.straggler",
+                                &[
+                                    ("node", node_idx as u64),
+                                    ("round", round as u64),
+                                    ("slowdown_milli", (slowdown * 1000.0) as u64),
+                                ],
+                            );
                         }
                         attempters.push(ci);
                         slowdowns.push(slowdown);
@@ -526,6 +564,14 @@ pub fn run_query(
                                 round,
                                 attempt,
                             });
+                            telemetry::trace::instant(
+                                "fault.link_loss",
+                                &[
+                                    ("node", node_idx as u64),
+                                    ("round", round as u64),
+                                    ("attempt", attempt as u64),
+                                ],
+                            );
                             failed += 1;
                         } else {
                             delivered = true;
@@ -546,11 +592,24 @@ pub fn run_query(
                         round,
                         attempts: failed,
                     });
+                    telemetry::trace::instant(
+                        "fault.transfer_failed",
+                        &[
+                            ("node", node_idx as u64),
+                            ("round", round as u64),
+                            ("attempts", failed as u64),
+                        ],
+                    );
                     accounting.dropped_participants += 1;
                     per_node_seconds.push(
                         train_sim + node.link().transfer_seconds(model_bytes) + retry_penalty,
                     );
-                    round_bytes += (1 + failed) * model_bytes;
+                    let bytes = (1 + failed) * model_bytes;
+                    round_bytes += bytes;
+                    telemetry::trace::instant(
+                        "edgesim.transfer",
+                        &[("node", node_idx as u64), ("bytes", bytes as u64)],
+                    );
                     continue;
                 }
                 if failed > 0 {
@@ -559,6 +618,14 @@ pub fn run_query(
                         round,
                         retries: failed,
                     });
+                    telemetry::trace::instant(
+                        "fault.retry_success",
+                        &[
+                            ("node", node_idx as u64),
+                            ("round", round as u64),
+                            ("retries", failed as u64),
+                        ],
+                    );
                 }
                 // Fault-free identity: slowdown is 1.0 and the penalty
                 // 0.0 here, so `finish` reduces bit-exactly to the
@@ -575,15 +642,29 @@ pub fn run_query(
                             deadline_seconds: deadline,
                             finish_seconds: finish,
                         });
+                        telemetry::trace::instant(
+                            "fault.deadline_miss",
+                            &[("node", node_idx as u64), ("round", round as u64)],
+                        );
                         accounting.deadline_misses += 1;
                         accounting.dropped_participants += 1;
                         per_node_seconds.push(deadline);
-                        round_bytes += (2 + failed) * model_bytes;
+                        let bytes = (2 + failed) * model_bytes;
+                        round_bytes += bytes;
+                        telemetry::trace::instant(
+                            "edgesim.transfer",
+                            &[("node", node_idx as u64), ("bytes", bytes as u64)],
+                        );
                         continue;
                     }
                 }
                 per_node_seconds.push(finish);
-                round_bytes += (2 + failed) * model_bytes;
+                let bytes = (2 + failed) * model_bytes;
+                round_bytes += bytes;
+                telemetry::trace::instant(
+                    "edgesim.transfer",
+                    &[("node", node_idx as u64), ("bytes", bytes as u64)],
+                );
                 survivors.push(Survivor {
                     ranking: member.participant.ranking,
                     samples_used: r.samples_used,
@@ -609,6 +690,10 @@ pub fn run_query(
                         standby: p.node.0,
                         round,
                     });
+                    telemetry::trace::instant(
+                        "fault.replacement",
+                        &[("standby", p.node.0 as u64), ("round", round as u64)],
+                    );
                     accounting.replacements += 1;
                     cohort.push(member);
                     promoted.push(cohort.len() - 1);
@@ -620,6 +705,14 @@ pub fn run_query(
                     survivors: survivors.len(),
                     required,
                 });
+                telemetry::trace::instant(
+                    "fault.quorum_lost",
+                    &[
+                        ("round", round as u64),
+                        ("survivors", survivors.len() as u64),
+                        ("required", required as u64),
+                    ],
+                );
                 return Err(FederationError::QuorumLost {
                     query_id: query.id(),
                     round,
@@ -635,7 +728,12 @@ pub fn run_query(
         let samples: Vec<usize> = survivors.iter().map(|s| s.samples_used).collect();
         let models: Vec<Model> = survivors.into_iter().map(|s| s.model).collect();
         let agg_span = telemetry::span!("qens_fedlearn_aggregate_nanos");
+        let trace_agg = telemetry::trace::span_args(
+            "fedlearn.aggregate",
+            &[("survivors", models.len() as u64), ("round", round as u64)],
+        );
         let aggregated = GlobalModel::aggregate(config.aggregation, models, &lambdas, &samples);
+        trace_agg.finish();
         agg_span.finish();
         telemetry::counter!("qens_fedlearn_rounds_total").incr();
         telemetry::counter!("qens_fedlearn_model_bytes_total").add(round_bytes as u64);

@@ -154,14 +154,32 @@ impl ThreadPool {
         }
         telemetry::counter!("qens_par_tasks_total").add(tasks.len() as u64);
 
+        // Dispatch tracing (queue wait vs execute) is wall-mode only:
+        // completion order is scheduling-dependent by design, so the
+        // logical clock must never see it. The flag is one relaxed load;
+        // while tracing is off no clock is read and nothing is recorded.
+        let trace_dispatch = telemetry::trace::mode() == Some(telemetry::trace::Clock::Wall);
         let scope = Arc::new(ScopeState::new(tasks.len()));
         {
             let mut state = lock(&self.shared.state);
             for task in tasks {
                 let scope = Arc::clone(&scope);
+                let enqueued_at = trace_dispatch.then(std::time::Instant::now);
                 let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
-                    if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-                        scope.record_panic(payload);
+                    {
+                        // Queue wait = enqueue → first instruction of the
+                        // job on whichever thread picked it up; the span
+                        // then times the task body. The scope block ends
+                        // the span *before* `finish_task` can unblock the
+                        // caller (which may immediately export the trace).
+                        let _task_span = enqueued_at.map(|t| {
+                            let wait = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            telemetry::histogram!("qens_par_queue_wait_nanos").record(wait);
+                            telemetry::trace::wall_span_args("par.task", &[("queue_nanos", wait)])
+                        });
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                            scope.record_panic(payload);
+                        }
                     }
                     scope.finish_task();
                 });

@@ -90,6 +90,12 @@ impl QueryDriven {
             "node {} has no cluster summaries; call EdgeNetwork::quantize_all first",
             node.id()
         );
+        // Scoring may run on pool workers, so the per-node span is
+        // wall-mode only (inert on the logical clock).
+        let _trace_score = telemetry::trace::wall_span_args(
+            "selection.score_node",
+            &[("node", node.id().0 as u64)],
+        );
         let summaries = node.summaries();
         let k_total = summaries.len();
         let mut supporting: Vec<SupportingCluster> = summaries
@@ -135,6 +141,11 @@ impl QueryDriven {
     pub fn select_with_pool(&self, ctx: &SelectionContext<'_>, pool: &ThreadPool) -> Selection {
         let _span = telemetry::span!("qens_selection_select_nanos");
         let nodes = ctx.network.nodes();
+        // Leader-side deterministic trace: the ranked list is
+        // bit-identical for any pool, so this span (and the `ranked`
+        // instant below) may record on the logical clock.
+        let _trace_span =
+            telemetry::trace::span_args("selection.select", &[("nodes", nodes.len() as u64)]);
         // Indexed map over the nodes; order restored (by construction)
         // before the ranking sort below.
         let scored_by_node: Vec<Option<Participant>> =
@@ -177,6 +188,13 @@ impl QueryDriven {
         for p in &participants {
             rank_hist.record((p.ranking * 1e6) as u64);
         }
+        telemetry::trace::instant(
+            "selection.ranked",
+            &[
+                ("participants", participants.len() as u64),
+                ("standby", standby.len() as u64),
+            ],
+        );
         Selection {
             participants,
             standby,

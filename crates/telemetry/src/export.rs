@@ -13,7 +13,8 @@ use crate::registry::{QuerySnapshot, Snapshot};
 ///   "gauges": {"qens_y": 1.5},
 ///   "histograms": [
 ///     {"name": "qens_z_nanos", "count": 9, "sum": 90, "min": 1,
-///      "max": 30, "mean": 10.0, "p50": ..., "p90": ..., "p99": ...,
+///      "max": 30, "mean": 10.0, "p50": ..., "p90": ..., "p95": ...,
+///      "p99": ...,
 ///      "buckets": [{"lo": 0, "hi": 0, "count": 1}, ...]}
 ///   ],
 ///   "queries": [{"query_id": 7, "counters": {...}, ...}]
@@ -106,6 +107,9 @@ fn write_histogram(out: &mut String, h: &HistogramSnapshot) {
     write_key(out, "p90");
     write_f64(out, h.p90());
     out.push(',');
+    write_key(out, "p95");
+    write_f64(out, h.p95());
+    out.push(',');
     write_key(out, "p99");
     write_f64(out, h.p99());
     out.push(',');
@@ -135,27 +139,83 @@ fn write_histogram(out: &mut String, h: &HistogramSnapshot) {
     out.push('}');
 }
 
+/// A deterministic one-line `# HELP` description for a metric name.
+///
+/// Well-known workspace prefixes get a specific description; everything
+/// else falls back to a generic line derived from the unit suffix, so
+/// every exposed series always carries HELP metadata (required by the
+/// exposition-format conformance test).
+pub fn help_text(name: &str) -> &'static str {
+    // Specific, stable descriptions for the workspace's metric families.
+    match name {
+        "qens_trace_events_total" => return "Trace events recorded across all queries.",
+        "qens_trace_spans_total" => return "Trace spans opened across all queries.",
+        "qens_trace_dropped_total" => {
+            return "Trace events dropped after the buffer cap was reached."
+        }
+        _ => {}
+    }
+    let family = [
+        ("qens_cluster_", "k-means clustering stage metric."),
+        ("qens_selection_", "query-driven node selection metric."),
+        ("qens_fed_", "federated round engine metric."),
+        ("qens_fault_", "injected-fault handling metric."),
+        ("qens_edgesim_", "edge network simulation metric."),
+        ("qens_par_", "deterministic thread-pool metric."),
+        ("qens_trace_", "structured tracing metric."),
+        ("qens_mlkit_", "local training kernel metric."),
+    ]
+    .iter()
+    .find(|(p, _)| name.starts_with(p))
+    .map(|(_, h)| *h);
+    if let Some(h) = family {
+        return h;
+    }
+    // Generic fallback keyed on the unit suffix.
+    if name.ends_with("_total") {
+        "Monotonic event counter."
+    } else if name.ends_with("_nanos") {
+        "Latency distribution in nanoseconds."
+    } else if name.ends_with("_micros") {
+        "Latency distribution in microseconds."
+    } else if name.ends_with("_bytes") {
+        "Size distribution in bytes."
+    } else {
+        "Workspace metric."
+    }
+}
+
+fn push_help_and_type(out: &mut String, name: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help_text(name));
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
 /// Renders a snapshot in the Prometheus text exposition format
-/// (version 0.0.4): `# TYPE` lines, cumulative `le` buckets with a
-/// final `+Inf`, and `_sum` / `_count` series per histogram.
+/// (version 0.0.4): `# HELP` + `# TYPE` lines per series, cumulative
+/// `le` buckets with a final `+Inf`, and `_sum` / `_count` series per
+/// histogram.
 ///
 /// Histogram metric names keep their unit suffix (`..._nanos_bucket`);
 /// consumers that want seconds can divide at query time.
 pub fn to_prometheus(snapshot: &Snapshot) -> String {
     let mut out = String::with_capacity(4096);
     for (name, v) in &snapshot.counters {
-        out.push_str("# TYPE ");
-        out.push_str(name);
-        out.push_str(" counter\n");
+        push_help_and_type(&mut out, name, "counter");
         out.push_str(name);
         out.push(' ');
         out.push_str(&v.to_string());
         out.push('\n');
     }
     for (name, v) in &snapshot.gauges {
-        out.push_str("# TYPE ");
-        out.push_str(name);
-        out.push_str(" gauge\n");
+        push_help_and_type(&mut out, name, "gauge");
         out.push_str(name);
         out.push(' ');
         if v.is_finite() {
@@ -170,9 +230,7 @@ pub fn to_prometheus(snapshot: &Snapshot) -> String {
         out.push('\n');
     }
     for h in &snapshot.histograms {
-        out.push_str("# TYPE ");
-        out.push_str(&h.name);
-        out.push_str(" histogram\n");
+        push_help_and_type(&mut out, &h.name, "histogram");
         let mut cumulative = 0u64;
         for b in &h.buckets {
             if b.count == 0 {
@@ -228,6 +286,7 @@ mod tests {
         assert!(doc.contains(r#""qens_test_export_ratio":0.25"#));
         assert!(doc.contains(r#""name":"qens_test_export_nanos""#));
         assert!(doc.contains(r#""count":2"#));
+        assert!(doc.contains(r#""p95":"#));
         assert!(doc.contains(r#""queries":[]"#));
     }
 
@@ -264,5 +323,86 @@ mod tests {
             lines.len() >= 2,
             "expected at least two bucket lines: {lines:?}"
         );
+    }
+
+    /// Exposition-format conformance: every exposed series is preceded
+    /// by matching `# HELP` and `# TYPE` lines, histogram buckets are
+    /// cumulative (non-decreasing) and end in `+Inf` with a count equal
+    /// to `_count`.
+    #[test]
+    fn prometheus_exposition_is_conformant() {
+        let _g = crate::test_lock();
+        let r = sample_registry();
+        let text = to_prometheus(&r.snapshot());
+
+        // Collect the base name of every sample line (strip labels and
+        // histogram sub-series suffixes) and check HELP/TYPE presence.
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let sample = line.split_whitespace().next().unwrap();
+            let base = sample.split('{').next().unwrap();
+            let base = base
+                .strip_suffix("_bucket")
+                .or_else(|| base.strip_suffix("_sum"))
+                .or_else(|| base.strip_suffix("_count"))
+                .unwrap_or(base);
+            assert!(
+                text.contains(&format!("# HELP {base} ")),
+                "series {sample} missing # HELP {base}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {base} ")),
+                "series {sample} missing # TYPE {base}"
+            );
+        }
+
+        // HELP must precede TYPE which must precede the first sample.
+        let help_at = text.find("# HELP qens_test_export_nanos ").unwrap();
+        let type_at = text.find("# TYPE qens_test_export_nanos ").unwrap();
+        let sample_at = text.find("qens_test_export_nanos_bucket").unwrap();
+        assert!(help_at < type_at && type_at < sample_at);
+
+        // Histogram buckets are cumulative and terminate in +Inf == _count.
+        let bucket_counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("qens_test_export_nanos_bucket"))
+            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        assert!(
+            bucket_counts.windows(2).all(|w| w[0] <= w[1]),
+            "buckets must be cumulative: {bucket_counts:?}"
+        );
+        let inf_line = text
+            .lines()
+            .find(|l| l.contains("_bucket{le=\"+Inf\"}"))
+            .expect("+Inf bucket present");
+        let inf_count: u64 = inf_line.split_whitespace().last().unwrap().parse().unwrap();
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with("qens_test_export_nanos_count"))
+            .unwrap();
+        let total: u64 = count_line
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(inf_count, total);
+    }
+
+    #[test]
+    fn help_text_is_deterministic_and_specific() {
+        assert_eq!(
+            help_text("qens_trace_events_total"),
+            "Trace events recorded across all queries."
+        );
+        assert_eq!(
+            help_text("qens_fault_retries_total"),
+            "injected-fault handling metric."
+        );
+        assert_eq!(help_text("qens_unknown_nanos"), help_text("x_nanos"));
+        assert_eq!(help_text("weird"), "Workspace metric.");
     }
 }

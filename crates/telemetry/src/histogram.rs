@@ -209,6 +209,11 @@ impl HistogramSnapshot {
         self.percentile(90.0)
     }
 
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
     /// 99th percentile.
     pub fn p99(&self) -> f64 {
         self.percentile(99.0)
@@ -341,6 +346,11 @@ mod tests {
         // ([512,1023] or [256,511] depending on rounding — within 2x).
         assert!((250.0..=1023.0).contains(&s.p50()), "p50 {}", s.p50());
         assert_eq!(s.percentile(0.0), s.percentile(0.1));
+        // The named quantile helpers sit in order: p50 <= p90 <= p95 <= p99.
+        assert!(s.p50() <= s.p90());
+        assert!(s.p90() <= s.p95());
+        assert!(s.p95() <= s.p99());
+        assert!(s.p95() <= s.max as f64);
     }
 
     #[test]

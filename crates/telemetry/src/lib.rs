@@ -51,6 +51,7 @@ pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use histogram::{BucketCount, Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};

@@ -15,9 +15,16 @@
 #      pipeline end to end and asserts a non-empty telemetry snapshot
 #      spanning cluster/selection/mlkit/fedlearn/edgesim — and, under a
 #      nonzero-dropout fault plan, writes results/fault_trace.json,
-#   7. fault seed-stability: the smoke run is repeated under
-#      QENS_THREADS=1 and QENS_THREADS=2 and the two fault traces must
-#      be byte-identical (the faults crate's determinism contract).
+#   7. fault + trace seed-stability: the smoke run is repeated under
+#      QENS_THREADS=1 and QENS_THREADS=2 and both the fault trace and
+#      the logical-clock Chrome trace must be byte-identical (the
+#      faults and telemetry::trace determinism contracts),
+#   8. the live-observability self-test (`repro serve --once`): binds an
+#      ephemeral port, probes /healthz, /metrics and /trace over a plain
+#      TcpStream, and asserts non-empty qens_* metric families,
+#   9. the perf harness (`repro bench --check`): records kernel timings
+#      to results/BENCH_qens.json and *warns* (never fails) when a
+#      kernel is slower than the committed BENCH_qens.json baseline.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -41,13 +48,22 @@ cargo fmt --check
 echo "==> repro --smoke (pipeline + telemetry + fault-engine health)"
 cargo run -q -p bench --bin repro --release --offline -- --smoke
 
-echo "==> fault seed-stability (byte-identical trace at QENS_THREADS=1 vs 2)"
+echo "==> fault + trace seed-stability (byte-identical at QENS_THREADS=1 vs 2)"
 QENS_THREADS=1 cargo run -q -p bench --bin repro --release --offline -- --smoke
 cp results/fault_trace.json results/fault_trace.t1.json
+cp results/trace.json results/trace.t1.json
 QENS_THREADS=2 cargo run -q -p bench --bin repro --release --offline -- --smoke
 cmp results/fault_trace.json results/fault_trace.t1.json \
   || { echo "FAIL: fault trace differs between QENS_THREADS=1 and 2"; exit 1; }
-rm -f results/fault_trace.t1.json
-echo "fault trace is thread-count stable"
+cmp results/trace.json results/trace.t1.json \
+  || { echo "FAIL: logical Chrome trace differs between QENS_THREADS=1 and 2"; exit 1; }
+rm -f results/fault_trace.t1.json results/trace.t1.json
+echo "fault + Chrome traces are thread-count stable"
+
+echo "==> repro serve --once (live /metrics endpoint self-test)"
+cargo run -q -p bench --bin repro --release --offline -- serve --once
+
+echo "==> repro bench --check (perf harness, warn-only baseline compare)"
+cargo run -q -p bench --bin repro --release --offline -- bench --check
 
 echo "verify OK"
