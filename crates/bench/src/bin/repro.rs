@@ -7,6 +7,7 @@
 //! cargo run --release -p bench --bin repro -- --smoke # tiny end-to-end check
 //! cargo run --release -p bench --bin repro -- serve   # live /metrics endpoint
 //! cargo run --release -p bench --bin repro -- bench --check  # perf harness
+//! cargo run --release -p bench --bin repro -- profile # flamegraph + SLO report
 //! ```
 //!
 //! Printed rows state the measured values next to the paper's; CSV series
@@ -342,7 +343,40 @@ fn main() {
     if args.first().map(String::as_str) == Some("bench") {
         let check = args.iter().any(|a| a == "--check");
         telemetry::set_enabled(true);
-        bench::perf::run_bench(check, None);
+        if !bench::perf::run_bench(check, None) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        let mut opts = bench::profile::ProfileOptions::default();
+        let mut it = args.iter().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--queries" => {
+                    opts.queries = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("profile: --queries needs a positive integer");
+                        std::process::exit(2);
+                    });
+                }
+                "--out" => {
+                    opts.out_dir = it.next().map(PathBuf::from).unwrap_or_else(|| {
+                        eprintln!("profile: --out needs a directory path");
+                        std::process::exit(2);
+                    });
+                }
+                other => {
+                    eprintln!(
+                        "profile: unknown flag {other:?}; expected [--queries N] [--out dir]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        if let Err(e) = bench::profile::run_profile(&opts) {
+            eprintln!("profile: {e}");
+            std::process::exit(1);
+        }
         return;
     }
     let scale = if args.iter().any(|a| a == "--paper") {
@@ -389,7 +423,7 @@ fn main() {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
                  table1|table2|table3|fig1|fig2|fig5|fig6|fig7|fig8|fig9|faults|extended|all \
-                 [--paper | --smoke]"
+                 [--paper | --smoke], or a tool subcommand: serve|bench|profile"
             );
             std::process::exit(2);
         }

@@ -14,6 +14,7 @@ use qens::prelude::*;
 pub mod figures;
 pub mod harness;
 pub mod perf;
+pub mod profile;
 pub mod report;
 pub mod serve;
 pub mod tables;

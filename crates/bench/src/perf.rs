@@ -13,10 +13,14 @@
 //! `repro bench --check` additionally compares the fresh run against the
 //! committed baseline at the repository root (`BENCH_qens.json`) and
 //! prints a warning for every kernel slower than the tolerance band.
-//! The gate is **warn-only** by design: CI boxes and laptops disagree
-//! wildly on absolute nanoseconds, so a hard gate would only teach
-//! people to bump the baseline. The warnings make regressions visible
-//! in `scripts/verify.sh` output without ever failing the build.
+//! The gate is **warn-only** by default: CI boxes and laptops disagree
+//! wildly on absolute nanoseconds, so a tight hard gate would only
+//! teach people to bump the baseline. Setting `QENS_BENCH_GATE=<factor>`
+//! (e.g. `20`) promotes it to a hard gate at that slowdown factor —
+//! generous enough to absorb machine noise, tight enough that an
+//! accidental O(n²) shows up as a failed `scripts/verify.sh` instead of
+//! a scrolled-past warning. Kernels missing from the baseline stay
+//! warn-only even under the gate (a new kernel is not a regression).
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -25,6 +29,27 @@ use qens::prelude::*;
 
 /// Slowdown factor past which `--check` warns (fresh > baseline × band).
 pub const TOLERANCE_BAND: f64 = 3.0;
+
+/// Reads the optional hard-gate factor from `QENS_BENCH_GATE`. `None`
+/// (unset, empty, unparsable or non-positive) keeps the default
+/// warn-only behaviour.
+pub fn gate_from_env() -> Option<f64> {
+    std::env::var("QENS_BENCH_GATE")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|g| g.is_finite() && *g > 0.0)
+}
+
+/// The outcome of one baseline comparison, split by severity: `missing`
+/// is informational (new kernels), `regressions` carries
+/// `(kernel, slowdown_factor, message)` rows the gate can act on.
+#[derive(Debug, Default)]
+pub struct BenchComparison {
+    /// Kernels slower than the baseline by more than the band.
+    pub regressions: Vec<(String, f64, String)>,
+    /// Kernels present in the fresh run but absent from the baseline.
+    pub missing: Vec<String>,
+}
 
 /// One timed kernel.
 #[derive(Debug, Clone, PartialEq)]
@@ -159,36 +184,60 @@ pub fn from_json(doc: &str) -> Option<Vec<BenchResult>> {
     Some(results)
 }
 
-/// Compares fresh results against a baseline; returns warning lines
-/// (empty = all kernels within the band).
-pub fn compare(fresh: &[BenchResult], baseline: &[BenchResult]) -> Vec<String> {
-    let mut warnings = Vec::new();
+/// Compares fresh results against a baseline at an explicit tolerance
+/// band, splitting regressions from baseline-coverage gaps so the
+/// caller can gate on the former only.
+pub fn compare_with_band(
+    fresh: &[BenchResult],
+    baseline: &[BenchResult],
+    band: f64,
+) -> BenchComparison {
+    let mut cmp = BenchComparison::default();
     for f in fresh {
         let Some(b) = baseline.iter().find(|b| b.name == f.name) else {
-            warnings.push(format!(
-                "bench: kernel {:?} missing from baseline (new kernel? re-record the baseline)",
-                f.name
-            ));
+            cmp.missing.push(f.name.clone());
             continue;
         };
-        if b.nanos_per_iter > 0.0 && f.nanos_per_iter > b.nanos_per_iter * TOLERANCE_BAND {
-            warnings.push(format!(
-                "bench: {} regressed {:.1}x ({:.0} ns/iter vs baseline {:.0} ns/iter, band {}x)",
-                f.name,
-                f.nanos_per_iter / b.nanos_per_iter,
-                f.nanos_per_iter,
-                b.nanos_per_iter,
-                TOLERANCE_BAND
+        if b.nanos_per_iter > 0.0 && f.nanos_per_iter > b.nanos_per_iter * band {
+            let factor = f.nanos_per_iter / b.nanos_per_iter;
+            cmp.regressions.push((
+                f.name.clone(),
+                factor,
+                format!(
+                    "bench: {} regressed {factor:.1}x ({:.0} ns/iter vs baseline {:.0} ns/iter, band {band}x)",
+                    f.name, f.nanos_per_iter, b.nanos_per_iter,
+                ),
             ));
         }
     }
+    cmp
+}
+
+/// Compares fresh results against a baseline; returns warning lines
+/// (empty = all kernels within the default band). Legacy flat view of
+/// [`compare_with_band`].
+pub fn compare(fresh: &[BenchResult], baseline: &[BenchResult]) -> Vec<String> {
+    let cmp = compare_with_band(fresh, baseline, TOLERANCE_BAND);
+    let mut warnings: Vec<String> = cmp
+        .missing
+        .iter()
+        .map(|name| {
+            format!(
+                "bench: kernel {name:?} missing from baseline (new kernel? re-record the baseline)"
+            )
+        })
+        .collect();
+    warnings.extend(cmp.regressions.into_iter().map(|(_, _, msg)| msg));
     warnings
 }
 
 /// The `repro bench [--check]` entry point. Always writes
-/// `results/BENCH_qens.json`; with `check`, also warns (never fails)
-/// against the committed `BENCH_qens.json` at the repo root.
-pub fn run_bench(check: bool, baseline_path: Option<&Path>) {
+/// `results/BENCH_qens.json`; with `check`, also compares against the
+/// committed `BENCH_qens.json` at the repo root. Returns `false` only
+/// when `QENS_BENCH_GATE` is set and a kernel regressed past that
+/// factor — everything else (no baseline, new kernels, regressions
+/// within the gate) stays warn-only and returns `true`.
+pub fn run_bench(check: bool, baseline_path: Option<&Path>) -> bool {
     let results = run_suite();
     for r in &results {
         println!(
@@ -202,41 +251,75 @@ pub fn run_bench(check: bool, baseline_path: Option<&Path>) {
     std::fs::write(&path, to_json(&results)).expect("write BENCH_qens.json");
     println!("(bench results -> {})", path.display());
 
-    if check {
-        let baseline_path = baseline_path.unwrap_or(Path::new("BENCH_qens.json"));
-        match std::fs::read_to_string(baseline_path) {
-            Ok(doc) => match from_json(&doc) {
-                Some(baseline) => {
-                    let warnings = compare(&results, &baseline);
-                    if warnings.is_empty() {
-                        println!(
-                            "bench check OK: {} kernels within {}x of {}",
-                            results.len(),
-                            TOLERANCE_BAND,
-                            baseline_path.display()
-                        );
-                    } else {
-                        for w in &warnings {
-                            eprintln!("WARNING: {w}");
-                        }
-                        println!(
-                            "bench check: {} warning(s) against {} (warn-only, not failing)",
-                            warnings.len(),
-                            baseline_path.display()
-                        );
-                    }
-                }
-                None => eprintln!(
+    if !check {
+        return true;
+    }
+    let gate = gate_from_env();
+    let baseline_path = baseline_path.unwrap_or(Path::new("BENCH_qens.json"));
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(doc) => match from_json(&doc) {
+            Some(baseline) => baseline,
+            None => {
+                eprintln!(
                     "WARNING: bench: baseline {} is not qens-bench-v1; skipping compare",
                     baseline_path.display()
-                ),
-            },
-            Err(e) => eprintln!(
+                );
+                return true;
+            }
+        },
+        Err(e) => {
+            eprintln!(
                 "WARNING: bench: no baseline at {} ({e}); run `repro bench` and commit the file",
                 baseline_path.display()
-            ),
+            );
+            return true;
         }
+    };
+    let cmp = compare_with_band(&results, &baseline, TOLERANCE_BAND);
+    for name in &cmp.missing {
+        eprintln!(
+            "WARNING: bench: kernel {name:?} missing from baseline \
+             (new kernel? re-record the baseline)"
+        );
     }
+    if cmp.regressions.is_empty() {
+        println!(
+            "bench check OK: {} kernels within {}x of {}",
+            results.len(),
+            TOLERANCE_BAND,
+            baseline_path.display()
+        );
+        return true;
+    }
+    for (_, _, msg) in &cmp.regressions {
+        eprintln!("WARNING: {msg}");
+    }
+    let Some(gate) = gate else {
+        println!(
+            "bench check: {} warning(s) against {} (warn-only; set QENS_BENCH_GATE=<factor> \
+             to make regressions past that factor fail)",
+            cmp.regressions.len(),
+            baseline_path.display()
+        );
+        return true;
+    };
+    let over_gate: Vec<&(String, f64, String)> = cmp
+        .regressions
+        .iter()
+        .filter(|(_, factor, _)| *factor > gate)
+        .collect();
+    if over_gate.is_empty() {
+        println!(
+            "bench check: {} regression(s) within the QENS_BENCH_GATE={gate}x hard gate \
+             (warned, not failing)",
+            cmp.regressions.len()
+        );
+        return true;
+    }
+    for (name, factor, _) in &over_gate {
+        eprintln!("FAIL: bench: {name} regressed {factor:.1}x, past the QENS_BENCH_GATE={gate}x hard gate");
+    }
+    false
 }
 
 #[cfg(test)]
@@ -282,6 +365,22 @@ mod tests {
         let warnings = compare(&[r("new_kernel", 1.0)], &[]);
         assert_eq!(warnings.len(), 1);
         assert!(warnings[0].contains("missing from baseline"));
+    }
+
+    #[test]
+    fn compare_with_band_separates_regressions_from_missing() {
+        let baseline = vec![r("a", 100.0)];
+        let fresh = vec![r("a", 2_500.0), r("brand_new", 1.0)];
+        let cmp = compare_with_band(&fresh, &baseline, 20.0);
+        assert_eq!(cmp.missing, vec!["brand_new".to_string()]);
+        assert_eq!(cmp.regressions.len(), 1);
+        let (name, factor, msg) = &cmp.regressions[0];
+        assert_eq!(name, "a");
+        assert!((factor - 25.0).abs() < 1e-9);
+        assert!(msg.contains("25.0x"));
+        // Within the band: clean.
+        let cmp = compare_with_band(&[r("a", 1_500.0)], &baseline, 20.0);
+        assert!(cmp.regressions.is_empty() && cmp.missing.is_empty());
     }
 
     #[test]

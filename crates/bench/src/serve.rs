@@ -4,16 +4,26 @@
 //! must build with the crates-io registry unreachable, so there is no
 //! hyper/axum here, just enough of the protocol for scrapers:
 //!
-//! | path       | body                                                  |
-//! |------------|-------------------------------------------------------|
-//! | `/healthz` | `ok` (text/plain)                                     |
-//! | `/metrics` | Prometheus text exposition of the global registry     |
-//! | `/trace`   | Chrome trace-event JSON of the trace buffer           |
+//! | path           | body                                                 |
+//! |----------------|------------------------------------------------------|
+//! | `/healthz`     | `ok` (text/plain)                                    |
+//! | `/metrics`     | Prometheus text exposition of the global registry    |
+//! | `/trace`       | Chrome trace-event JSON of the trace buffer          |
+//! | `/profile`     | Folded-stack profile of the trace buffer (text)      |
+//! | `/profile.svg` | The same profile as an SVG flamegraph                |
+//! | `/slowest`     | Flight-recorder top-K slowest queries (JSON)         |
+//! | `/slo`         | SLO objective, good/bad totals and burn rates (JSON) |
+//!
+//! Malformed requests never kill the process: empty, truncated,
+//! oversized and non-UTF-8 request lines all get a `400` with a body,
+//! non-GET methods get a `405` with an `Allow` header, and unknown
+//! paths get a `404` listing every endpoint.
 //!
 //! `repro serve` binds the listener and serves forever; `repro serve
 //! --once` is the self-test mode `scripts/verify.sh` runs: it seeds a
-//! tiny faulty+traced workload, probes every endpoint over a plain
-//! [`std::net::TcpStream`], asserts the responses, and exits.
+//! tiny faulty+traced workload, probes every endpoint (plus the error
+//! paths) over a plain [`std::net::TcpStream`], asserts the responses,
+//! and exits.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -42,41 +52,79 @@ impl Default for ServeOptions {
     }
 }
 
-/// One parsed request line: `GET /metrics HTTP/1.1` → `("GET", "/metrics")`.
-fn parse_request_head(stream: &mut TcpStream) -> std::io::Result<(String, String)> {
-    let mut reader = BufReader::new(stream);
+/// The outcome of reading one request head off the wire.
+enum ParsedRequest {
+    /// A well-formed request line: method and path.
+    Request { method: String, path: String },
+    /// A malformed head (empty, truncated, oversized, not UTF-8, …)
+    /// with a human-readable reason — answered with a `400`.
+    Bad { reason: &'static str },
+}
+
+/// Reads one request head, never trusting the peer: the reader is
+/// capped at [`MAX_REQUEST_BYTES`] (+slack for the final newline), so an
+/// endless request line runs out of bytes instead of memory, and a line
+/// that is not UTF-8 or has no terminator is reported as `Bad` rather
+/// than bubbled up as an I/O error that would drop the connection with
+/// no response at all.
+fn parse_request_head(stream: &mut TcpStream) -> std::io::Result<ParsedRequest> {
+    let mut reader = BufReader::new(Read::by_ref(stream).take(MAX_REQUEST_BYTES as u64 + 2));
     let mut line = String::new();
-    reader.read_line(&mut line)?;
-    if line.len() > MAX_REQUEST_BYTES {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "request line too long",
-        ));
+    let n = match reader.read_line(&mut line) {
+        Ok(n) => n,
+        // read_line maps non-UTF-8 bytes to InvalidData; that is a
+        // protocol error by the peer, not a server failure.
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            return Ok(ParsedRequest::Bad {
+                reason: "request line is not valid UTF-8",
+            })
+        }
+        Err(e) => return Err(e),
+    };
+    if n == 0 {
+        return Ok(ParsedRequest::Bad {
+            reason: "empty request",
+        });
+    }
+    if !line.ends_with('\n') {
+        // The take() limit was hit (oversized line) or the peer hung up
+        // mid-line (truncated request). Either way: no parseable head.
+        return Ok(ParsedRequest::Bad {
+            reason: "request line truncated or longer than the 16 KiB limit",
+        });
     }
     let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
-    // Drain the header block (we never need the headers themselves).
-    let mut drained = line.len();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Ok(ParsedRequest::Bad {
+            reason: "malformed request line (expected: METHOD PATH HTTP/1.1)",
+        });
+    };
+    let (method, path) = (method.to_string(), path.to_string());
+    // Drain the header block (we never need the headers themselves); the
+    // take() cap bounds this loop too.
     loop {
         let mut header = String::new();
-        let n = reader.read_line(&mut header)?;
-        drained += n;
-        if n == 0 || header == "\r\n" || header == "\n" || drained > MAX_REQUEST_BYTES {
+        let n = match reader.read_line(&mut header) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => continue,
+            Err(e) => return Err(e),
+        };
+        if n == 0 || header == "\r\n" || header == "\n" {
             break;
         }
     }
-    Ok((method, path))
+    Ok(ParsedRequest::Request { method, path })
 }
 
 fn write_response(
     stream: &mut TcpStream,
     status: &str,
     content_type: &str,
+    extra_headers: &str,
     body: &str,
 ) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{extra_headers}Connection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -84,37 +132,96 @@ fn write_response(
     stream.flush()
 }
 
+const ENDPOINT_LIST: &str = "/healthz, /metrics, /trace, /profile, /profile.svg, /slowest, /slo";
+
 /// Serves exactly one connection: parse, route, respond.
 fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
-    let (method, path) = parse_request_head(&mut stream)?;
+    let (method, path) = match parse_request_head(&mut stream)? {
+        ParsedRequest::Request { method, path } => (method, path),
+        ParsedRequest::Bad { reason } => {
+            // Drain what the peer already sent (bounded, with a read
+            // timeout) before responding: closing a socket with unread
+            // bytes pending RSTs the connection, and the 400 would
+            // never reach the client.
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+            let _ = std::io::copy(
+                &mut Read::by_ref(&mut stream).take(1 << 20),
+                &mut std::io::sink(),
+            );
+            let _ = stream.set_read_timeout(None);
+            return write_response(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain; charset=utf-8",
+                "",
+                &format!("bad request: {reason}\n"),
+            );
+        }
+    };
     if method != "GET" {
         return write_response(
             &mut stream,
             "405 Method Not Allowed",
             "text/plain; charset=utf-8",
-            "only GET is supported\n",
+            "Allow: GET\r\n",
+            &format!("method {method} not allowed; only GET is supported\n"),
         );
     }
     match path.split('?').next().unwrap_or("") {
-        "/healthz" => write_response(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
+        "/healthz" => write_response(
+            &mut stream,
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "",
+            "ok\n",
+        ),
         "/metrics" => {
             let body = telemetry::export::to_prometheus(&telemetry::global().snapshot());
             write_response(
                 &mut stream,
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
+                "",
                 &body,
             )
         }
         "/trace" => {
             let body = telemetry::trace::export_chrome(None);
-            write_response(&mut stream, "200 OK", "application/json", &body)
+            write_response(&mut stream, "200 OK", "application/json", "", &body)
         }
-        _ => write_response(
+        "/profile" => {
+            let profile = telemetry::profile::aggregate(&telemetry::trace::snapshot_events());
+            write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "",
+                &telemetry::profile::to_folded(&profile),
+            )
+        }
+        "/profile.svg" => {
+            let profile = telemetry::profile::aggregate(&telemetry::trace::snapshot_events());
+            let unit = match telemetry::trace::mode() {
+                Some(telemetry::trace::Clock::Logical) => "ticks",
+                _ => "ns",
+            };
+            let body = telemetry::profile::to_svg(&profile, "qens live profile", unit);
+            write_response(&mut stream, "200 OK", "image/svg+xml", "", &body)
+        }
+        "/slowest" => {
+            let body = telemetry::profile::slowest_to_json();
+            write_response(&mut stream, "200 OK", "application/json", "", &body)
+        }
+        "/slo" => {
+            let body = telemetry::profile::slo_to_json();
+            write_response(&mut stream, "200 OK", "application/json", "", &body)
+        }
+        other => write_response(
             &mut stream,
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /metrics, /healthz or /trace\n",
+            "",
+            &format!("no endpoint {other}; try one of: {ENDPOINT_LIST}\n"),
         ),
     }
 }
@@ -180,7 +287,7 @@ pub fn serve(opts: &ServeOptions) -> std::io::Result<()> {
     telemetry::set_enabled(true);
     let listener = TcpListener::bind(&opts.addr)?;
     println!(
-        "serving http://{} (/metrics, /healthz, /trace); Ctrl-C to stop",
+        "serving http://{} ({ENDPOINT_LIST}); Ctrl-C to stop",
         listener.local_addr()?
     );
     for stream in listener.incoming() {
@@ -196,12 +303,37 @@ pub fn serve(opts: &ServeOptions) -> std::io::Result<()> {
     Ok(())
 }
 
-/// The `--once` self-test: ephemeral port, three probes, hard asserts.
+/// Sends raw bytes and returns the status code of whatever came back
+/// (0 when the server sent nothing) — for probing the malformed-request
+/// error paths.
+fn probe_raw(addr: &str, request: &[u8]) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(request)?;
+    // Half-close our sending side so a server blocked in read_line sees
+    // EOF (the truncated-request case) instead of waiting forever.
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let response = String::from_utf8_lossy(&response).into_owned();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// The `--once` self-test: ephemeral port, every endpoint plus the
+/// error paths probed once, hard asserts.
 fn serve_once() -> std::io::Result<()> {
     seed_observable_workload();
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?.to_string();
-    const PROBES: usize = 4;
+    const PROBES: usize = 10;
     let server = std::thread::spawn(move || {
         for _ in 0..PROBES {
             match listener.accept() {
@@ -234,6 +366,10 @@ fn serve_once() -> std::io::Result<()> {
         "/metrics must expose at least one qens_trace_* series"
     );
     assert!(
+        metrics_body.contains("qens_build_info{") && metrics_body.contains("qens_uptime_seconds"),
+        "/metrics must carry the build_info and uptime self-description"
+    );
+    assert!(
         metrics_body.contains("# HELP") && metrics_body.contains("# TYPE"),
         "/metrics must carry HELP/TYPE metadata"
     );
@@ -245,8 +381,55 @@ fn serve_once() -> std::io::Result<()> {
         "/trace must contain a non-empty Chrome trace"
     );
 
-    let (missing_status, _) = probe(&addr, "/nope")?;
+    let (profile_status, profile_body) = probe(&addr, "/profile")?;
+    assert_eq!(profile_status, 200, "/profile must return 200");
+    assert!(
+        profile_body.lines().any(|l| l.starts_with("query")),
+        "/profile must contain folded stacks rooted at the query span"
+    );
+    assert!(
+        profile_body.contains("query;fedlearn.round"),
+        "/profile must attribute time to pipeline phases"
+    );
+
+    let (svg_status, svg_body) = probe(&addr, "/profile.svg")?;
+    assert_eq!(svg_status, 200, "/profile.svg must return 200");
+    assert!(
+        svg_body.starts_with("<svg ") && svg_body.trim_end().ends_with("</svg>"),
+        "/profile.svg must be a complete SVG document"
+    );
+
+    let (slowest_status, slowest_body) = probe(&addr, "/slowest")?;
+    assert_eq!(slowest_status, 200, "/slowest must return 200");
+    assert!(
+        slowest_body.starts_with("{\"slowest\":[") && slowest_body.contains("\"query_id\""),
+        "/slowest must list the flight recorder's retained queries"
+    );
+
+    let (slo_status, slo_body) = probe(&addr, "/slo")?;
+    assert_eq!(slo_status, 200, "/slo must return 200");
+    assert!(
+        slo_body.contains("\"objective_nanos\"") && slo_body.contains("\"burn_rate_1x\""),
+        "/slo must expose the objective and burn rates"
+    );
+
+    let (missing_status, missing_body) = probe(&addr, "/nope")?;
     assert_eq!(missing_status, 404, "unknown paths must 404");
+    assert!(
+        missing_body.contains("/profile"),
+        "the 404 body must list the available endpoints"
+    );
+
+    // Error paths: an oversized request line and a truncated one must
+    // both get a 400, not kill the server thread.
+    let mut oversized = Vec::from(&b"GET /"[..]);
+    oversized.resize(MAX_REQUEST_BYTES + 64, b'a');
+    oversized.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    let (oversized_status, _) = probe_raw(&addr, &oversized)?;
+    assert_eq!(oversized_status, 400, "oversized request lines must 400");
+
+    let (truncated_status, _) = probe_raw(&addr, b"GET /metrics")?;
+    assert_eq!(truncated_status, 400, "truncated request lines must 400");
 
     server.join().expect("server thread");
     let series = metrics_body
@@ -254,8 +437,8 @@ fn serve_once() -> std::io::Result<()> {
         .filter(|l| l.starts_with("qens_"))
         .count();
     println!(
-        "serve --once OK: /healthz 200, /metrics 200 ({series} qens_* samples), /trace 200 ({} bytes)",
-        trace_body.len()
+        "serve --once OK: /healthz /metrics ({series} qens_* samples) /trace /profile \
+         /profile.svg /slowest /slo all 200; 404 + 2x400 error paths exercised"
     );
     telemetry::trace::set_mode(None);
     Ok(())
@@ -291,8 +474,12 @@ mod tests {
                 handle_connection(stream).unwrap();
             }
         });
-        let (status, _) = probe(&addr, "/definitely-not-here").unwrap();
+        let (status, body) = probe(&addr, "/definitely-not-here").unwrap();
         assert_eq!(status, 404);
+        assert!(
+            body.contains("/slowest") && body.contains("/slo"),
+            "404 body must list the endpoints"
+        );
         // POST by hand.
         let mut stream = TcpStream::connect(&addr).unwrap();
         stream
@@ -301,6 +488,64 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 405"));
+        assert!(
+            response.contains("Allow: GET"),
+            "405 must carry an Allow header"
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_get_a_400_not_a_dead_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for _ in 0..4 {
+                let (stream, _) = listener.accept().unwrap();
+                handle_connection(stream).unwrap();
+            }
+        });
+        // Truncated request line (no newline, half-closed).
+        let (status, body) = probe_raw(&addr, b"GET /metrics").unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("truncated"));
+        // Oversized request line.
+        let mut oversized = Vec::from(&b"GET /"[..]);
+        oversized.resize(MAX_REQUEST_BYTES + 64, b'x');
+        oversized.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let (status, _) = probe_raw(&addr, &oversized).unwrap();
+        assert_eq!(status, 400);
+        // Empty request.
+        let (status, body) = probe_raw(&addr, b"").unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("empty"));
+        // Non-UTF-8 request line.
+        let (status, body) = probe_raw(&addr, b"\xff\xfe\xfd barbarism\r\n\r\n").unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("UTF-8"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn profile_endpoints_serve_current_buffers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for _ in 0..3 {
+                let (stream, _) = listener.accept().unwrap();
+                handle_connection(stream).unwrap();
+            }
+        });
+        // Profile of an empty (or foreign) buffer is still a valid
+        // document — the endpoints never fail, they render what's there.
+        let (status, _) = probe(&addr, "/profile").unwrap();
+        assert_eq!(status, 200);
+        let (status, body) = probe(&addr, "/slowest").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"slowest\":["));
+        let (status, body) = probe(&addr, "/slo").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"objective_nanos\""));
         server.join().unwrap();
     }
 }

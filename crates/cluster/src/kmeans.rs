@@ -104,10 +104,12 @@ impl KMeans {
         );
         let mut rng = rng::rng_for(config.seed, 0xC1_15_7E_12);
 
+        let init_span = telemetry::trace::span("cluster.kmeans.init");
         let mut centroids = match config.init {
             InitMethod::KMeansPlusPlus => init_plus_plus(data, k, &mut rng),
             InitMethod::Random => init_random(data, k, &mut rng),
         };
+        init_span.finish();
 
         let mut assignments = vec![0usize; data.rows()];
         let mut iterations = 0;
@@ -146,8 +148,10 @@ impl KMeans {
             ],
         );
         // Final assignment against the final centroids.
+        let finalize_span = telemetry::trace::span("cluster.kmeans.finalize");
         assign(data, &centroids, &mut assignments, pool);
         let inertia = compute_inertia(data, &centroids, &assignments, pool);
+        finalize_span.finish();
         Self {
             centroids,
             assignments,

@@ -287,6 +287,10 @@ pub fn run_query(
     // Per-query attribution: every metric recorded until the scope drops
     // is credited to this query id in the registry's query ring, and every
     // trace event is stamped with the query id (the root of the tree).
+    // The profile observer is declared first so it drops *last* — after
+    // the query span's End event is buffered — and can hand the complete
+    // span tree to the flight recorder and the latency to the SLO tracker.
+    let _profile_obs = telemetry::profile::QueryObserver::begin(query.id());
     let _query_scope = telemetry::QueryScope::begin(query.id());
     let _run_span = telemetry::span!("qens_fedlearn_run_query_nanos");
     let _trace_query = telemetry::trace::query_span(query.id());
@@ -463,6 +467,10 @@ pub fn run_query(
             // oracle, so this order affects only the trace layout —
             // which is exactly what makes the trace bit-identical
             // across runs and thread counts.
+            let fates_span = telemetry::trace::span_args(
+                "fedlearn.fates",
+                &[("round", round as u64), ("pending", pending.len() as u64)],
+            );
             let mut attempters: Vec<usize> = Vec::new();
             let mut slowdowns: Vec<f64> = Vec::new();
             for &ci in &pending {
@@ -517,10 +525,21 @@ pub fn run_query(
                     }
                 }
             }
+            fates_span.finish();
 
             // Training pass: one pool job per attempter (chunk size 1),
             // so results land in attempter order — the pool writes each
             // result into its own index slot, for any worker count.
+            // The wave span is leader-side (deterministic) and covers the
+            // pooled and inline branches identically, so logical-clock
+            // profiles attribute training time regardless of QENS_THREADS.
+            let train_wave_span = telemetry::trace::span_args(
+                "fedlearn.train_wave",
+                &[
+                    ("round", round as u64),
+                    ("attempters", attempters.len() as u64),
+                ],
+            );
             let (results, pooled) = {
                 let batch_jobs: Vec<&CohortMember> =
                     attempters.iter().map(|&ci| &cohort[ci]).collect();
@@ -536,11 +555,16 @@ pub fn run_query(
                 };
                 (results, pooled)
             };
+            train_wave_span.finish();
             debug_assert!(results.windows(2).all(|w| w[0].index < w[1].index));
             let walls: Vec<f64> = results.iter().map(|r| r.wall_seconds).collect();
             accounting.wall_seconds += round_wall_seconds(pooled, &walls);
 
             // Transfer/deadline pass (serial, attempter order).
+            let transfer_wave_span = telemetry::trace::span_args(
+                "fedlearn.transfer_wave",
+                &[("round", round as u64), ("reports", walls.len() as u64)],
+            );
             for r in results {
                 let ci = attempters[r.index];
                 let member = &cohort[ci];
@@ -671,6 +695,7 @@ pub fn run_query(
                     model: r.model,
                 });
             }
+            transfer_wave_span.finish();
 
             if survivors.len() >= required {
                 break;
@@ -678,6 +703,8 @@ pub fn run_query(
             // Below quorum: promote ranked standbys to cover the
             // deficit, then run them through the same round's fate /
             // training / transfer passes.
+            let promote_span =
+                telemetry::trace::span_args("fedlearn.promote", &[("round", round as u64)]);
             let deficit = required - survivors.len();
             let mut promoted: Vec<usize> = Vec::new();
             while promoted.len() < deficit {
@@ -699,6 +726,7 @@ pub fn run_query(
                     promoted.push(cohort.len() - 1);
                 }
             }
+            promote_span.finish();
             if promoted.is_empty() {
                 trace.push(FaultEvent::QuorumLost {
                     round,

@@ -153,6 +153,12 @@ impl ThreadPool {
             return;
         }
         telemetry::counter!("qens_par_tasks_total").add(tasks.len() as u64);
+        // Dispatch-window span (enqueue → every task done). Wall-only:
+        // a single-thread pool never reaches this point (it trains
+        // inline above), so a logical-clock event here would break the
+        // QENS_THREADS byte-identity contract.
+        let _scope_span =
+            telemetry::trace::wall_span_args("par.scope", &[("tasks", tasks.len() as u64)]);
 
         // Dispatch tracing (queue wait vs execute) is wall-mode only:
         // completion order is scheduling-dependent by design, so the

@@ -158,6 +158,11 @@ impl QueryDriven {
                 })
             });
         let mut scored: Vec<Participant> = scored_by_node.into_iter().flatten().collect();
+        // Ranking phase (sort + cap split) — leader-serial, so the span
+        // may record on the logical clock and the profiler can separate
+        // scoring time from ranking time.
+        let rank_span =
+            telemetry::trace::span_args("selection.rank", &[("scored", scored.len() as u64)]);
         // Best-ranked first; node id breaks ties deterministically.
         scored.sort_by(|a, b| {
             b.ranking
@@ -181,6 +186,7 @@ impl QueryDriven {
             }
             SelectionCap::AllPositive => (scored, Vec::new()),
         };
+        rank_span.finish();
         telemetry::counter!("qens_selection_participants_total").add(participants.len() as u64);
         // Rankings live in [0, K]; record micro-units so the log-scale
         // buckets resolve the sub-1.0 mass the paper's Eq. 4 produces.

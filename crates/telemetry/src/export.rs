@@ -153,6 +153,10 @@ pub fn help_text(name: &str) -> &'static str {
         "qens_trace_dropped_total" => {
             return "Trace events dropped after the buffer cap was reached."
         }
+        "qens_build_info" => {
+            return "Build metadata (crate version and build profile) as labels; value is always 1."
+        }
+        "qens_uptime_seconds" => return "Seconds since this process first exported metrics.",
         _ => {}
     }
     let family = [
@@ -164,6 +168,7 @@ pub fn help_text(name: &str) -> &'static str {
         ("qens_par_", "deterministic thread-pool metric."),
         ("qens_trace_", "structured tracing metric."),
         ("qens_mlkit_", "local training kernel metric."),
+        ("qens_slo_", "latency SLO tracking metric."),
     ]
     .iter()
     .find(|(p, _)| name.starts_with(p))
@@ -183,6 +188,13 @@ pub fn help_text(name: &str) -> &'static str {
     } else {
         "Workspace metric."
     }
+}
+
+/// The uptime epoch: latched on the first exposition and shared by all
+/// later ones, so `qens_uptime_seconds` is monotone across scrapes.
+fn process_start() -> &'static std::time::Instant {
+    static START: std::sync::OnceLock<std::time::Instant> = std::sync::OnceLock::new();
+    START.get_or_init(std::time::Instant::now)
 }
 
 fn push_help_and_type(out: &mut String, name: &str, kind: &str) {
@@ -205,8 +217,29 @@ fn push_help_and_type(out: &mut String, name: &str, kind: &str) {
 ///
 /// Histogram metric names keep their unit suffix (`..._nanos_bucket`);
 /// consumers that want seconds can divide at query time.
+///
+/// Every exposition additionally leads with two self-describing series:
+/// `qens_build_info{version,profile} 1` (the Prometheus build-info
+/// idiom — the constant value makes joins against any other series
+/// cheap) and `qens_uptime_seconds` (seconds since this process first
+/// exported), so a scrape alone answers "what is running, since when?".
 pub fn to_prometheus(snapshot: &Snapshot) -> String {
     let mut out = String::with_capacity(4096);
+    push_help_and_type(&mut out, "qens_build_info", "gauge");
+    out.push_str(&format!(
+        "qens_build_info{{version=\"{}\",profile=\"{}\"}} 1\n",
+        env!("CARGO_PKG_VERSION"),
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    ));
+    push_help_and_type(&mut out, "qens_uptime_seconds", "gauge");
+    out.push_str(&format!(
+        "qens_uptime_seconds {:.3}\n",
+        process_start().elapsed().as_secs_f64()
+    ));
     for (name, v) in &snapshot.counters {
         push_help_and_type(&mut out, name, "counter");
         out.push_str(name);
@@ -390,6 +423,52 @@ mod tests {
             .parse()
             .unwrap();
         assert_eq!(inf_count, total);
+    }
+
+    #[test]
+    fn prometheus_leads_with_build_info_and_uptime() {
+        let _g = crate::test_lock();
+        let r = sample_registry();
+        let text = to_prometheus(&r.snapshot());
+        let build_line = text
+            .lines()
+            .find(|l| l.starts_with("qens_build_info{"))
+            .expect("build_info series present");
+        assert!(
+            build_line.contains(&format!("version=\"{}\"", env!("CARGO_PKG_VERSION"))),
+            "build_info must carry the crate version: {build_line}"
+        );
+        assert!(
+            build_line.contains("profile=\"debug\"") || build_line.contains("profile=\"release\""),
+            "build_info must carry the build profile: {build_line}"
+        );
+        assert!(build_line.ends_with(" 1"), "build_info value is always 1");
+        let uptime_line = text
+            .lines()
+            .find(|l| l.starts_with("qens_uptime_seconds "))
+            .expect("uptime series present");
+        let uptime: f64 = uptime_line
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(uptime >= 0.0, "uptime must be non-negative");
+        // Uptime is monotone across scrapes (shared epoch).
+        let again = to_prometheus(&r.snapshot());
+        let uptime2: f64 = again
+            .lines()
+            .find(|l| l.starts_with("qens_uptime_seconds "))
+            .unwrap()
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(uptime2 >= uptime);
+        // Both lead series carry HELP/TYPE like everything else.
+        assert!(text.contains("# HELP qens_build_info "));
+        assert!(text.contains("# TYPE qens_uptime_seconds gauge"));
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod export;
 pub mod histogram;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
 pub mod span;
 pub mod trace;

@@ -259,6 +259,17 @@ pub fn snapshot_events() -> Vec<TraceEvent> {
     collector().events.clone()
 }
 
+/// A structured copy of the buffered events attributed to `query`
+/// (the root query span included — it is stamped with its own id).
+pub fn snapshot_query(query: u64) -> Vec<TraceEvent> {
+    collector()
+        .events
+        .iter()
+        .filter(|e| e.query == query)
+        .cloned()
+        .collect()
+}
+
 /// The distinct query ids seen in the buffer, in first-seen order.
 pub fn query_ids() -> Vec<u64> {
     let c = collector();
@@ -455,10 +466,18 @@ pub fn wall_span_args(name: &'static str, args: &[(&'static str, u64)]) -> Trace
 /// until it drops with `query_id`. Deterministic call sites only (the
 /// leader runs one query at a time).
 pub fn query_span(query_id: u64) -> TraceSpan {
+    // Stamp the query id *before* the Begin event records, so the root
+    // "query" span is itself attributed to its query — per-query
+    // snapshots ([`snapshot_query`]) would otherwise miss their root
+    // Begin and hand the profiler an unbalanced tree.
+    if mode().is_some() {
+        CURRENT_QUERY.store(query_id, Ordering::Relaxed);
+    }
     let mut s = TraceSpan::begin("query", &[("query", query_id)], false);
     if s.is_recording() {
-        CURRENT_QUERY.store(query_id, Ordering::Relaxed);
         s.owns_query = true;
+    } else {
+        CURRENT_QUERY.store(u64::MAX, Ordering::Relaxed);
     }
     s
 }

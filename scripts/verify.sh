@@ -20,11 +20,17 @@
 #      the logical-clock Chrome trace must be byte-identical (the
 #      faults and telemetry::trace determinism contracts),
 #   8. the live-observability self-test (`repro serve --once`): binds an
-#      ephemeral port, probes /healthz, /metrics and /trace over a plain
-#      TcpStream, and asserts non-empty qens_* metric families,
-#   9. the perf harness (`repro bench --check`): records kernel timings
-#      to results/BENCH_qens.json and *warns* (never fails) when a
-#      kernel is slower than the committed BENCH_qens.json baseline.
+#      ephemeral port, probes /healthz, /metrics, /trace, /profile,
+#      /profile.svg, /slowest and /slo over a plain TcpStream, asserts
+#      non-empty qens_* metric families (including qens_build_info and
+#      qens_uptime_seconds), and exercises the 404/400 error paths,
+#   9. profiler seed-stability: `repro profile` is run under
+#      QENS_THREADS=1 and QENS_THREADS=4 and the logical-clock folded
+#      stacks and SVG flamegraph must be byte-identical,
+#  10. the perf harness (`repro bench --check`) under QENS_BENCH_GATE:
+#      records kernel timings to results/BENCH_qens.json, warns on any
+#      regression against the committed baseline, and *fails* when a
+#      kernel regresses past the gate factor below.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -60,10 +66,22 @@ cmp results/trace.json results/trace.t1.json \
 rm -f results/fault_trace.t1.json results/trace.t1.json
 echo "fault + Chrome traces are thread-count stable"
 
-echo "==> repro serve --once (live /metrics endpoint self-test)"
+echo "==> repro serve --once (live endpoint + error-path self-test)"
 cargo run -q -p bench --bin repro --release --offline -- serve --once
 
-echo "==> repro bench --check (perf harness, warn-only baseline compare)"
-cargo run -q -p bench --bin repro --release --offline -- bench --check
+echo "==> profiler seed-stability (byte-identical at QENS_THREADS=1 vs 4)"
+QENS_THREADS=1 cargo run -q -p bench --bin repro --release --offline -- profile
+cp results/profile.folded results/profile.folded.t1
+cp results/profile.svg results/profile.svg.t1
+QENS_THREADS=4 cargo run -q -p bench --bin repro --release --offline -- profile
+cmp results/profile.folded results/profile.folded.t1 \
+  || { echo "FAIL: folded stacks differ between QENS_THREADS=1 and 4"; exit 1; }
+cmp results/profile.svg results/profile.svg.t1 \
+  || { echo "FAIL: SVG flamegraph differs between QENS_THREADS=1 and 4"; exit 1; }
+rm -f results/profile.folded.t1 results/profile.svg.t1
+echo "folded stacks + flamegraph are thread-count stable"
+
+echo "==> repro bench --check (perf harness, QENS_BENCH_GATE=20 hard gate)"
+QENS_BENCH_GATE=20 cargo run -q -p bench --bin repro --release --offline -- bench --check
 
 echo "verify OK"
