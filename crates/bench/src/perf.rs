@@ -1,7 +1,8 @@
 //! The perf-regression harness behind `repro bench`.
 //!
-//! Times a fixed set of kernels (k-means fit, query-driven selection,
-//! an end-to-end federated round, the Prometheus exporter) and writes
+//! Times a fixed set of kernels (k-means fit, query-driven selection
+//! uncached and behind a warm selection cache, an end-to-end federated
+//! round, the Prometheus exporter) and writes
 //! `results/BENCH_qens.json` in a tiny stable schema:
 //!
 //! ```json
@@ -117,6 +118,15 @@ pub fn run_suite() -> Vec<BenchResult> {
     let ctx = SelectionContext::new(fed.network(), &query);
     out.push(time_kernel("selection_rank", 5, 64, || {
         let _ = ranker.select(&ctx);
+    }));
+
+    // Kernel 2b: the same selection served by a warm cache (exact-hit
+    // path; the warmup iterations install the entry). The gap between
+    // this and `selection_rank` is the cache's whole value proposition,
+    // so it lives in the committed baseline next to it.
+    let cached_ranker = qens::selection::CachedQueryDriven::with_defaults(QueryDriven::top_l(3));
+    out.push(time_kernel("selection_rank_cached", 5, 64, || {
+        let _ = cached_ranker.select(&ctx);
     }));
 
     // Kernel 3: one end-to-end federated round (select + train + agg).
@@ -394,6 +404,7 @@ mod tests {
             [
                 "kmeans_fit",
                 "selection_rank",
+                "selection_rank_cached",
                 "fedlearn_round",
                 "prometheus_export"
             ]

@@ -53,6 +53,8 @@ pub struct FederationBuilder {
     faults: Option<FaultSpec>,
     tolerance: FaultTolerance,
     link_range: Option<((f64, f64), (f64, f64))>,
+    selection_cache: Option<bool>,
+    cache_bucket_width: Option<f64>,
 }
 
 impl Default for FederationBuilder {
@@ -86,6 +88,8 @@ impl FederationBuilder {
             faults: None,
             tolerance: FaultTolerance::default(),
             link_range: None,
+            selection_cache: None,
+            cache_bucket_width: None,
         }
     }
 
@@ -277,6 +281,31 @@ impl FederationBuilder {
         self
     }
 
+    /// Turns the selection cache on (or off) for query-driven policies
+    /// run through this federation, overriding the `QENS_CACHE`
+    /// environment variable. Cached selections are bit-identical to
+    /// uncached ones (see [`selection::CachedQueryDriven`]); only the
+    /// work to compute them changes. Off by default.
+    pub fn selection_cache(mut self, on: bool) -> Self {
+        self.selection_cache = Some(on);
+        self
+    }
+
+    /// Bucket width (data units) of the cache's query quantisation,
+    /// overriding `QENS_CACHE_QUANT`. Coarser buckets share entries
+    /// across more queries via delta re-scoring.
+    ///
+    /// # Panics
+    /// Panics if `width` is not positive-finite.
+    pub fn selection_cache_bucket(mut self, width: f64) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0,
+            "cache bucket width must be positive and finite, got {width}"
+        );
+        self.cache_bucket_width = Some(width);
+        self
+    }
+
     /// Materialises the federation: generates/loads node data, builds the
     /// network and quantises every node.
     pub fn build(self) -> Federation {
@@ -343,10 +372,24 @@ impl FederationBuilder {
             faults: self.faults,
             tolerance: self.tolerance,
         };
+        let cache_enabled =
+            self.selection_cache
+                .unwrap_or_else(|| match std::env::var("QENS_CACHE") {
+                    Ok(v) => !matches!(v.as_str(), "" | "0" | "false" | "off" | "no"),
+                    Err(_) => false,
+                });
+        let cache = cache_enabled.then(|| {
+            let mut cfg = selection::CacheConfig::from_env();
+            if let Some(w) = self.cache_bucket_width {
+                cfg.bucket_width = w;
+            }
+            cfg
+        });
         Federation {
             network,
             config,
             seed: self.seed,
+            cache,
         }
     }
 }
@@ -358,6 +401,9 @@ pub struct Federation {
     network: EdgeNetwork,
     config: FederationConfig,
     seed: u64,
+    /// Selection-cache configuration for query-driven policies, `None`
+    /// when caching is off (builder flag / `QENS_CACHE`).
+    cache: Option<selection::CacheConfig>,
 }
 
 impl Federation {
@@ -423,13 +469,34 @@ impl Federation {
         generate(&self.network.global_space(), &config)
     }
 
+    /// The selection-cache configuration in force (`None` = caching off).
+    pub fn cache_config(&self) -> Option<selection::CacheConfig> {
+        self.cache
+    }
+
+    /// Builds the runtime policy object, wrapped in a selection cache
+    /// when caching is enabled and the policy is query-driven. The cache
+    /// lives as long as the returned object: one [`Federation::run_workload`]
+    /// call shares it across its whole stream.
+    pub fn build_policy(&self, policy: &PolicyKind) -> Box<dyn selection::SelectionPolicy> {
+        match self.cache {
+            Some(cfg) => policy.build_cached(cfg),
+            None => policy.build(),
+        }
+    }
+
     /// Runs one query under a policy.
     pub fn run_query(
         &self,
         query: &Query,
         policy: &PolicyKind,
     ) -> Result<RoundOutcome, FederationError> {
-        run_query(&self.network, query, policy.build().as_ref(), &self.config)
+        run_query(
+            &self.network,
+            query,
+            self.build_policy(policy).as_ref(),
+            &self.config,
+        )
     }
 
     /// Runs a whole workload under a policy.
@@ -437,7 +504,7 @@ impl Federation {
         run_stream(
             &self.network,
             workload,
-            policy.build().as_ref(),
+            self.build_policy(policy).as_ref(),
             &self.config,
         )
     }
@@ -589,6 +656,39 @@ mod tests {
             base.query_loss(clean.network(), &q).unwrap().to_bits(),
             same.query_loss(inert.network(), &q).unwrap().to_bits()
         );
+    }
+
+    #[test]
+    fn selection_cache_flag_flows_through_and_changes_nothing() {
+        let build = |cached: bool| {
+            let mut b = FederationBuilder::new()
+                .heterogeneous_nodes(5, 60)
+                .seed(13)
+                .epochs(3);
+            if cached {
+                b = b.selection_cache(true).selection_cache_bucket(2.5);
+            }
+            b.build()
+        };
+        let plain = build(false);
+        assert!(plain.cache_config().is_none());
+        let cached = build(true);
+        let cfg = cached.cache_config().expect("cache flag sets the config");
+        assert_eq!(cfg.bucket_width, 2.5);
+
+        let wl = plain.workload(&WorkloadConfig {
+            n_queries: 6,
+            ..WorkloadConfig::paper_default(17)
+        });
+        let a = plain.run_workload(&wl, &PolicyKind::query_driven(3));
+        let b = cached.run_workload(&wl, &PolicyKind::query_driven(3));
+        // The cache must be invisible in every outcome…
+        assert_eq!(a.per_query, b.per_query);
+        assert_eq!(a.policy, b.policy);
+        // …and visible only in the stats surface.
+        assert!(a.cache.is_none());
+        let stats = b.cache.expect("cached run reports stats");
+        assert_eq!(stats.hits + stats.misses, 6);
     }
 
     #[test]

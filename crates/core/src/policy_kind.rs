@@ -1,8 +1,8 @@
 //! Serialisable policy configuration.
 
 use selection::{
-    AllNodes, DataCentric, FairStochastic, GameTheory, QueryDriven, RandomSelection,
-    SelectionPolicy, WithoutSelectivity,
+    AllNodes, CacheConfig, CachedQueryDriven, DataCentric, FairStochastic, GameTheory, QueryDriven,
+    RandomSelection, SelectionPolicy, WithoutSelectivity,
 };
 
 /// A selection policy as configuration — convertible into the trait
@@ -96,6 +96,37 @@ impl PolicyKind {
         }
     }
 
+    /// Like [`PolicyKind::build`], but query-driven variants come back
+    /// behind a [`CachedQueryDriven`] selection cache. Policies without
+    /// an Eq. 2–4 kernel (random, game-theory, …) have nothing to cache
+    /// and build plain. Selections are bit-identical either way; only
+    /// the scoring work changes.
+    pub fn build_cached(&self, config: CacheConfig) -> Box<dyn SelectionPolicy> {
+        match *self {
+            PolicyKind::QueryDriven { epsilon, l } => Box::new(CachedQueryDriven::new(
+                QueryDriven {
+                    epsilon,
+                    ..QueryDriven::top_l(l)
+                },
+                config,
+            )),
+            PolicyKind::QueryDrivenThreshold { epsilon, psi } => Box::new(CachedQueryDriven::new(
+                QueryDriven::threshold(epsilon, psi),
+                config,
+            )),
+            PolicyKind::QueryDrivenNoSelectivity { epsilon, l } => {
+                Box::new(WithoutSelectivity(CachedQueryDriven::new(
+                    QueryDriven {
+                        epsilon,
+                        ..QueryDriven::top_l(l)
+                    },
+                    config,
+                )))
+            }
+            _ => self.build(),
+        }
+    }
+
     /// Display name (delegates to the built policy).
     pub fn name(&self) -> &'static str {
         self.build().name()
@@ -133,6 +164,43 @@ mod tests {
             PolicyKind::FairStochastic { l: 2, seed: 0 }.name(),
             "fair-stochastic"
         );
+    }
+
+    #[test]
+    fn cached_builds_keep_names_and_expose_stats() {
+        let cfg = CacheConfig::default();
+        // Names must not fork on caching: result tables key on them.
+        assert_eq!(
+            PolicyKind::query_driven(3).build_cached(cfg).name(),
+            "query-driven"
+        );
+        assert_eq!(
+            PolicyKind::QueryDrivenNoSelectivity {
+                epsilon: 0.05,
+                l: 3
+            }
+            .build_cached(cfg)
+            .name(),
+            "without-selectivity"
+        );
+        assert_eq!(PolicyKind::AllNodes.build_cached(cfg).name(), "all-nodes");
+        // Only cache-backed policies report cache stats.
+        assert!(PolicyKind::query_driven(3)
+            .build_cached(cfg)
+            .cache_stats()
+            .is_some());
+        assert!(PolicyKind::query_driven(3).build().cache_stats().is_none());
+        assert!(PolicyKind::AllNodes
+            .build_cached(cfg)
+            .cache_stats()
+            .is_none());
+        assert!(PolicyKind::QueryDrivenNoSelectivity {
+            epsilon: 0.05,
+            l: 3
+        }
+        .build_cached(cfg)
+        .cache_stats()
+        .is_some());
     }
 
     #[test]

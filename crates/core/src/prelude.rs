@@ -19,7 +19,7 @@ pub use fedlearn::{
 pub use geom::{HyperRect, Interval, OverlapCase, Query};
 pub use mlkit::{DenseDataset, Loss, Model, ModelKind, Regressor, TrainConfig};
 pub use selection::{
-    AllNodes, DataCentric, FairStochastic, GameTheory, QueryDriven, RandomSelection, Selection,
-    SelectionContext, SelectionPolicy, WithoutSelectivity,
+    AllNodes, CacheConfig, CacheStats, CachedQueryDriven, DataCentric, FairStochastic, GameTheory,
+    QueryDriven, RandomSelection, Selection, SelectionContext, SelectionPolicy, WithoutSelectivity,
 };
 pub use workload::{QueryWorkload, WorkloadConfig, WorkloadKind};

@@ -36,6 +36,11 @@ pub struct EdgeNode {
     joint: Matrix,
     kmeans: Option<KMeans>,
     summaries: Vec<ClusterSummary>,
+    /// Version counter of the leader-visible summaries. Bumped whenever
+    /// they change ([`EdgeNode::quantize`], [`EdgeNode::quantize_private`])
+    /// or become stale ([`EdgeNode::absorb`]); selection caches compare it
+    /// against the epoch they scored at to invalidate per node.
+    summary_epoch: u64,
 }
 
 impl EdgeNode {
@@ -56,6 +61,7 @@ impl EdgeNode {
             joint,
             kmeans: None,
             summaries: Vec::new(),
+            summary_epoch: 0,
         }
     }
 
@@ -151,6 +157,7 @@ impl EdgeNode {
         let model = KMeans::fit(&self.joint, &KMeansConfig::with_k(k, seed));
         self.summaries = summary::summarize(&self.joint, &model);
         self.kmeans = Some(model);
+        self.summary_epoch += 1;
     }
 
     /// Like [`EdgeNode::quantize`] but releases differentially-private
@@ -161,11 +168,21 @@ impl EdgeNode {
         self.quantize(k, seed);
         let budget = cluster::privacy::PrivacyBudget::new(epsilon);
         self.summaries = cluster::privacy::noise_summaries(&self.summaries, &budget, seed ^ 0xD1FF);
+        self.summary_epoch += 1;
     }
 
     /// Whether [`EdgeNode::quantize`] has run.
     pub fn is_quantized(&self) -> bool {
         self.kmeans.is_some()
+    }
+
+    /// Version counter of the leader-visible summaries: 0 at
+    /// construction, incremented on every change or staleness event
+    /// (quantisation, private release, [`EdgeNode::absorb`]). A selection
+    /// cache entry scored at epoch `e` is valid for this node while
+    /// `summary_epoch() == e`.
+    pub fn summary_epoch(&self) -> u64 {
+        self.summary_epoch
     }
 
     /// The fitted quantisation, if any.
@@ -216,6 +233,7 @@ impl EdgeNode {
         self.joint = build_joint(&self.data);
         self.kmeans = None;
         self.summaries.clear();
+        self.summary_epoch += 1;
     }
 
     /// Estimated number of local samples inside the query region,
@@ -376,6 +394,34 @@ mod tests {
         n.absorb(&DenseDataset::empty(1));
         assert!(n.is_quantized());
         assert_eq!(n.len(), 60);
+    }
+
+    /// The summary epoch must move on every event that changes (or
+    /// stales) the leader-visible summaries, and only on those.
+    #[test]
+    fn summary_epoch_tracks_summary_changes() {
+        let mut n = node();
+        assert_eq!(n.summary_epoch(), 0);
+        n.quantize(3, 1);
+        assert_eq!(n.summary_epoch(), 1);
+        // Empty absorb changes nothing.
+        n.absorb(&DenseDataset::empty(1));
+        assert_eq!(n.summary_epoch(), 1);
+        // Link/capacity tweaks are invisible to the leader's summaries.
+        n.set_capacity(2.0);
+        n.set_link(LinkProfile::default());
+        assert_eq!(n.summary_epoch(), 1);
+        let extra = DenseDataset::new(Matrix::from_rows(&[vec![100.0]]), vec![201.0]);
+        n.absorb(&extra);
+        assert_eq!(n.summary_epoch(), 2, "absorb stales the summaries");
+        n.quantize(3, 1);
+        assert_eq!(n.summary_epoch(), 3);
+        let before = n.summary_epoch();
+        n.quantize_private(3, 1, 0.5);
+        assert!(
+            n.summary_epoch() > before,
+            "private release replaces the summaries"
+        );
     }
 
     #[test]

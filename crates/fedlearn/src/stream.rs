@@ -39,6 +39,12 @@ pub struct StreamResult {
     pub per_query: Vec<QueryResult>,
     /// The full resource ledger of the successful rounds.
     pub accounting: StreamAccounting,
+    /// Selection-cache counters accumulated over the stream, `None`
+    /// unless the policy is cache-backed
+    /// ([`selection::CachedQueryDriven`]). Snapshot taken after the last
+    /// query, so it covers the whole stream (plus whatever the policy
+    /// object served before — policies are usually built per stream).
+    pub cache: Option<selection::CacheStats>,
 }
 
 impl StreamResult {
@@ -89,6 +95,7 @@ pub fn run_stream(
         policy: policy.name().to_string(),
         per_query,
         accounting,
+        cache: policy.cache_stats(),
     }
 }
 
@@ -183,6 +190,42 @@ mod tests {
         let a = ours.mean_loss().unwrap();
         let b = rand.mean_loss().unwrap();
         assert!(a < b, "query-driven mean loss {a} should beat random {b}");
+    }
+
+    #[test]
+    fn cached_policy_matches_uncached_and_reports_stats() {
+        let net = network();
+        // A drifting stream with a coarse cache quantum so consecutive
+        // queries share a cache key and exercise the delta path.
+        let wl = generate(
+            &net.global_space(),
+            &WorkloadConfig {
+                n_queries: 10,
+                halfwidth_frac: (0.20, 0.20),
+                kind: workload::WorkloadKind::Drifting {
+                    step_frac: 0.01,
+                    spread_frac: 0.01,
+                },
+                ..WorkloadConfig::paper_default(5)
+            },
+        );
+        let plain = run_stream(&net, &wl, &QueryDriven::top_l(3), &fast_cfg());
+        let cached_policy = selection::CachedQueryDriven::new(
+            QueryDriven::top_l(3),
+            selection::CacheConfig {
+                bucket_width: 1e6,
+                ..selection::CacheConfig::default()
+            },
+        );
+        let cached = run_stream(&net, &wl, &cached_policy, &fast_cfg());
+        // Bit-identical rows: the cache must not change any outcome.
+        // (Full accounting is not compared — it carries measured
+        // wall_seconds, which no two runs share.)
+        assert_eq!(plain.per_query, cached.per_query);
+        assert!(plain.cache.is_none(), "plain policies report no cache");
+        let stats = cached.cache.expect("cached policy reports stats");
+        assert_eq!(stats.hits + stats.misses, 10);
+        assert!(stats.hits > 0, "drifting stream should hit: {stats:?}");
     }
 
     #[test]

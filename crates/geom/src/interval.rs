@@ -172,47 +172,50 @@ impl Interval {
     /// * disjoint: `0`
     ///
     /// Every case is the interval Jaccard `|q∩k| / |span(q∪k)|` (see
-    /// [`Interval::jaccard`], property-tested equal). Degenerate ratios:
-    /// if the denominator is zero the intervals are identical points, and
-    /// the ratio is defined as 1.
+    /// [`Interval::jaccard`], property-tested equal), except that
+    /// degenerate (zero-width) intervals are defined by membership, not
+    /// measure: a point interval that lies inside the other interval
+    /// overlaps fully (1), otherwise not at all (0). A point query asks
+    /// for exactly one value; a cluster that covers that value can serve
+    /// it completely, and a single-valued cluster dimension (one sample,
+    /// or a constant feature) inside the query range is fully requested.
+    /// Without this branch the five-case formulas divide 0/0 for, e.g., a
+    /// point query sharing a boundary with a point cluster — the NaN then
+    /// poisons every downstream ranking sort.
     pub fn overlap_ratio(&self, cluster: &Interval) -> f64 {
         let q = self;
         let k = cluster;
-        let ratio = |num: f64, den: f64| {
-            if den > 0.0 {
-                num / den
-            } else {
-                // Zero denominator with intersecting intervals means both
-                // are the same single point: complete overlap.
-                1.0
-            }
-        };
+        if q.length() == 0.0 || k.length() == 0.0 {
+            return if q.intersects(k) { 1.0 } else { 0.0 };
+        }
+        // Both lengths are strictly positive from here on, so every
+        // denominator below is strictly positive (the partial cases span
+        // at least the longer of the two overlapping intervals): the
+        // divisions can produce neither NaN nor infinity.
         match q.overlap_case(k) {
             OverlapCase::Disjoint => 0.0,
-            OverlapCase::QueryInsideCluster => ratio(q.length(), k.length()),
-            OverlapCase::PartialLow => ratio(k.hi - q.lo, q.hi - k.lo),
-            OverlapCase::PartialHigh => ratio(q.hi - k.lo, k.hi - q.lo),
-            OverlapCase::ClusterInsideQuery => ratio(k.length(), q.length()),
+            OverlapCase::QueryInsideCluster => q.length() / k.length(),
+            OverlapCase::PartialLow => (k.hi - q.lo) / (q.hi - k.lo),
+            OverlapCase::PartialHigh => (q.hi - k.lo) / (k.hi - q.lo),
+            OverlapCase::ClusterInsideQuery => k.length() / q.length(),
         }
     }
 
     /// Interval Jaccard: `|q ∩ k| / |hull(q, k)|`, the closed form of
-    /// [`Interval::overlap_ratio`].
+    /// [`Interval::overlap_ratio`] — including the membership rule for
+    /// degenerate intervals (a point inside the other interval gives 1,
+    /// outside gives 0), so the two stay property-test equal.
     ///
     /// Identical intervals give 1 (including identical points); disjoint
-    /// intervals give 0; a point interval touching a wider interval gives
-    /// 0 (a measure-zero data range contributes no usable data).
+    /// intervals give 0; two distinct non-degenerate intervals touching
+    /// at a single point give 0 (a measure-zero shared range).
     pub fn jaccard(&self, other: &Interval) -> f64 {
+        if self.length() == 0.0 || other.length() == 0.0 {
+            return if self.intersects(other) { 1.0 } else { 0.0 };
+        }
         match self.intersection(other) {
             None => 0.0,
-            Some(inter) => {
-                let hull = self.hull(other).length();
-                if hull > 0.0 {
-                    inter.length() / hull
-                } else {
-                    1.0
-                }
-            }
+            Some(inter) => inter.length() / self.hull(other).length(),
         }
     }
 }
@@ -374,13 +377,54 @@ mod tests {
         assert_eq!(p.jaccard(&p), 1.0);
     }
 
+    /// Degenerate semantics: a point query inside a wide cluster is
+    /// fully served (the cluster covers the one requested value), so
+    /// the ratio is 1, not the measure-theoretic 0.
     #[test]
-    fn point_query_inside_wide_cluster_contributes_zero() {
+    fn point_query_inside_wide_cluster_overlaps_fully() {
         let p = Interval::point(5.0);
         let k = Interval::new(0.0, 10.0);
         assert_eq!(p.overlap_case(&k), OverlapCase::QueryInsideCluster);
-        assert_eq!(p.overlap_ratio(&k), 0.0);
-        assert_eq!(p.jaccard(&k), 0.0);
+        assert_eq!(p.overlap_ratio(&k), 1.0);
+        assert_eq!(p.jaccard(&k), 1.0);
+    }
+
+    /// Regression (degenerate-interval sweep): a single-valued cluster
+    /// dimension — one sample, or a constant feature — must score 1
+    /// inside the query range and 0 outside, never NaN. The boundary
+    /// cases (point exactly on a query bound, point query on a point
+    /// cluster) are the 0/0 shapes that used to be reachable.
+    #[test]
+    fn single_valued_cluster_dimension_never_yields_nan() {
+        let q = Interval::new(0.0, 10.0);
+        for (cluster, expected) in [
+            (Interval::point(5.0), 1.0),  // inside
+            (Interval::point(0.0), 1.0),  // on the low bound
+            (Interval::point(10.0), 1.0), // on the high bound
+            (Interval::point(-1.0), 0.0), // outside (below)
+            (Interval::point(11.0), 0.0), // outside (above)
+        ] {
+            let r = q.overlap_ratio(&cluster);
+            assert!(r.is_finite(), "NaN/inf for cluster {cluster:?}");
+            assert_eq!(r, expected, "cluster {cluster:?}");
+            // Symmetric: the degenerate interval as the query side.
+            assert_eq!(cluster.overlap_ratio(&q), expected);
+            assert_eq!(q.jaccard(&cluster), expected);
+        }
+        // Point query vs point cluster: 0/0 in every five-case formula.
+        assert_eq!(
+            Interval::point(3.0).overlap_ratio(&Interval::point(3.0)),
+            1.0
+        );
+        assert_eq!(
+            Interval::point(3.0).overlap_ratio(&Interval::point(4.0)),
+            0.0
+        );
+        // Point sitting exactly on the boundary of a wide interval: the
+        // PartialLow/PartialHigh formulas would divide 0 by the width
+        // sum only by luck of case classification; the membership rule
+        // makes the answer principled.
+        assert_eq!(Interval::point(10.0).overlap_ratio(&q), 1.0);
     }
 
     #[test]

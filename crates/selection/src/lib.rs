@@ -22,13 +22,20 @@
 //! All policies implement [`SelectionPolicy`] and return the same
 //! [`Selection`] structure, so the distributed-learning loop is policy
 //! agnostic.
+//!
+//! [`CachedQueryDriven`] wraps the paper's policy in a selection cache
+//! (quantized-query hashing, per-node epoch invalidation, delta
+//! re-scoring) that returns bit-identical selections at a fraction of
+//! the scoring work on repetitive query streams — see [`cache`].
 
 pub mod baselines;
+pub mod cache;
 pub mod literature;
 pub mod policy;
 pub mod query_driven;
 
 pub use baselines::{AllNodes, GameTheory, RandomSelection};
+pub use cache::{CacheConfig, CacheStats, CachedQueryDriven};
 pub use literature::{DataCentric, FairStochastic};
 pub use policy::{
     Participant, Selection, SelectionContext, SelectionOverhead, SelectionPolicy,

@@ -152,6 +152,14 @@ pub trait SelectionPolicy {
     fn overhead(&self, _ctx: &SelectionContext<'_>) -> SelectionOverhead {
         SelectionOverhead::default()
     }
+
+    /// Cache counters, for policies backed by a selection cache
+    /// ([`crate::cache::CachedQueryDriven`]). `None` — the default — for
+    /// uncached policies; the federation stream surfaces a snapshot in
+    /// its result when present.
+    fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        None
+    }
 }
 
 /// Wrapper that keeps the inner policy's *node* choices but drops the
@@ -179,6 +187,10 @@ impl<P: SelectionPolicy> SelectionPolicy for WithoutSelectivity<P> {
 
     fn overhead(&self, ctx: &SelectionContext<'_>) -> SelectionOverhead {
         self.0.overhead(ctx)
+    }
+
+    fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.0.cache_stats()
     }
 }
 

@@ -7,8 +7,9 @@ use crate::policy::{Participant, Selection, SelectionContext, SelectionPolicy, S
 /// Nodes per pool task when scoring a network. Fixed (independent of the
 /// worker count) so the scored list is identical for any pool; small
 /// because per-node scoring is `O(K·d)` — a few nodes amortise the task
-/// dispatch without starving wide pools on mid-sized networks.
-const NODE_CHUNK: usize = 8;
+/// dispatch without starving wide pools on mid-sized networks. Shared
+/// with [`crate::cache`] so cached re-scoring chunks identically.
+pub(crate) const NODE_CHUNK: usize = 8;
 
 /// How the ranked list is cut down to the participant set (Eq. 5 and the
 /// top-ℓ alternative the paper describes alongside it).
@@ -98,18 +99,50 @@ impl QueryDriven {
         );
         let summaries = node.summaries();
         let k_total = summaries.len();
-        let mut supporting: Vec<SupportingCluster> = summaries
-            .iter()
-            .filter_map(|s| {
-                let h = query.region().overlap_rate(&s.rect);
+        telemetry::counter!("qens_selection_overlap_evals_total").add(k_total as u64);
+        self.rank_clusters(
+            k_total,
+            summaries
+                .iter()
+                .map(|s| (s.cluster_id, s.size, query.region().overlap_rate(&s.rect))),
+        )
+    }
+
+    /// Eq. 3/4 over already-evaluated per-cluster overlaps
+    /// `(cluster_id, size, h_ik)`: the ε filter, the overlap-descending
+    /// sort, the potential sum (in sorted order) and the ranking rule.
+    ///
+    /// Shared by [`QueryDriven::score_node`] and the selection cache's
+    /// delta re-scoring path ([`crate::cache`]) so both produce
+    /// bit-identical `(ranking, supporting)` from identical overlaps.
+    ///
+    /// Non-finite overlaps are defensively skipped (and counted via
+    /// `qens_selection_nonfinite_scores_total`) instead of reaching the
+    /// `partial_cmp` sorts downstream — a poisoned summary must cost one
+    /// cluster, not panic the whole selection.
+    pub(crate) fn rank_clusters(
+        &self,
+        k_total: usize,
+        clusters: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> (f64, Vec<SupportingCluster>) {
+        let mut nonfinite = 0u64;
+        let mut supporting: Vec<SupportingCluster> = clusters
+            .into_iter()
+            .filter_map(|(cluster_id, size, h)| {
+                if !h.is_finite() {
+                    nonfinite += 1;
+                    return None;
+                }
                 (h >= self.epsilon).then_some(SupportingCluster {
-                    cluster_id: s.cluster_id,
+                    cluster_id,
                     overlap: h,
-                    size: s.size,
+                    size,
                 })
             })
             .collect();
-        telemetry::counter!("qens_selection_overlap_evals_total").add(k_total as u64);
+        if nonfinite > 0 {
+            telemetry::counter!("qens_selection_nonfinite_scores_total").add(nonfinite);
+        }
         telemetry::counter!("qens_selection_supporting_clusters_total")
             .add(supporting.len() as u64);
         supporting.sort_by(|a, b| {
@@ -129,6 +162,22 @@ impl QueryDriven {
             RankingRule::CountOnly => fraction,
         };
         (ranking, supporting)
+    }
+
+    /// Builds the [`Participant`] entry for a scored node, or `None` when
+    /// the node does not support the query. Shared with [`crate::cache`]
+    /// so the cached path keeps the exact participation predicate.
+    pub(crate) fn participant_for(
+        &self,
+        node: edgesim::NodeId,
+        ranking: f64,
+        supporting: Vec<SupportingCluster>,
+    ) -> Option<Participant> {
+        (ranking > 0.0 && !supporting.is_empty()).then_some(Participant {
+            node,
+            ranking,
+            supporting_clusters: supporting,
+        })
     }
 
     /// [`SelectionPolicy::select`] on an explicit pool handle: the
@@ -151,12 +200,17 @@ impl QueryDriven {
         let scored_by_node: Vec<Option<Participant>> =
             pool.map_indexed(nodes, NODE_CHUNK, |_, node| {
                 let (ranking, supporting) = self.score_node(node, ctx.query);
-                (ranking > 0.0 && !supporting.is_empty()).then_some(Participant {
-                    node: node.id(),
-                    ranking,
-                    supporting_clusters: supporting,
-                })
+                self.participant_for(node.id(), ranking, supporting)
             });
+        self.rank_and_cap(scored_by_node)
+    }
+
+    /// The leader-serial ranking phase: flattens the per-node scores (in
+    /// node order), sorts best-ranked first and applies the cap. Shared
+    /// with [`crate::cache`], which feeds it participants rebuilt from
+    /// cached per-dimension overlaps — going through the identical sort
+    /// and split is what makes cached selections bit-identical.
+    pub(crate) fn rank_and_cap(&self, scored_by_node: Vec<Option<Participant>>) -> Selection {
         let mut scored: Vec<Participant> = scored_by_node.into_iter().flatten().collect();
         // Ranking phase (sort + cap split) — leader-serial, so the span
         // may record on the logical clock and the profiler can separate

@@ -160,6 +160,10 @@ pub fn help_text(name: &str) -> &'static str {
         _ => {}
     }
     let family = [
+        (
+            "qens_cache_",
+            "selection-cache metric (hits, misses, invalidations, entries).",
+        ),
         ("qens_cluster_", "k-means clustering stage metric."),
         ("qens_selection_", "query-driven node selection metric."),
         ("qens_fed_", "federated round engine metric."),

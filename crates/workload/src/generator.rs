@@ -184,19 +184,43 @@ pub fn generate(space: &HyperRect, config: &WorkloadConfig) -> QueryWorkload {
             .map(|d| {
                 let frac = rng.gen_range(lo_frac..=hi_frac);
                 let half = 0.5 * frac * spans[d];
-                let iv = space.interval(d);
-                let lo = (center[d] - half).max(iv.lo());
-                let hi = (center[d] + half).min(iv.hi());
-                Interval::new(lo, hi.max(lo))
+                clamped_query_interval(center[d], half, space.interval(d))
             })
             .collect();
-        queries.push(Query::new(id as u64, HyperRect::new(intervals)));
+        let rect = HyperRect::new(intervals);
+        // Postcondition of the whole generator: no query may leave the
+        // space, whatever the centre distribution did near (or beyond)
+        // the boundaries — downstream consumers (selection caching,
+        // figure pipelines) assume containment.
+        debug_assert!(
+            rect.intervals()
+                .iter()
+                .enumerate()
+                .all(|(d, iv)| space.interval(d).contains_interval(iv)),
+            "generated query {id} leaves the space: {rect:?}"
+        );
+        queries.push(Query::new(id as u64, rect));
     }
 
     QueryWorkload {
         space: space.clone(),
         queries,
     }
+}
+
+/// The query's extent on one dimension: `centre ± half`, with *both*
+/// bounds clamped into the space and inverted results pinned to a point.
+///
+/// Clamping only the low bound up and the high bound down (the previous
+/// inline form) is not enough on its own when a centre can sit outside
+/// the space — e.g. a [`WorkloadKind::DataAnchored`] anchor taken from a
+/// node whose data exceeds the queried sub-space: `centre + half` could
+/// then undershoot `space.lo()` and flip the interval. Clamping both
+/// bounds into `[lo, hi]` makes containment unconditional.
+fn clamped_query_interval(center: f64, half: f64, space: &Interval) -> Interval {
+    let lo = (center - half).clamp(space.lo(), space.hi());
+    let hi = (center + half).clamp(space.lo(), space.hi());
+    Interval::new(lo, hi.max(lo))
 }
 
 fn uniform_center(space: &HyperRect, rng: &mut impl Rng) -> Vec<f64> {
@@ -230,35 +254,82 @@ mod tests {
         }
     }
 
+    /// Boundary-containment pin for **all four** workload kinds: no
+    /// generated query may extend past `QueryWorkload::space`, even with
+    /// aggressive spreads, near-full-span half-widths (the
+    /// centre ± half overshoot case) and — the hardest case —
+    /// data-anchored centres whose anchors lie entirely *outside* the
+    /// generated space.
     #[test]
     fn queries_stay_inside_the_space() {
-        for kind in [
+        let kinds = [
             WorkloadKind::Uniform,
             WorkloadKind::Drifting {
-                step_frac: 0.1,
-                spread_frac: 0.05,
+                step_frac: 0.4,
+                spread_frac: 0.3,
             },
             WorkloadKind::Hotspot {
                 hotspots: 3,
-                spread_frac: 0.05,
+                spread_frac: 0.3,
             },
-        ] {
-            let cfg = WorkloadConfig {
-                kind,
-                ..WorkloadConfig::paper_default(3)
-            };
-            let w = generate(&space(), &cfg);
-            for q in &w.queries {
-                for (d, iv) in q.region().intervals().iter().enumerate() {
-                    let s = w.space.interval(d);
-                    assert!(
-                        s.contains_interval(iv),
-                        "query {:?} leaves the space",
-                        q.id()
-                    );
+            WorkloadKind::DataAnchored {
+                // In-space, boundary and far-out-of-space anchors.
+                anchors: vec![
+                    vec![50.0, 0.0],
+                    vec![0.0, -50.0],
+                    vec![100.0, 50.0],
+                    vec![-300.0, 400.0],
+                    vec![1e6, -1e6],
+                ],
+                jitter_frac: 0.2,
+            },
+        ];
+        for kind in kinds {
+            for seed in [3, 4, 5] {
+                let cfg = WorkloadConfig {
+                    kind: kind.clone(),
+                    halfwidth_frac: (0.05, 0.95),
+                    seed,
+                    ..WorkloadConfig::paper_default(seed)
+                };
+                let w = generate(&space(), &cfg);
+                for q in &w.queries {
+                    for (d, iv) in q.region().intervals().iter().enumerate() {
+                        let s = w.space.interval(d);
+                        assert!(
+                            s.contains_interval(iv),
+                            "{kind:?} query {} leaves the space on dim {d}: \
+                             [{}, {}] vs [{}, {}]",
+                            q.id(),
+                            iv.lo(),
+                            iv.hi(),
+                            s.lo(),
+                            s.hi()
+                        );
+                    }
                 }
             }
         }
+    }
+
+    /// The clamp helper itself: inverted extents (centre beyond the
+    /// space) must pin to a boundary point instead of panicking in
+    /// `Interval::new`.
+    #[test]
+    fn clamped_interval_handles_out_of_space_centres() {
+        let s = Interval::new(0.0, 10.0);
+        assert_eq!(
+            clamped_query_interval(5.0, 2.0, &s),
+            Interval::new(3.0, 7.0)
+        );
+        assert_eq!(
+            clamped_query_interval(0.5, 2.0, &s),
+            Interval::new(0.0, 2.5)
+        );
+        // Centre far below the space: both bounds clamp to space.lo().
+        assert_eq!(clamped_query_interval(-50.0, 2.0, &s), Interval::point(0.0));
+        // Centre far above: both bounds clamp to space.hi().
+        assert_eq!(clamped_query_interval(50.0, 2.0, &s), Interval::point(10.0));
     }
 
     #[test]

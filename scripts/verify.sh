@@ -30,7 +30,13 @@
 #  10. the perf harness (`repro bench --check`) under QENS_BENCH_GATE:
 #      records kernel timings to results/BENCH_qens.json, warns on any
 #      regression against the committed baseline, and *fails* when a
-#      kernel regresses past the gate factor below.
+#      kernel regresses past the gate factor below,
+#  11. selection-cache transparency: `repro fig7` is run with
+#      QENS_CACHE=0 and again with QENS_CACHE=1 (coarse
+#      QENS_CACHE_QUANT so the stream actually hits) and the figure
+#      CSVs must be byte-identical — the cache may change how fast a
+#      selection is computed, never what is selected — plus the cache
+#      integration tests re-run under QENS_THREADS=2.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -83,5 +89,21 @@ echo "folded stacks + flamegraph are thread-count stable"
 
 echo "==> repro bench --check (perf harness, QENS_BENCH_GATE=20 hard gate)"
 QENS_BENCH_GATE=20 cargo run -q -p bench --bin repro --release --offline -- bench --check
+
+echo "==> selection-cache transparency (fig7 byte-identical with QENS_CACHE=0 vs 1)"
+QENS_CACHE=0 cargo run -q -p bench --bin repro --release --offline -- fig7 > /dev/null
+cp results/fig7_lr.csv results/fig7_lr.nocache.csv
+cp results/fig7_nn.csv results/fig7_nn.nocache.csv
+QENS_CACHE=1 QENS_CACHE_QUANT=50 \
+  cargo run -q -p bench --bin repro --release --offline -- fig7 > /dev/null
+cmp results/fig7_lr.csv results/fig7_lr.nocache.csv \
+  || { echo "FAIL: fig7 LR series differs with the selection cache on"; exit 1; }
+cmp results/fig7_nn.csv results/fig7_nn.nocache.csv \
+  || { echo "FAIL: fig7 NN series differs with the selection cache on"; exit 1; }
+rm -f results/fig7_lr.nocache.csv results/fig7_nn.nocache.csv
+echo "fig7 series are cache-transparent"
+
+echo "==> selection-cache tests under QENS_THREADS=2"
+QENS_THREADS=2 cargo test -q --offline -p qens --test selection_cache
 
 echo "verify OK"
