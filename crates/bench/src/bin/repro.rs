@@ -306,6 +306,51 @@ fn run_fig8_faults(scale: ExperimentScale) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `load` owns its own --smoke flag (live-server smoke), so it must
+    // dispatch before the global --smoke fast path.
+    if args.first().map(String::as_str) == Some("load") {
+        let mut opts = bench::serve::loadgen::LoadOptions::default();
+        let mut it = args.iter().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--seed" => {
+                    opts.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("load: --seed needs an integer");
+                        std::process::exit(2);
+                    });
+                }
+                "--queries" => {
+                    opts.queries = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("load: --queries needs a positive integer");
+                        std::process::exit(2);
+                    });
+                }
+                other => {
+                    eprintln!(
+                        "load: unknown flag {other:?}; expected \
+                         [--seed N] [--queries N] [--smoke]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        telemetry::set_enabled(true);
+        if opts.smoke {
+            if let Err(e) = bench::serve::loadgen::smoke(&opts) {
+                eprintln!("load --smoke: {e}");
+                std::process::exit(1);
+            }
+        } else {
+            let csv = bench::serve::loadgen::run_load(&opts);
+            let dir = results_dir();
+            std::fs::create_dir_all(&dir).expect("create results dir");
+            let path = dir.join("fig9_saturation.csv");
+            std::fs::write(&path, csv).expect("write fig9_saturation.csv");
+            println!("(saturation table -> {})", path.display());
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--smoke") {
         run_smoke();
         return;
@@ -325,9 +370,18 @@ fn main() {
                         })
                         .clone();
                 }
+                "--duration" => {
+                    let seconds: f64 =
+                        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                            eprintln!("serve: --duration needs a number of seconds");
+                            std::process::exit(2);
+                        });
+                    opts.duration = Some(seconds);
+                }
                 other => {
                     eprintln!(
-                        "serve: unknown flag {other:?}; expected [--addr host:port] [--once]"
+                        "serve: unknown flag {other:?}; expected \
+                         [--addr host:port] [--once] [--duration seconds]"
                     );
                     std::process::exit(2);
                 }
@@ -423,7 +477,7 @@ fn main() {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
                  table1|table2|table3|fig1|fig2|fig5|fig6|fig7|fig8|fig9|faults|extended|all \
-                 [--paper | --smoke], or a tool subcommand: serve|bench|profile"
+                 [--paper | --smoke], or a tool subcommand: serve|load|bench|profile"
             );
             std::process::exit(2);
         }

@@ -2,8 +2,8 @@
 //!
 //! Times a fixed set of kernels (k-means fit, query-driven selection
 //! uncached and behind a warm selection cache, an end-to-end federated
-//! round, the Prometheus exporter) and writes
-//! `results/BENCH_qens.json` in a tiny stable schema:
+//! round, the Prometheus exporter, a live `POST /query` round trip)
+//! and writes `results/BENCH_qens.json` in a tiny stable schema:
 //!
 //! ```json
 //! {"schema":"qens-bench-v1","results":[
@@ -141,6 +141,23 @@ pub fn run_suite() -> Vec<BenchResult> {
     out.push(time_kernel("prometheus_export", 5, 64, || {
         let _ = qens::telemetry::export::to_prometheus(&snap);
     }));
+
+    // Kernel 5: a live POST /query round trip against an ephemeral
+    // server — HTTP parse, admission, batcher hand-off, federation
+    // round, reply. The end-to-end serving latency the /query endpoint
+    // actually delivers (the warmup iteration also warms its selection
+    // cache, like a steady-state server).
+    let server = crate::serve::spawn("127.0.0.1:0", crate::serve::demo_federation())
+        .expect("spawn bench server");
+    let addr = server.addr().to_string();
+    out.push(time_kernel("serve_roundtrip", 1, 8, || {
+        let (status, body) =
+            crate::serve::http::post(&addr, "/query", "{\"bounds\": [0, 20, 0, 45]}")
+                .expect("bench round trip");
+        assert_eq!(status, 200, "bench round trip failed: {body}");
+    }));
+    server.request_shutdown();
+    server.wait().expect("bench server shutdown");
 
     out
 }
@@ -406,7 +423,8 @@ mod tests {
                 "selection_rank",
                 "selection_rank_cached",
                 "fedlearn_round",
-                "prometheus_export"
+                "prometheus_export",
+                "serve_roundtrip"
             ]
         );
         assert!(results.iter().all(|r| r.nanos_per_iter > 0.0));

@@ -1,0 +1,1072 @@
+//! The query-serving subsystem: live observability plus a concurrent
+//! `POST /query` front end over the federation engine.
+//!
+//! Hand-rolled HTTP/1.1 over [`std::net::TcpListener`] (the workspace
+//! builds with the crates-io registry unreachable — no hyper/axum), with
+//! keep-alive, `Content-Length` bodies and hard caps everywhere:
+//!
+//! | path                | body                                                 |
+//! |---------------------|------------------------------------------------------|
+//! | `/healthz`          | `ok` (text/plain)                                    |
+//! | `/metrics`          | Prometheus text exposition of the global registry    |
+//! | `/trace`            | Chrome trace-event JSON of the trace buffer          |
+//! | `/profile`          | Folded-stack profile of the trace buffer (text)      |
+//! | `/profile.svg`      | The same profile as an SVG flamegraph                |
+//! | `/slowest`          | Flight-recorder top-K slowest queries (JSON)         |
+//! | `/slo`              | SLO objective, good/bad totals and burn rates (JSON) |
+//! | `/cache`            | Selection-cache hit/miss statistics (JSON)           |
+//! | `POST /query`       | Run a federation round for a JSON query rectangle    |
+//! | `POST /shutdown`    | Graceful drain + exit (loopback peers only)          |
+//!
+//! `POST /query` takes `{"id": 7, "bounds": [x_min, x_max, ..., y_min,
+//! y_max]}` (`id` optional) and returns the selection plus the federated
+//! answer. Queries flow through a bounded ingestion queue with explicit
+//! admission control — a full queue answers `429` with `Retry-After`, a
+//! stale queue entry is shed with `503` — and a batcher that coalesces
+//! queries sharing a quantized cache bucket into one federation wave
+//! (see [`ingest`]). Bodies over the admission cap get `413` unread.
+//!
+//! Malformed requests never kill the process: empty, truncated,
+//! oversized and non-UTF-8 heads all get a `400` with a body, wrong
+//! methods get `405` with an `Allow` header, unknown paths a `404`
+//! listing every endpoint.
+//!
+//! `repro serve` binds and serves until `--duration` elapses or a
+//! loopback client posts `/shutdown` — both drain in-flight queries
+//! before exit. `repro serve --once` is the self-test mode
+//! `scripts/verify.sh` runs: it probes every endpoint (plus the error
+//! and admission paths) and exits.
+
+pub mod http;
+pub mod ingest;
+pub mod loadgen;
+
+use std::io::{BufReader, Read};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use qens::geom::Query;
+use qens::prelude::*;
+use qens::telemetry;
+
+use http::{read_request, write_response, ReadOutcome, Request};
+use ingest::{BoundedQueue, QueryJob, Reply};
+
+/// Top-ℓ of the serving policy (shared by the server and the load
+/// generator so their answers agree).
+pub const SERVE_SELECT_L: usize = 3;
+
+/// Requests served per keep-alive connection before the server closes
+/// it (bounds how long one client can pin a worker).
+const KEEP_ALIVE_MAX_REQUESTS: usize = 128;
+
+const ENDPOINT_LIST: &str = "/healthz, /metrics, /trace, /profile, /profile.svg, /slowest, /slo, \
+                             /cache, POST /query, POST /shutdown";
+
+/// What `serve` should bind and how long it should live.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// `host:port` to bind; port 0 asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Self-test mode: probe every endpoint once, assert, exit.
+    pub once: bool,
+    /// Exit (gracefully, draining in-flight queries) after this many
+    /// seconds; `None` serves until `POST /shutdown` or Ctrl-C.
+    pub duration: Option<f64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:9464".to_string(),
+            once: false,
+            duration: None,
+        }
+    }
+}
+
+/// Everything the worker and batcher threads share.
+pub struct ServerState {
+    pub fed: Federation,
+    pub admission: AdmissionConfig,
+    pub queue: BoundedQueue<QueryJob>,
+    /// Set on shutdown request: new queries get `503 draining`, the
+    /// batcher exits once the queue is empty.
+    draining: AtomicBool,
+    /// Set after `draining`, once the drain should also stop the accept
+    /// loops.
+    stopping: AtomicBool,
+    /// Wakes [`ServerHandle::wait`] when a shutdown is requested.
+    shutdown: Mutex<bool>,
+    shutdown_cv: Condvar,
+    /// Ids for queries posted without one (offset so they never collide
+    /// with small client-chosen ids).
+    next_id: AtomicU64,
+}
+
+impl ServerState {
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begins a graceful shutdown: refuse new queries, let the batcher
+    /// burn the queue down, wake the waiter.
+    pub fn request_shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.notify_all();
+        let mut flag = self.shutdown.lock().expect("shutdown flag poisoned");
+        *flag = true;
+        self.shutdown_cv.notify_all();
+    }
+}
+
+/// The federation a standalone `repro serve` answers queries against: a
+/// mid-size heterogeneous network with the selection cache on and a
+/// coarse quantization bucket, so repeated query regions actually hit
+/// the cache and batch together.
+pub(crate) fn demo_federation() -> Federation {
+    FederationBuilder::new()
+        .heterogeneous_nodes(6, 120)
+        .clusters_per_node(4)
+        .seed(13)
+        .epochs(2)
+        .telemetry(true)
+        .selection_cache(true)
+        .selection_cache_bucket(30.0)
+        .build()
+}
+
+/// A running server: bound listener, worker threads, batcher.
+pub struct ServerHandle {
+    addr: String,
+    state: Arc<ServerState>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    batcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound `host:port` (resolves port 0 to the real port).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Requests a graceful shutdown (same path as `POST /shutdown`).
+    pub fn request_shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    /// Blocks until a shutdown is requested, then drains: the batcher
+    /// finishes every admitted query, the accept loops stop, every
+    /// thread is joined.
+    pub fn wait(mut self) -> std::io::Result<()> {
+        {
+            let mut flag = self.state.shutdown.lock().expect("shutdown flag poisoned");
+            while !*flag {
+                flag = self
+                    .state
+                    .shutdown_cv
+                    .wait(flag)
+                    .expect("shutdown flag poisoned");
+            }
+        }
+        if let Some(batcher) = self.batcher.take() {
+            batcher.join().expect("batcher thread panicked");
+        }
+        self.state.stopping.store(true, Ordering::SeqCst);
+        // Unblock every worker's accept() with one throwaway connection
+        // each; workers check `stopping` right after accepting.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(&self.addr);
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread panicked");
+        }
+        Ok(())
+    }
+}
+
+/// Binds `addr` and spawns the accept workers plus the batcher.
+/// Non-blocking; drive the result with [`ServerHandle::wait`].
+pub fn spawn(addr: &str, fed: Federation) -> std::io::Result<ServerHandle> {
+    telemetry::set_enabled(true);
+    let admission = fed.admission();
+    let listener = Arc::new(TcpListener::bind(addr)?);
+    let local = listener.local_addr()?.to_string();
+    let state = Arc::new(ServerState {
+        fed,
+        admission,
+        queue: BoundedQueue::new(admission.queue_depth),
+        draining: AtomicBool::new(false),
+        stopping: AtomicBool::new(false),
+        shutdown: Mutex::new(false),
+        shutdown_cv: Condvar::new(),
+        next_id: AtomicU64::new(1 << 32),
+    });
+    let batcher = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("qens-serve-batcher".into())
+            .spawn(move || ingest::batcher_loop(state))?
+    };
+    const N_WORKERS: usize = 4;
+    let mut workers = Vec::with_capacity(N_WORKERS);
+    for i in 0..N_WORKERS {
+        let listener = Arc::clone(&listener);
+        let state = Arc::clone(&state);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("qens-serve-worker-{i}"))
+                .spawn(move || loop {
+                    if state.stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if state.stopping.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            if let Err(e) = handle_connection(stream, &state) {
+                                eprintln!("connection error: {e}");
+                            }
+                        }
+                        Err(e) => eprintln!("accept error: {e}"),
+                    }
+                })?,
+        );
+    }
+    Ok(ServerHandle {
+        addr: local,
+        state,
+        workers,
+        batcher: Some(batcher),
+    })
+}
+
+/// Serves one connection: a keep-alive loop of parse → route → respond.
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) -> std::io::Result<()> {
+    let mut stream = stream;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut served = 0usize;
+    loop {
+        let first = served == 0;
+        let outcome = read_request(&mut reader, state.admission.body_cap_bytes, first)?;
+        let request = match outcome {
+            ReadOutcome::Closed => return Ok(()),
+            ReadOutcome::Bad { reason } => {
+                // Drain what the peer already sent (bounded, under the
+                // read timeout) before responding: closing a socket with
+                // unread bytes pending RSTs the connection, and the 400
+                // would never reach the client.
+                let _ = std::io::copy(
+                    &mut Read::by_ref(&mut reader).take(1 << 20),
+                    &mut std::io::sink(),
+                );
+                return write_response(
+                    &mut stream,
+                    "400 Bad Request",
+                    "text/plain; charset=utf-8",
+                    "",
+                    &format!("bad request: {reason}\n"),
+                    false,
+                );
+            }
+            ReadOutcome::TooLarge { declared } => {
+                telemetry::counter!("qens_serve_body_rejected_total").incr();
+                // Drain what we can of the refused body (bounded, under
+                // the read timeout) so a client mid-send sees our 413
+                // instead of a connection reset; then close — the
+                // connection cannot be reused without the full body.
+                let _ = std::io::copy(
+                    &mut Read::by_ref(&mut reader).take((declared as u64).min(1 << 20)),
+                    &mut std::io::sink(),
+                );
+                return write_response(
+                    &mut stream,
+                    "413 Content Too Large",
+                    "text/plain; charset=utf-8",
+                    "",
+                    &format!(
+                        "declared body of {declared} bytes exceeds the {} byte cap\n",
+                        state.admission.body_cap_bytes
+                    ),
+                    false,
+                );
+            }
+            ReadOutcome::Request(r) => r,
+        };
+        telemetry::counter!("qens_serve_requests_total").incr();
+        served += 1;
+        let keep_alive = request.keep_alive
+            && served < KEEP_ALIVE_MAX_REQUESTS
+            && !state.stopping.load(Ordering::SeqCst);
+        let close_after = respond(&mut stream, request, state, keep_alive)?;
+        if close_after || !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Routes one request and writes its response. Returns `true` when the
+/// connection must close regardless of keep-alive (shutdown).
+fn respond(
+    stream: &mut TcpStream,
+    request: Request,
+    state: &Arc<ServerState>,
+    keep_alive: bool,
+) -> std::io::Result<bool> {
+    let method = request.method.as_str();
+    let path = request.path.split('?').next().unwrap_or("");
+    match (method, path) {
+        ("POST", "/query") => {
+            serve_query(stream, &request.body, state, keep_alive)?;
+            Ok(false)
+        }
+        ("POST", "/shutdown") => {
+            let loopback = stream
+                .peer_addr()
+                .map(|a| a.ip().is_loopback())
+                .unwrap_or(false);
+            if !loopback {
+                write_response(
+                    stream,
+                    "403 Forbidden",
+                    "text/plain; charset=utf-8",
+                    "",
+                    "shutdown is only accepted from loopback peers\n",
+                    keep_alive,
+                )?;
+                return Ok(false);
+            }
+            // Respond first, then trip the shutdown: the client must see
+            // the acknowledgement before the accept loops die.
+            write_response(
+                stream,
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "",
+                "draining in-flight queries, then exiting\n",
+                false,
+            )?;
+            state.request_shutdown();
+            Ok(true)
+        }
+        (_, "/query" | "/shutdown") => {
+            write_response(
+                stream,
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                "Allow: POST\r\n",
+                &format!("{path} only accepts POST\n"),
+                keep_alive,
+            )?;
+            Ok(false)
+        }
+        (m, _) if m != "GET" => {
+            write_response(
+                stream,
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                "Allow: GET\r\n",
+                &format!("method {m} not allowed; only GET is supported\n"),
+                keep_alive,
+            )?;
+            Ok(false)
+        }
+        ("GET", "/healthz") => {
+            write_response(
+                stream,
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "",
+                "ok\n",
+                keep_alive,
+            )?;
+            Ok(false)
+        }
+        ("GET", "/metrics") => {
+            let body = telemetry::export::to_prometheus(&telemetry::global().snapshot());
+            write_response(
+                stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                "",
+                &body,
+                keep_alive,
+            )?;
+            Ok(false)
+        }
+        ("GET", "/trace") => {
+            let body = telemetry::trace::export_chrome(None);
+            write_response(stream, "200 OK", "application/json", "", &body, keep_alive)?;
+            Ok(false)
+        }
+        ("GET", "/profile") => {
+            let profile = telemetry::profile::aggregate(&telemetry::trace::snapshot_events());
+            write_response(
+                stream,
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "",
+                &telemetry::profile::to_folded(&profile),
+                keep_alive,
+            )?;
+            Ok(false)
+        }
+        ("GET", "/profile.svg") => {
+            let profile = telemetry::profile::aggregate(&telemetry::trace::snapshot_events());
+            let unit = match telemetry::trace::mode() {
+                Some(telemetry::trace::Clock::Logical) => "ticks",
+                _ => "ns",
+            };
+            let body = telemetry::profile::to_svg(&profile, "qens live profile", unit);
+            write_response(stream, "200 OK", "image/svg+xml", "", &body, keep_alive)?;
+            Ok(false)
+        }
+        ("GET", "/slowest") => {
+            let body = telemetry::profile::slowest_to_json();
+            write_response(stream, "200 OK", "application/json", "", &body, keep_alive)?;
+            Ok(false)
+        }
+        ("GET", "/slo") => {
+            let body = telemetry::profile::slo_to_json();
+            write_response(stream, "200 OK", "application/json", "", &body, keep_alive)?;
+            Ok(false)
+        }
+        ("GET", "/cache") => {
+            write_response(
+                stream,
+                "200 OK",
+                "application/json",
+                "",
+                &cache_stats_json(),
+                keep_alive,
+            )?;
+            Ok(false)
+        }
+        ("GET", other) => {
+            write_response(
+                stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "",
+                &format!("no endpoint {other}; try one of: {ENDPOINT_LIST}\n"),
+                keep_alive,
+            )?;
+            Ok(false)
+        }
+        _ => unreachable!("non-GET methods are rejected above"),
+    }
+}
+
+/// Renders the selection cache's registry mirror as JSON (the cache
+/// itself lives inside the batcher's policy object; its counters are
+/// published to the global registry on every lookup).
+pub fn cache_stats_json() -> String {
+    let snap = telemetry::global().snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let hits = counter("qens_cache_hits_total");
+    let misses = counter("qens_cache_misses_total");
+    let lookups = hits + misses;
+    let hit_rate = if lookups > 0 {
+        hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"hits\":{hits},\"misses\":{misses},\"invalidations\":{},\"entries\":{},\"hit_rate\":{hit_rate:.6}}}\n",
+        counter("qens_cache_invalidations_total"),
+        snap.gauge("qens_cache_entries").unwrap_or(0.0) as u64,
+    )
+}
+
+/// Parses the tiny `POST /query` JSON body: `{"id": 7, "bounds":
+/// [lo, hi, ...]}` with `id` optional. A hand-rolled scanner — the
+/// subset is small enough that a JSON dependency would be overkill
+/// (and the workspace builds offline).
+fn parse_query_body(body: &[u8]) -> Result<(Option<u64>, Vec<f64>), &'static str> {
+    let s = std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8")?;
+    let s = s.trim();
+    if !s.starts_with('{') || !s.ends_with('}') {
+        return Err("body must be a JSON object like {\"bounds\": [0, 20, 0, 45]}");
+    }
+    let bounds_key = s.find("\"bounds\"").ok_or("missing \"bounds\" array")?;
+    let after = &s[bounds_key + "\"bounds\"".len()..];
+    let lb = after.find('[').ok_or("missing [ after \"bounds\"")?;
+    let rb = after.find(']').ok_or("missing ] closing \"bounds\"")?;
+    if rb < lb {
+        return Err("malformed \"bounds\" array");
+    }
+    let mut bounds = Vec::new();
+    for tok in after[lb + 1..rb].split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        bounds.push(tok.parse::<f64>().map_err(|_| "non-numeric bound")?);
+    }
+    let id = s.find("\"id\"").and_then(|i| {
+        let after = &s[i + "\"id\"".len()..];
+        let colon = after.find(':')?;
+        let rest = after[colon + 1..].trim_start();
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse::<u64>().ok()
+    });
+    Ok((id, bounds))
+}
+
+/// The `POST /query` flow: validate → admit (or 429) → wait for the
+/// batcher's reply (or 503/504).
+fn serve_query(
+    stream: &mut TcpStream,
+    body: &[u8],
+    state: &Arc<ServerState>,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    if state.is_draining() {
+        return write_response(
+            stream,
+            "503 Service Unavailable",
+            "application/json",
+            "",
+            "{\"error\":\"server is draining\"}\n",
+            false,
+        );
+    }
+    let (id, bounds) = match parse_query_body(body) {
+        Ok(parsed) => parsed,
+        Err(reason) => {
+            return write_response(
+                stream,
+                "400 Bad Request",
+                "application/json",
+                "",
+                &format!("{{\"error\":\"{reason}\"}}\n"),
+                keep_alive,
+            )
+        }
+    };
+    let dim = state.fed.network().global_space().to_boundary_vec().len() / 2;
+    if bounds.len() != 2 * dim {
+        return write_response(
+            stream,
+            "400 Bad Request",
+            "application/json",
+            "",
+            &format!(
+                "{{\"error\":\"expected {} bounds (lo/hi per dimension of the {dim}-d joint space), got {}\"}}\n",
+                2 * dim,
+                bounds.len()
+            ),
+            keep_alive,
+        );
+    }
+    for pair in bounds.chunks(2) {
+        if !pair[0].is_finite() || !pair[1].is_finite() || pair[0] > pair[1] {
+            return write_response(
+                stream,
+                "400 Bad Request",
+                "application/json",
+                "",
+                &format!(
+                    "{{\"error\":\"invalid interval [{}, {}]: bounds must be finite with lo <= hi\"}}\n",
+                    pair[0], pair[1]
+                ),
+                keep_alive,
+            );
+        }
+    }
+    let id = id.unwrap_or_else(|| state.next_id.fetch_add(1, Ordering::Relaxed));
+    let query = Query::from_boundary_vec(id, &bounds);
+    telemetry::trace::instant("serve.enqueue", &[("query", id)]);
+    let (tx, rx) = mpsc::channel();
+    let job = QueryJob {
+        query,
+        enqueued: std::time::Instant::now(),
+        reply: tx,
+    };
+    if state.queue.try_push(job).is_err() {
+        telemetry::counter!("qens_serve_rejected_total").incr();
+        return write_response(
+            stream,
+            "429 Too Many Requests",
+            "application/json",
+            "Retry-After: 1\r\n",
+            &format!(
+                "{{\"error\":\"ingestion queue full ({} waiting)\"}}\n",
+                state.admission.queue_depth
+            ),
+            keep_alive,
+        );
+    }
+    telemetry::counter!("qens_serve_queries_total").incr();
+    match rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(Reply {
+            status,
+            content_type,
+            body,
+        }) => write_response(stream, status, content_type, "", &body, keep_alive),
+        Err(_) => write_response(
+            stream,
+            "504 Gateway Timeout",
+            "application/json",
+            "",
+            "{\"error\":\"federation round did not finish in time\"}\n",
+            false,
+        ),
+    }
+}
+
+/// A tiny faulty + traced workload so the observability endpoints have
+/// something to show: guarantees at least one `qens_fault_*` counter
+/// (retries / dropped participants) and `qens_trace_*` counters in
+/// `/metrics`, and a non-empty span tree in `/trace`.
+pub fn seed_observable_workload() {
+    telemetry::trace::set_mode(Some(telemetry::trace::Clock::Wall));
+    telemetry::trace::clear();
+    let fed = FederationBuilder::new()
+        .heterogeneous_nodes(4, 60)
+        .clusters_per_node(3)
+        .seed(7)
+        .epochs(2)
+        .telemetry(true)
+        .faults(
+            FaultSpec::unreliable_edge(7)
+                .with_dropout(0.3)
+                .with_link_loss(0.6),
+        )
+        .fault_tolerance(FaultTolerance::full_strength())
+        .build();
+    for qid in 0..3u64 {
+        let q = fed.query_from_bounds(qid, &[0.0, 20.0, 0.0, 45.0]);
+        // Quorum loss under a hostile plan is acceptable here — every
+        // attempt still records metrics and trace events.
+        let _ = fed.run_query(&q, &PolicyKind::query_driven(2));
+    }
+}
+
+/// Runs the endpoint. Blocking; returns in `--once` mode, when
+/// `--duration` elapses, or after a loopback `POST /shutdown`.
+///
+/// # Panics
+/// In `--once` mode, panics if any endpoint misbehaves — that is the
+/// point (verify.sh treats the panic as a failed gate).
+pub fn serve(opts: &ServeOptions) -> std::io::Result<()> {
+    if opts.once {
+        return serve_once();
+    }
+    let handle = spawn(&opts.addr, demo_federation())?;
+    println!(
+        "serving http://{} ({ENDPOINT_LIST}); POST /shutdown or Ctrl-C to stop",
+        handle.addr()
+    );
+    if let Some(seconds) = opts.duration {
+        let state = Arc::clone(handle.state());
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs_f64(seconds));
+            state.request_shutdown();
+        });
+    }
+    handle.wait()
+}
+
+/// The `--once` self-test: ephemeral port, every endpoint plus the
+/// error, admission and drain paths probed, hard asserts.
+fn serve_once() -> std::io::Result<()> {
+    use http::{get, post, probe_raw, KeepAliveClient, MAX_REQUEST_BYTES};
+
+    seed_observable_workload();
+    let handle = spawn("127.0.0.1:0", demo_federation())?;
+    let addr = handle.addr().to_string();
+
+    let (health_status, health_body) = get(&addr, "/healthz")?;
+    assert_eq!(health_status, 200, "/healthz must return 200");
+    assert!(health_body.contains("ok"), "/healthz body must say ok");
+
+    let (metrics_status, metrics_body) = get(&addr, "/metrics")?;
+    assert_eq!(metrics_status, 200, "/metrics must return 200");
+    assert!(
+        metrics_body.lines().any(|l| l.starts_with("qens_")),
+        "/metrics must expose qens_* series"
+    );
+    assert!(
+        metrics_body.contains("qens_fault_"),
+        "/metrics must expose at least one qens_fault_* series"
+    );
+    assert!(
+        metrics_body.contains("qens_trace_"),
+        "/metrics must expose at least one qens_trace_* series"
+    );
+    assert!(
+        metrics_body.contains("qens_build_info{") && metrics_body.contains("qens_uptime_seconds"),
+        "/metrics must carry the build_info and uptime self-description"
+    );
+    assert!(
+        metrics_body.contains("# HELP") && metrics_body.contains("# TYPE"),
+        "/metrics must carry HELP/TYPE metadata"
+    );
+
+    let (trace_status, trace_body) = get(&addr, "/trace")?;
+    assert_eq!(trace_status, 200, "/trace must return 200");
+    assert!(
+        trace_body.contains("\"traceEvents\"") && trace_body.contains("\"ph\":\"B\""),
+        "/trace must contain a non-empty Chrome trace"
+    );
+
+    let (profile_status, profile_body) = get(&addr, "/profile")?;
+    assert_eq!(profile_status, 200, "/profile must return 200");
+    assert!(
+        profile_body.lines().any(|l| l.starts_with("query")),
+        "/profile must contain folded stacks rooted at the query span"
+    );
+    assert!(
+        profile_body.contains("query;fedlearn.round"),
+        "/profile must attribute time to pipeline phases"
+    );
+
+    let (svg_status, svg_body) = get(&addr, "/profile.svg")?;
+    assert_eq!(svg_status, 200, "/profile.svg must return 200");
+    assert!(
+        svg_body.starts_with("<svg ") && svg_body.trim_end().ends_with("</svg>"),
+        "/profile.svg must be a complete SVG document"
+    );
+
+    let (slowest_status, slowest_body) = get(&addr, "/slowest")?;
+    assert_eq!(slowest_status, 200, "/slowest must return 200");
+    assert!(
+        slowest_body.starts_with("{\"slowest\":[") && slowest_body.contains("\"query_id\""),
+        "/slowest must list the flight recorder's retained queries"
+    );
+
+    let (slo_status, slo_body) = get(&addr, "/slo")?;
+    assert_eq!(slo_status, 200, "/slo must return 200");
+    assert!(
+        slo_body.contains("\"objective_nanos\"") && slo_body.contains("\"burn_rate_1x\""),
+        "/slo must expose the objective and burn rates"
+    );
+
+    // The query front end: a valid rectangle returns the selection and
+    // the federated answer.
+    let (q_status, q_body) = post(&addr, "/query", "{\"id\": 1, \"bounds\": [0, 20, 0, 45]}")?;
+    assert_eq!(q_status, 200, "POST /query must return 200, body: {q_body}");
+    assert!(
+        q_body.contains("\"query_id\":1")
+            && q_body.contains("\"participants\":[")
+            && q_body.contains("\"loss\":"),
+        "/query must return the selection plus the federated answer, got: {q_body}"
+    );
+
+    let (bad_status, bad_body) = post(&addr, "/query", "{\"bounds\": [0, 20, 0]}")?;
+    assert_eq!(bad_status, 400, "odd bounds must 400, got: {bad_body}");
+    let (bad_status, _) = post(&addr, "/query", "not json at all")?;
+    assert_eq!(bad_status, 400, "non-JSON bodies must 400");
+
+    // Admission: a body over the cap is refused unread with 413.
+    let huge = format!(
+        "{{\"bounds\": [0, 20, 0, 45], \"pad\": \"{}\"}}",
+        "x".repeat(handle.state().admission.body_cap_bytes + 1)
+    );
+    let (huge_status, _) = post(&addr, "/query", &huge)?;
+    assert_eq!(huge_status, 413, "oversized bodies must 413");
+
+    // The cache endpoint reflects the selection cache the query above
+    // just exercised.
+    let (cache_status, cache_body) = get(&addr, "/cache")?;
+    assert_eq!(cache_status, 200, "/cache must return 200");
+    assert!(
+        cache_body.contains("\"hits\":") && cache_body.contains("\"hit_rate\":"),
+        "/cache must expose hit/miss statistics, got: {cache_body}"
+    );
+
+    // Keep-alive: two requests over one socket.
+    let mut ka = KeepAliveClient::connect(&addr)?;
+    let (s1, _) = ka.request("GET", "/healthz", "")?;
+    let (s2, b2) = ka.request("POST", "/query", "{\"id\": 2, \"bounds\": [0, 20, 0, 45]}")?;
+    assert_eq!((s1, s2), (200, 200), "keep-alive pair must both succeed");
+    assert!(b2.contains("\"query_id\":2"));
+    drop(ka);
+
+    // Method discipline.
+    let (method_status, method_body) = get(&addr, "/query")?;
+    assert_eq!(method_status, 405, "GET /query must 405");
+    assert!(method_body.contains("POST"), "405 must point at POST");
+
+    let (missing_status, missing_body) = get(&addr, "/nope")?;
+    assert_eq!(missing_status, 404, "unknown paths must 404");
+    assert!(
+        missing_body.contains("/profile"),
+        "the 404 body must list the available endpoints"
+    );
+
+    // Error paths: an oversized request line and a truncated one must
+    // both get a 400, not kill a worker.
+    let mut oversized = Vec::from(&b"GET /"[..]);
+    oversized.resize(MAX_REQUEST_BYTES + 64, b'a');
+    oversized.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    let (oversized_status, _) = probe_raw(&addr, &oversized)?;
+    assert_eq!(oversized_status, 400, "oversized request lines must 400");
+
+    let (truncated_status, _) = probe_raw(&addr, b"GET /metrics")?;
+    assert_eq!(truncated_status, 400, "truncated request lines must 400");
+
+    // Graceful drain: a query in flight when /shutdown lands must still
+    // get its real answer before the server exits.
+    let addr2 = addr.clone();
+    let in_flight = std::thread::spawn(move || {
+        post(&addr2, "/query", "{\"id\": 3, \"bounds\": [0, 10, 0, 25]}").expect("in-flight query")
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    let (shutdown_status, shutdown_body) = post(&addr, "/shutdown", "")?;
+    assert_eq!(shutdown_status, 200, "loopback shutdown must be accepted");
+    assert!(shutdown_body.contains("draining"));
+    let (drained_status, drained_body) = in_flight.join().expect("in-flight thread");
+    assert!(
+        drained_status == 200,
+        "the in-flight query must drain to a real answer, got {drained_status}: {drained_body}"
+    );
+    handle.wait()?;
+
+    let series = metrics_body
+        .lines()
+        .filter(|l| l.starts_with("qens_"))
+        .count();
+    println!(
+        "serve --once OK: /healthz /metrics ({series} qens_* samples) /trace /profile \
+         /profile.svg /slowest /slo /cache all 200; POST /query + keep-alive + drain OK; \
+         404 + 400s + 405 + 413 error paths exercised"
+    );
+    telemetry::trace::set_mode(None);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::http::{get, post, probe_raw, KeepAliveClient, MAX_REQUEST_BYTES};
+    use super::*;
+
+    /// A small server for protocol-level tests (tiny federation, fast
+    /// build; admission overridable per test).
+    fn test_server(admission: Option<AdmissionConfig>) -> ServerHandle {
+        let mut builder = FederationBuilder::new()
+            .heterogeneous_nodes(4, 60)
+            .clusters_per_node(3)
+            .seed(7)
+            .epochs(2)
+            .telemetry(true)
+            .selection_cache(true)
+            .selection_cache_bucket(30.0);
+        if let Some(a) = admission {
+            builder = builder.admission(a);
+        } else {
+            builder = builder.admission(AdmissionConfig::default());
+        }
+        spawn("127.0.0.1:0", builder.build()).expect("spawn test server")
+    }
+
+    #[test]
+    fn http_round_trip_over_a_local_socket() {
+        let server = test_server(None);
+        let (status, body) = get(server.addr(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+        server.request_shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_wrong_methods_are_405() {
+        let server = test_server(None);
+        let (status, body) = get(server.addr(), "/definitely-not-here").unwrap();
+        assert_eq!(status, 404);
+        assert!(
+            body.contains("/slowest") && body.contains("/slo"),
+            "404 body must list the endpoints"
+        );
+        // POST to a GET endpoint.
+        let (status, body) = post(server.addr(), "/metrics", "").unwrap();
+        assert_eq!(status, 405);
+        assert!(body.contains("only GET"), "405 must explain the method");
+        // GET to a POST endpoint.
+        let (status, body) = get(server.addr(), "/query").unwrap();
+        assert_eq!(status, 405);
+        assert!(body.contains("POST"), "405 must point at POST");
+        server.request_shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_get_a_400_not_a_dead_socket() {
+        let server = test_server(None);
+        let addr = server.addr().to_string();
+        // Truncated request line (no newline, half-closed).
+        let (status, body) = probe_raw(&addr, b"GET /metrics").unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("truncated"));
+        // Oversized request line.
+        let mut oversized = Vec::from(&b"GET /"[..]);
+        oversized.resize(MAX_REQUEST_BYTES + 64, b'x');
+        oversized.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let (status, _) = probe_raw(&addr, &oversized).unwrap();
+        assert_eq!(status, 400);
+        // Empty request.
+        let (status, body) = probe_raw(&addr, b"").unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("empty"));
+        // Non-UTF-8 request line.
+        let (status, body) = probe_raw(&addr, b"\xff\xfe\xfd barbarism\r\n\r\n").unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("UTF-8"));
+        // Chunked transfer encoding is rejected, not mis-parsed.
+        let (status, body) = probe_raw(
+            &addr,
+            b"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("chunked"));
+        server.request_shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn profile_endpoints_serve_current_buffers() {
+        let server = test_server(None);
+        // Profile of an empty (or foreign) buffer is still a valid
+        // document — the endpoints never fail, they render what's there.
+        let (status, _) = get(server.addr(), "/profile").unwrap();
+        assert_eq!(status, 200);
+        let (status, body) = get(server.addr(), "/slowest").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"slowest\":["));
+        let (status, body) = get(server.addr(), "/slo").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"objective_nanos\""));
+        let (status, body) = get(server.addr(), "/cache").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"hit_rate\":"));
+        server.request_shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn query_round_trip_and_keep_alive() {
+        let server = test_server(None);
+        let (status, body) = post(
+            server.addr(),
+            "/query",
+            "{\"id\": 9, \"bounds\": [0, 20, 0, 45]}",
+        )
+        .unwrap();
+        assert_eq!(status, 200, "body: {body}");
+        assert!(body.contains("\"query_id\":9") && body.contains("\"participants\":["));
+        // Same bucket again over one keep-alive socket: still correct.
+        let mut ka = KeepAliveClient::connect(server.addr()).unwrap();
+        let (s1, b1) = ka
+            .request("POST", "/query", "{\"id\": 10, \"bounds\": [0, 20, 0, 45]}")
+            .unwrap();
+        let (s2, _) = ka.request("GET", "/healthz", "").unwrap();
+        assert_eq!((s1, s2), (200, 200));
+        assert!(b1.contains("\"query_id\":10"));
+        server.request_shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn zero_queue_depth_rejects_with_429_and_retry_after() {
+        let server = test_server(Some(AdmissionConfig {
+            queue_depth: 0,
+            ..AdmissionConfig::default()
+        }));
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        use std::io::{Read as _, Write as _};
+        let body = "{\"bounds\": [0, 20, 0, 45]}";
+        write!(
+            stream,
+            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 429"), "got: {response}");
+        assert!(
+            response.contains("Retry-After:"),
+            "429 must carry Retry-After, got: {response}"
+        );
+        server.request_shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn zero_deadline_sheds_with_503() {
+        let server = test_server(Some(AdmissionConfig {
+            deadline_ms: Some(0),
+            ..AdmissionConfig::default()
+        }));
+        let (status, body) = post(server.addr(), "/query", "{\"bounds\": [0, 20, 0, 45]}").unwrap();
+        assert_eq!(status, 503, "zero deadline must shed everything: {body}");
+        assert!(body.contains("shed"));
+        server.request_shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn oversized_bodies_get_413_without_being_read() {
+        let server = test_server(Some(AdmissionConfig {
+            body_cap_bytes: 256,
+            ..AdmissionConfig::default()
+        }));
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        use std::io::{Read as _, Write as _};
+        // Declare a huge body but never send it: the server must answer
+        // from the headers alone.
+        write!(
+            stream,
+            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 100000\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 413"), "got: {response}");
+        server.request_shutdown();
+        server.wait().unwrap();
+    }
+
+    #[test]
+    fn parse_query_body_accepts_the_documented_shape() {
+        let (id, bounds) = parse_query_body(b"{\"id\": 7, \"bounds\": [0, 20, 0.5, 45]}").unwrap();
+        assert_eq!(id, Some(7));
+        assert_eq!(bounds, vec![0.0, 20.0, 0.5, 45.0]);
+        let (id, bounds) = parse_query_body(b"{\"bounds\": [-1e3, 1e3]}").unwrap();
+        assert_eq!(id, None);
+        assert_eq!(bounds, vec![-1000.0, 1000.0]);
+        assert!(parse_query_body(b"[]").is_err());
+        assert!(parse_query_body(b"{\"bounds\": [1, oops]}").is_err());
+        assert!(parse_query_body(b"{}").is_err());
+    }
+
+    #[test]
+    fn duration_returns_after_draining() {
+        // A tiny duration must bring serve() home on its own.
+        let started = std::time::Instant::now();
+        let server = test_server(None);
+        let state = Arc::clone(server.state());
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            state.request_shutdown();
+        });
+        server.wait().unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "shutdown must not hang"
+        );
+    }
+}

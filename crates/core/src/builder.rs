@@ -11,6 +11,7 @@ use mlkit::{ModelKind, TrainConfig};
 use workload::{generate, QueryWorkload, WorkloadConfig};
 
 use crate::policy_kind::PolicyKind;
+use crate::serve_config::AdmissionConfig;
 
 /// Where the node population comes from.
 #[derive(Debug, Clone)]
@@ -55,6 +56,7 @@ pub struct FederationBuilder {
     link_range: Option<((f64, f64), (f64, f64))>,
     selection_cache: Option<bool>,
     cache_bucket_width: Option<f64>,
+    admission: Option<AdmissionConfig>,
 }
 
 impl Default for FederationBuilder {
@@ -90,6 +92,7 @@ impl FederationBuilder {
             link_range: None,
             selection_cache: None,
             cache_bucket_width: None,
+            admission: None,
         }
     }
 
@@ -306,6 +309,16 @@ impl FederationBuilder {
         self
     }
 
+    /// Pins the serving front end's admission control (queue depth,
+    /// staleness deadline, batch cap, body cap), overriding the
+    /// `QENS_SERVE_*` environment variables. Only consulted by the
+    /// serving subsystem (`repro serve` / `repro load`); batch
+    /// experiments never touch it.
+    pub fn admission(mut self, cfg: AdmissionConfig) -> Self {
+        self.admission = Some(cfg);
+        self
+    }
+
     /// Materialises the federation: generates/loads node data, builds the
     /// network and quantises every node.
     pub fn build(self) -> Federation {
@@ -390,6 +403,7 @@ impl FederationBuilder {
             config,
             seed: self.seed,
             cache,
+            admission: self.admission.unwrap_or_else(AdmissionConfig::from_env),
         }
     }
 }
@@ -404,6 +418,9 @@ pub struct Federation {
     /// Selection-cache configuration for query-driven policies, `None`
     /// when caching is off (builder flag / `QENS_CACHE`).
     cache: Option<selection::CacheConfig>,
+    /// Admission control for the serving front end (builder override or
+    /// the `QENS_SERVE_*` environment, resolved at build time).
+    admission: AdmissionConfig,
 }
 
 impl Federation {
@@ -474,6 +491,11 @@ impl Federation {
         self.cache
     }
 
+    /// The serving front end's admission control in force.
+    pub fn admission(&self) -> AdmissionConfig {
+        self.admission
+    }
+
     /// Builds the runtime policy object, wrapped in a selection cache
     /// when caching is enabled and the policy is query-driven. The cache
     /// lives as long as the returned object: one [`Federation::run_workload`]
@@ -494,6 +516,25 @@ impl Federation {
         run_query(
             &self.network,
             query,
+            self.build_policy(policy).as_ref(),
+            &self.config,
+        )
+    }
+
+    /// Runs a batch of queries through one shared federation wave when
+    /// the configuration allows it ([`fedlearn::batchable`]), falling
+    /// back to per-query rounds otherwise. Outcomes are bit-identical to
+    /// [`Federation::run_query`] either way; only the wave scheduling
+    /// changes. The policy object (and therefore any selection cache) is
+    /// shared across the whole batch.
+    pub fn run_batch(
+        &self,
+        queries: &[Query],
+        policy: &PolicyKind,
+    ) -> Vec<Result<RoundOutcome, FederationError>> {
+        fedlearn::run_batch(
+            &self.network,
+            queries,
             self.build_policy(policy).as_ref(),
             &self.config,
         )
@@ -689,6 +730,50 @@ mod tests {
         assert!(a.cache.is_none());
         let stats = b.cache.expect("cached run reports stats");
         assert_eq!(stats.hits + stats.misses, 6);
+    }
+
+    #[test]
+    fn admission_config_flows_through_the_builder() {
+        let fed = FederationBuilder::new()
+            .homogeneous_nodes(3, 40)
+            .epochs(2)
+            .admission(AdmissionConfig {
+                queue_depth: 7,
+                deadline_ms: Some(125),
+                batch_max: 2,
+                body_cap_bytes: 4096,
+            })
+            .build();
+        assert_eq!(fed.admission().queue_depth, 7);
+        assert_eq!(fed.admission().deadline_ms, Some(125));
+        assert_eq!(fed.admission().batch_max, 2);
+        assert_eq!(fed.admission().body_cap_bytes, 4096);
+    }
+
+    #[test]
+    fn run_batch_matches_run_query_through_the_federation() {
+        let fed = FederationBuilder::new()
+            .heterogeneous_nodes(5, 60)
+            .seed(13)
+            .epochs(3)
+            .selection_cache(true)
+            .build();
+        let queries = vec![
+            fed.query_from_bounds(0, &[0.0, 20.0, 0.0, 45.0]),
+            fed.query_from_bounds(1, &[0.0, 20.0, 0.0, 45.0]),
+            fed.query_from_bounds(2, &[0.0, 10.0, 0.0, 25.0]),
+        ];
+        let policy = PolicyKind::query_driven(3);
+        let batched = fed.run_batch(&queries, &policy);
+        for (q, b) in queries.iter().zip(&batched) {
+            let single = fed.run_query(q, &policy).unwrap();
+            let b = b.as_ref().unwrap();
+            assert_eq!(b.selection, single.selection);
+            assert_eq!(
+                b.query_loss(fed.network(), q).unwrap().to_bits(),
+                single.query_loss(fed.network(), q).unwrap().to_bits()
+            );
+        }
     }
 
     #[test]

@@ -61,9 +61,11 @@ pub mod builder;
 pub mod experiment;
 pub mod policy_kind;
 pub mod prelude;
+pub mod serve_config;
 
 pub use builder::{Federation, FederationBuilder};
 pub use experiment::{
     compare_policies, selectivity_comparison, PolicyComparison, SelectivitySeries,
 };
 pub use policy_kind::PolicyKind;
+pub use serve_config::AdmissionConfig;

@@ -5,6 +5,7 @@ pub use crate::experiment::{
     compare_policies, selectivity_comparison, PolicyComparison, SelectivitySeries,
 };
 pub use crate::policy_kind::PolicyKind;
+pub use crate::serve_config::AdmissionConfig;
 
 pub use airdata::scenario;
 pub use airdata::Feature;

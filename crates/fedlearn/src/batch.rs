@@ -1,0 +1,548 @@
+//! Batched federation rounds: several queries, one shared training wave.
+//!
+//! The serving batcher coalesces compatible in-flight queries into a
+//! single call here. The leader still selects, accounts and aggregates
+//! **per query**, but every participant-training job across the whole
+//! batch runs in *one* `par` pool wave instead of one wave per query.
+//!
+//! Bit-identity to unbatched serving is by construction, not by luck:
+//! a participant's local model is a pure function of
+//! `(config, query.id, node.id, round, broadcast model, stages)`. In the
+//! single-round protocol the broadcast model is the query-independent
+//! initial model, so a training job neither reads nor writes anything
+//! another query's job touches — scheduling all jobs on one wave cannot
+//! change any of them. [`run_batch`] asserts nothing weaker: its tests
+//! compare every outcome field (models, selections, accounting,
+//! sim-seconds) bitwise against a [`run_query`] loop.
+//!
+//! The shared wave exists only for configurations where that argument
+//! holds ([`batchable`]): single round, no live fault plan, no straggler
+//! deadline. Everything else — multi-round FedAvg, fault injection,
+//! deadline cut-offs — falls back to a sequential [`run_query`] loop,
+//! which is trivially identical to unbatched serving.
+
+use std::time::Instant;
+
+use edgesim::{EdgeNetwork, QueryAccounting, SpaceScaler};
+use geom::Query;
+use linalg::rng as lrng;
+use mlkit::{DenseDataset, Model, Regressor, TrainConfig};
+use selection::{Participant, SelectionContext, SelectionPolicy};
+
+use crate::aggregate::GlobalModel;
+use crate::error::FederationError;
+use crate::round::{run_query, FederationConfig, RoundOutcome, StageOrder};
+
+/// Whether `config` is eligible for the shared-wave fast path.
+///
+/// Multi-round refinement re-broadcasts aggregated weights (training
+/// becomes query-dependent mid-flight), a live fault plan interleaves
+/// fate/retry/promotion passes per query, and the straggler deadline is
+/// a tolerance feature that fires even without a plan — all three force
+/// the per-query engine.
+pub fn batchable(config: &FederationConfig) -> bool {
+    config.rounds == 1
+        && config.tolerance.straggler_deadline_seconds.is_none()
+        && config.faults.as_ref().is_none_or(|spec| spec.is_inert())
+}
+
+/// One query's prepared (pre-training) state.
+struct Prepared {
+    /// Index into the caller's `queries` slice.
+    qidx: usize,
+    selection: selection::Selection,
+    members: Vec<BatchMember>,
+    accounting: QueryAccounting,
+}
+
+/// One participant of one query in the shared wave. Mirrors the
+/// per-query engine's cohort member: the participant entry plus its
+/// scaled supporting-cluster stages.
+struct BatchMember {
+    participant: Participant,
+    stages: Vec<DenseDataset>,
+}
+
+impl BatchMember {
+    fn has_data(&self) -> bool {
+        self.stages.iter().any(|s| !s.is_empty())
+    }
+}
+
+/// What one shared-wave training job produced.
+struct BatchLocal {
+    model: Model,
+    samples_used: usize,
+    sample_visits: usize,
+    wall_seconds: f64,
+}
+
+/// Runs a batch of queries under one policy and configuration,
+/// returning one `Result` per query in input order.
+///
+/// For [`batchable`] configurations with more than one query, all
+/// participant-training jobs run in a single pool wave; otherwise each
+/// query goes through [`run_query`] sequentially. Either way every
+/// per-query outcome — global model, selection, accounting ledger — is
+/// bit-identical to calling [`run_query`] on that query alone.
+///
+/// Telemetry differences vs. the unbatched path are attribution-only:
+/// batch mode records no per-query [`telemetry::QueryScope`] (the wave
+/// is shared, so per-query metric attribution would lie) and fills
+/// `qens_fedlearn_run_batch_nanos` instead of
+/// `qens_fedlearn_run_query_nanos`. Counters and the accounting ledger
+/// are untouched.
+pub fn run_batch(
+    network: &EdgeNetwork,
+    queries: &[Query],
+    policy: &dyn SelectionPolicy,
+    config: &FederationConfig,
+) -> Vec<Result<RoundOutcome, FederationError>> {
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    if !batchable(config) || queries.len() == 1 {
+        return queries
+            .iter()
+            .map(|q| run_query(network, q, policy, config))
+            .collect();
+    }
+    run_batch_wave(network, queries, policy, config)
+}
+
+/// The shared-wave engine. Only called with `batchable(config)` and at
+/// least two queries; the arithmetic below is the single-round,
+/// fault-free slice of [`run_query`], kept in lock-step with it.
+fn run_batch_wave(
+    network: &EdgeNetwork,
+    queries: &[Query],
+    policy: &dyn SelectionPolicy,
+    config: &FederationConfig,
+) -> Vec<Result<RoundOutcome, FederationError>> {
+    let _run_span = telemetry::span!("qens_fedlearn_run_batch_nanos");
+    let _trace_batch =
+        telemetry::trace::span_args("fedlearn.batch", &[("queries", queries.len() as u64)]);
+    let scaler = SpaceScaler::from_space(&network.global_space());
+    let dim = network.nodes()[0].data().dim();
+    let initial = config.model.build(dim, config.model_seed);
+    let model_bytes = initial.num_weights() * 8;
+    let cost = network.cost_model();
+
+    // Leader-side prep, serial in arrival order: selection + cohort +
+    // the selection-overhead ledger. Identical to run_query's prologue.
+    let mut slots: Vec<Option<Result<RoundOutcome, FederationError>>> =
+        (0..queries.len()).map(|_| None).collect();
+    let mut prepared: Vec<Prepared> = Vec::new();
+    for (qidx, query) in queries.iter().enumerate() {
+        let ctx = SelectionContext::new(network, query);
+        let select_span = telemetry::trace::span("fedlearn.select");
+        let selection = policy.select(&ctx);
+        select_span.finish();
+        telemetry::trace::instant(
+            "fedlearn.selected",
+            &[
+                ("participants", selection.participants.len() as u64),
+                ("standby", selection.standby.len() as u64),
+            ],
+        );
+        if selection.is_empty() {
+            slots[qidx] = Some(Err(FederationError::NoParticipants {
+                query_id: query.id(),
+            }));
+            continue;
+        }
+        let overhead = policy.overhead(&ctx);
+        let members: Vec<BatchMember> = selection
+            .participants
+            .iter()
+            .map(|p| {
+                let node = network.node(p.node);
+                let stages: Vec<DenseDataset> = if p.supporting_clusters.is_empty() {
+                    vec![scaler.transform_dataset(&node.full_dataset())]
+                } else {
+                    p.supporting_clusters
+                        .iter()
+                        .map(|c| scaler.transform_dataset(&node.cluster_dataset(c.cluster_id)))
+                        .collect()
+                };
+                BatchMember {
+                    participant: p.clone(),
+                    stages,
+                }
+            })
+            .filter(BatchMember::has_data)
+            .collect();
+        if members.is_empty() {
+            slots[qidx] = Some(Err(FederationError::NoTrainingData {
+                query_id: query.id(),
+            }));
+            continue;
+        }
+        let overhead_seconds: f64 = overhead
+            .per_node_visits
+            .iter()
+            .map(|&(id, visits)| cost.training_seconds(visits, network.node(id).capacity()))
+            .fold(0.0, f64::max)
+            + if overhead.bytes > 0 {
+                cost.transfer_seconds(overhead.bytes)
+            } else {
+                0.0
+            };
+        let accounting = QueryAccounting {
+            query_id: query.id(),
+            nodes_selected: members.len(),
+            samples_total: network.total_samples(),
+            sample_visits: overhead
+                .per_node_visits
+                .iter()
+                .map(|&(_, v)| v)
+                .sum::<usize>(),
+            sim_seconds: overhead_seconds,
+            sim_seconds_total: overhead_seconds,
+            bytes_transferred: overhead.bytes,
+            ..QueryAccounting::default()
+        };
+        prepared.push(Prepared {
+            qidx,
+            selection,
+            members,
+            accounting,
+        });
+    }
+
+    // The shared wave: one flat job list over every query's cohort, in
+    // (query, cohort) order, chunk 1 — results land in job order for any
+    // worker count, exactly like the per-query engine's wave.
+    let jobs: Vec<(usize, &BatchMember)> = prepared
+        .iter()
+        .flat_map(|p| p.members.iter().map(move |m| (p.qidx, m)))
+        .collect();
+    let sized_pool;
+    let pool: &par::ThreadPool = match config.threads {
+        Some(n) => {
+            sized_pool = par::sized(n);
+            &sized_pool
+        }
+        None => par::global(),
+    };
+    let train_one = |qidx: usize, member: &BatchMember| -> BatchLocal {
+        let node = network.node(member.participant.node);
+        let mut model = initial.clone();
+        // Round is always 0 here (batchable ⇒ single round): the derived
+        // seed matches run_query's `round = 0` term bit-for-bit.
+        let train_cfg = TrainConfig {
+            seed: lrng::derive_seed(
+                config.train.seed,
+                queries[qidx].id() ^ ((node.id().0 as u64) << 32),
+            ),
+            ..config.train.clone()
+        };
+        let samples_used: usize = member.stages.iter().map(DenseDataset::len).sum();
+        telemetry::counter!("qens_fedlearn_participants_total").incr();
+        telemetry::counter!("qens_fedlearn_stages_total").add(member.stages.len() as u64);
+        telemetry::counter!("qens_fedlearn_samples_used_total").add(samples_used as u64);
+        let train_span = telemetry::span!("qens_fedlearn_train_nanos");
+        let _trace_train = telemetry::trace::wall_span_args(
+            "fedlearn.train",
+            &[
+                ("node", node.id().0 as u64),
+                ("round", 0),
+                ("samples", samples_used as u64),
+            ],
+        );
+        let start = Instant::now();
+        let report = match config.stage_order {
+            StageOrder::Sequential => {
+                mlkit::train_incremental(&mut model, &member.stages, &train_cfg)
+            }
+            StageOrder::Interleaved => {
+                mlkit::train_interleaved(&mut model, &member.stages, &train_cfg)
+            }
+        };
+        let wall = start.elapsed().as_secs_f64();
+        train_span.finish();
+        telemetry::counter!("qens_fedlearn_sample_visits_total").add(report.samples_seen as u64);
+        BatchLocal {
+            model,
+            samples_used,
+            sample_visits: report.samples_seen,
+            wall_seconds: wall,
+        }
+    };
+    let train_wave_span = telemetry::trace::span_args(
+        "fedlearn.train_wave",
+        &[("round", 0), ("attempters", jobs.len() as u64)],
+    );
+    let pooled = config.parallel && jobs.len() > 1 && pool.threads() > 1;
+    let results: Vec<BatchLocal> = if pooled {
+        pool.map_indexed(&jobs, 1, |_, &(qidx, member)| train_one(qidx, member))
+    } else {
+        jobs.iter()
+            .map(|&(qidx, member)| train_one(qidx, member))
+            .collect()
+    };
+    train_wave_span.finish();
+
+    // Per-query epilogue, serial in arrival order: transfer charges,
+    // aggregation and the ledger — run_query's fault-free round body.
+    let mut cursor = 0usize;
+    for p in prepared {
+        let n = p.members.len();
+        let locals = &results[cursor..cursor + n];
+        cursor += n;
+        let mut accounting = p.accounting;
+        let mut per_node_seconds: Vec<f64> = Vec::with_capacity(n);
+        let mut round_bytes = 0usize;
+        let mut round_samples_used = 0usize;
+        let mut round_sample_visits = 0usize;
+        let mut lambdas: Vec<f64> = Vec::with_capacity(n);
+        let mut samples: Vec<usize> = Vec::with_capacity(n);
+        let mut models: Vec<Model> = Vec::with_capacity(n);
+        for (member, local) in p.members.iter().zip(locals) {
+            let node = network.node(member.participant.node);
+            let node_idx = member.participant.node.0;
+            round_samples_used += local.samples_used;
+            round_sample_visits += local.sample_visits;
+            let train_sim = cost.training_seconds(local.sample_visits, node.capacity());
+            let retry_penalty =
+                node.link()
+                    .retry_penalty_seconds(model_bytes, 0, &config.tolerance.retry);
+            let finish = train_sim + node.link().transfer_seconds(2 * model_bytes) + retry_penalty;
+            per_node_seconds.push(finish);
+            let bytes = 2 * model_bytes;
+            round_bytes += bytes;
+            telemetry::trace::instant(
+                "edgesim.transfer",
+                &[("node", node_idx as u64), ("bytes", bytes as u64)],
+            );
+            lambdas.push(member.participant.ranking);
+            samples.push(local.samples_used);
+            models.push(local.model.clone());
+        }
+        // Fault-free single round: every member survives and the quorum
+        // (a fraction/count of the selected cohort, floored at 1) is met.
+        debug_assert!(models.len() >= config.tolerance.quorum.required(n));
+        let walls: Vec<f64> = locals.iter().map(|l| l.wall_seconds).collect();
+        accounting.wall_seconds += if pooled {
+            walls.iter().copied().fold(0.0, f64::max)
+        } else {
+            walls.iter().sum()
+        };
+        let agg_span = telemetry::span!("qens_fedlearn_aggregate_nanos");
+        let trace_agg = telemetry::trace::span_args(
+            "fedlearn.aggregate",
+            &[("survivors", models.len() as u64), ("round", 0)],
+        );
+        let global = GlobalModel::aggregate(config.aggregation, models, &lambdas, &samples);
+        trace_agg.finish();
+        agg_span.finish();
+        telemetry::counter!("qens_fedlearn_rounds_total").incr();
+        telemetry::counter!("qens_fedlearn_model_bytes_total").add(round_bytes as u64);
+        accounting.samples_used = round_samples_used;
+        accounting.sample_visits += round_sample_visits;
+        accounting.sim_seconds += per_node_seconds.iter().copied().fold(0.0, f64::max);
+        accounting.sim_seconds_total += per_node_seconds.iter().sum::<f64>();
+        accounting.bytes_transferred += round_bytes;
+        accounting.commit_telemetry();
+        let final_cohort: Vec<Participant> =
+            p.members.iter().map(|m| m.participant.clone()).collect();
+        slots[p.qidx] = Some(Ok(RoundOutcome {
+            global,
+            scaler: scaler.clone(),
+            selection: p.selection,
+            accounting,
+            fault_trace: Default::default(),
+            final_cohort,
+        }));
+    }
+    debug_assert_eq!(cursor, results.len());
+    slots
+        .into_iter()
+        .map(|s| s.expect("every query slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airdata::scenario;
+    use faults::{FaultSpec, FaultTolerance};
+    use selection::QueryDriven;
+
+    fn network() -> EdgeNetwork {
+        let nodes = scenario::heterogeneous_nodes(5, 120, 3);
+        let mut net =
+            EdgeNetwork::from_datasets(nodes.into_iter().map(|n| (n.name, n.dataset)).collect());
+        net.quantize_all(5, 1);
+        net
+    }
+
+    fn fast_cfg(seed: u64) -> FederationConfig {
+        FederationConfig {
+            train: mlkit::TrainConfig::paper_lr(seed).with_epochs(15),
+            ..FederationConfig::paper_lr(seed)
+        }
+    }
+
+    /// A small mixed workload: repeated rectangles (batcher-compatible),
+    /// drifted ones, and a partly-overlapping one.
+    fn workload() -> Vec<Query> {
+        vec![
+            Query::from_boundary_vec(0, &[0.0, 20.0, 0.0, 45.0]),
+            Query::from_boundary_vec(1, &[0.0, 20.0, 0.0, 45.0]),
+            Query::from_boundary_vec(2, &[0.5, 20.5, 0.5, 45.5]),
+            Query::from_boundary_vec(3, &[0.0, 10.0, 0.0, 25.0]),
+            Query::from_boundary_vec(4, &[0.0, 20.0, 0.0, 45.0]),
+        ]
+    }
+
+    fn assert_outcomes_identical(a: &RoundOutcome, b: &RoundOutcome) {
+        match (&a.global, &b.global) {
+            (
+                GlobalModel::Ensemble {
+                    members: ma,
+                    lambdas: la,
+                },
+                GlobalModel::Ensemble {
+                    members: mb,
+                    lambdas: lb,
+                },
+            ) => {
+                assert_eq!(ma, mb);
+                assert_eq!(la, lb);
+            }
+            (GlobalModel::Single(ma), GlobalModel::Single(mb)) => assert_eq!(ma, mb),
+            other => panic!("global model shapes diverged: {other:?}"),
+        }
+        assert_eq!(a.selection, b.selection);
+        assert_eq!(a.final_cohort, b.final_cohort);
+        assert_eq!(a.fault_trace, b.fault_trace);
+        assert_eq!(a.accounting.samples_used, b.accounting.samples_used);
+        assert_eq!(a.accounting.sample_visits, b.accounting.sample_visits);
+        assert_eq!(
+            a.accounting.bytes_transferred,
+            b.accounting.bytes_transferred
+        );
+        assert_eq!(
+            a.accounting.sim_seconds.to_bits(),
+            b.accounting.sim_seconds.to_bits()
+        );
+        assert_eq!(
+            a.accounting.sim_seconds_total.to_bits(),
+            b.accounting.sim_seconds_total.to_bits()
+        );
+    }
+
+    #[test]
+    fn batchable_gates_on_rounds_faults_and_deadline() {
+        assert!(batchable(&fast_cfg(1)));
+        assert!(batchable(&fast_cfg(1).with_faults(FaultSpec::none())));
+        assert!(!batchable(&fast_cfg(1).with_rounds(2)));
+        assert!(!batchable(
+            &fast_cfg(1).with_faults(FaultSpec::dropout(1, 0.5))
+        ));
+        assert!(!batchable(
+            &fast_cfg(1).with_tolerance(FaultTolerance::default().with_deadline(1.0))
+        ));
+    }
+
+    /// The headline contract: one shared wave, same bits as one wave per
+    /// query — for models, selections and the whole resource ledger.
+    #[test]
+    fn batched_matches_unbatched_bitwise() {
+        let net = network();
+        let policy = QueryDriven::top_l(3);
+        let cfg = fast_cfg(7);
+        let queries = workload();
+        let batched = run_batch(&net, &queries, &policy, &cfg);
+        assert_eq!(batched.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batched) {
+            let single = run_query(&net, q, &policy, &cfg).unwrap();
+            assert_outcomes_identical(b.as_ref().unwrap(), &single);
+        }
+    }
+
+    /// Same bits at any worker count, serial included.
+    #[test]
+    fn batched_is_bit_identical_across_thread_counts() {
+        let net = network();
+        let policy = QueryDriven::top_l(3);
+        let queries = workload();
+        let reference = run_batch(&net, &queries, &policy, &fast_cfg(7));
+        for threads in [1usize, 2, 4] {
+            let out = run_batch(
+                &net,
+                &queries,
+                &policy,
+                &fast_cfg(7).with_thread_count(threads),
+            );
+            for (r, o) in reference.iter().zip(&out) {
+                assert_outcomes_identical(r.as_ref().unwrap(), o.as_ref().unwrap());
+            }
+        }
+        let serial = run_batch(
+            &net,
+            &queries,
+            &policy,
+            &FederationConfig {
+                parallel: false,
+                ..fast_cfg(7)
+            },
+        );
+        for (r, o) in reference.iter().zip(&serial) {
+            assert_outcomes_identical(r.as_ref().unwrap(), o.as_ref().unwrap());
+        }
+    }
+
+    /// Error slots mirror run_query: a disjoint query fails with
+    /// `NoParticipants` in its own slot while its neighbours complete.
+    #[test]
+    fn error_slots_are_per_query() {
+        let net = network();
+        let policy = QueryDriven::top_l(3);
+        let cfg = fast_cfg(3);
+        let queries = vec![
+            Query::from_boundary_vec(0, &[0.0, 20.0, 0.0, 45.0]),
+            Query::from_boundary_vec(9, &[1e6, 2e6, 1e6, 2e6]),
+            Query::from_boundary_vec(2, &[0.0, 20.0, 0.0, 45.0]),
+        ];
+        let out = run_batch(&net, &queries, &policy, &cfg);
+        assert!(out[0].is_ok());
+        assert_eq!(
+            out[1].as_ref().unwrap_err(),
+            &FederationError::NoParticipants { query_id: 9 }
+        );
+        assert!(out[2].is_ok());
+    }
+
+    /// Non-batchable configurations fall back to the per-query engine —
+    /// verified against run_query under a live fault plan.
+    #[test]
+    fn non_batchable_configs_fall_back_to_run_query() {
+        let net = network();
+        let policy = QueryDriven::top_l(3);
+        let cfg = fast_cfg(11)
+            .with_faults(FaultSpec::unreliable_edge(42))
+            .with_tolerance(FaultTolerance::full_strength());
+        let queries = workload();
+        let batched = run_batch(&net, &queries, &policy, &cfg);
+        let mut successes = 0usize;
+        for (q, b) in queries.iter().zip(&batched) {
+            match (b, run_query(&net, q, &policy, &cfg)) {
+                (Ok(batch), Ok(single)) => {
+                    successes += 1;
+                    assert_outcomes_identical(batch, &single);
+                }
+                (Err(eb), Err(es)) => assert_eq!(eb, &es),
+                (b, s) => panic!("batched {b:?} diverged from unbatched {s:?}"),
+            }
+        }
+        assert!(successes > 0, "the fault plan drowned every query");
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let net = network();
+        assert!(run_batch(&net, &[], &QueryDriven::top_l(3), &fast_cfg(1)).is_empty());
+    }
+}

@@ -12,17 +12,21 @@
 //! per query - Figs. 8 and 9 read straight from that ledger.
 //!
 //! * [`aggregate`] - the global-model representations and Eq. 6/7.
+//! * [`batch`] - several queries' rounds sharing one training wave
+//!   (the serving batcher's entry point), bit-identical to [`round`].
 //! * [`round`] - one query's selection -> local training -> aggregation
 //!   round, with multi-threaded participant training.
 //! * [`stream`] - running a whole query workload and summarising it.
 //! * [`error`] - federation error types.
 
 pub mod aggregate;
+pub mod batch;
 pub mod error;
 pub mod round;
 pub mod stream;
 
 pub use aggregate::{Aggregation, GlobalModel};
+pub use batch::{batchable, run_batch};
 pub use error::FederationError;
 pub use round::{run_query, FederationConfig, RoundOutcome, StageOrder};
 pub use stream::{run_stream, QueryResult, StreamResult};

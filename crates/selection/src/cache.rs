@@ -65,6 +65,14 @@ impl Default for CacheConfig {
 }
 
 impl CacheConfig {
+    /// The cache-bucket key of a query under this configuration. Queries
+    /// with equal keys land in the same transposition-table entry, which
+    /// is exactly the "compatible in-flight queries" test the serving
+    /// batcher uses to coalesce queries into shared federation waves.
+    pub fn compatibility_key(&self, query: &geom::Query) -> u64 {
+        quantized_key(&query.region().to_boundary_vec(), self.bucket_width)
+    }
+
     /// Reads `QENS_CACHE_QUANT` (bucket width in data units) on top of
     /// the defaults. Unset, empty, non-positive or unparseable values
     /// fall back to the default width.
@@ -177,8 +185,12 @@ impl std::fmt::Debug for CachedQueryDriven {
     }
 }
 
-/// FNV-1a over the per-dimension bucket indices of a boundary vector.
-fn quantized_key(bounds: &[f64], bucket_width: f64) -> u64 {
+/// FNV-1a over the per-dimension bucket indices of a boundary vector —
+/// the transposition-table key. Public because the serving batcher uses
+/// the *same* keying to decide which in-flight queries are compatible:
+/// two rectangles with equal keys share a cache entry (exact or delta),
+/// so coalescing them into one federation wave costs one scoring pass.
+pub fn quantized_key(bounds: &[f64], bucket_width: f64) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = FNV_OFFSET;
@@ -631,6 +643,24 @@ mod tests {
             quantized_key(&[-0.5, 0.5], 1.0),
             quantized_key(&[0.5, 0.5], 1.0)
         );
+    }
+
+    #[test]
+    fn compatibility_key_matches_the_table_keying() {
+        let cfg = CacheConfig {
+            bucket_width: 10.0,
+            capacity: 8,
+        };
+        let q = Query::from_boundary_vec(3, &[0.1, 5.2, 3.3, 8.9]);
+        assert_eq!(
+            cfg.compatibility_key(&q),
+            quantized_key(&[0.1, 5.2, 3.3, 8.9], 10.0)
+        );
+        // Same buckets => compatible; a moved bucket => not.
+        let near = Query::from_boundary_vec(4, &[0.4, 5.9, 3.0, 8.0]);
+        let far = Query::from_boundary_vec(5, &[11.0, 15.0, 3.3, 8.9]);
+        assert_eq!(cfg.compatibility_key(&q), cfg.compatibility_key(&near));
+        assert_ne!(cfg.compatibility_key(&q), cfg.compatibility_key(&far));
     }
 
     #[test]

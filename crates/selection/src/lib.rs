@@ -35,7 +35,7 @@ pub mod policy;
 pub mod query_driven;
 
 pub use baselines::{AllNodes, GameTheory, RandomSelection};
-pub use cache::{CacheConfig, CacheStats, CachedQueryDriven};
+pub use cache::{quantized_key, CacheConfig, CacheStats, CachedQueryDriven};
 pub use literature::{DataCentric, FairStochastic};
 pub use policy::{
     Participant, Selection, SelectionContext, SelectionOverhead, SelectionPolicy,

@@ -169,6 +169,10 @@ pub fn help_text(name: &str) -> &'static str {
         ("qens_fed_", "federated round engine metric."),
         ("qens_fault_", "injected-fault handling metric."),
         ("qens_edgesim_", "edge network simulation metric."),
+        (
+            "qens_serve_",
+            "query serving front-end metric (ingestion queue, admission control, batching).",
+        ),
         ("qens_par_", "deterministic thread-pool metric."),
         ("qens_trace_", "structured tracing metric."),
         ("qens_mlkit_", "local training kernel metric."),
@@ -484,6 +488,10 @@ mod tests {
         assert_eq!(
             help_text("qens_fault_retries_total"),
             "injected-fault handling metric."
+        );
+        assert_eq!(
+            help_text("qens_serve_shed_total"),
+            "query serving front-end metric (ingestion queue, admission control, batching)."
         );
         assert_eq!(help_text("qens_unknown_nanos"), help_text("x_nanos"));
         assert_eq!(help_text("weird"), "Workspace metric.");

@@ -21,9 +21,11 @@
 #      faults and telemetry::trace determinism contracts),
 #   8. the live-observability self-test (`repro serve --once`): binds an
 #      ephemeral port, probes /healthz, /metrics, /trace, /profile,
-#      /profile.svg, /slowest and /slo over a plain TcpStream, asserts
-#      non-empty qens_* metric families (including qens_build_info and
-#      qens_uptime_seconds), and exercises the 404/400 error paths,
+#      /profile.svg, /slowest, /slo and /cache over a plain TcpStream,
+#      asserts non-empty qens_* metric families (including
+#      qens_build_info and qens_uptime_seconds), round-trips POST /query
+#      over a keep-alive socket, and exercises the 404/400/405/413 error
+#      paths plus the graceful-drain shutdown contract,
 #   9. profiler seed-stability: `repro profile` is run under
 #      QENS_THREADS=1 and QENS_THREADS=4 and the logical-clock folded
 #      stacks and SVG flamegraph must be byte-identical,
@@ -36,7 +38,16 @@
 #      QENS_CACHE_QUANT so the stream actually hits) and the figure
 #      CSVs must be byte-identical — the cache may change how fast a
 #      selection is computed, never what is selected — plus the cache
-#      integration tests re-run under QENS_THREADS=2.
+#      integration tests re-run under QENS_THREADS=2,
+#  12. the serving smoke (`repro load --smoke`): spawns a real server on
+#      an ephemeral port, drives it with concurrent keep-alive clients
+#      while scraping /metrics and /cache, and asserts the telemetry
+#      ledger matches the queries served,
+#  13. load-generator seed-stability: the full `repro load` sweep is run
+#      under QENS_THREADS=1 and QENS_THREADS=4 and the fig9 saturation
+#      CSV must be byte-identical (service times come from simulated
+#      seconds and the queueing model runs on a logical clock, so thread
+#      count must not leak into the report).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -105,5 +116,17 @@ echo "fig7 series are cache-transparent"
 
 echo "==> selection-cache tests under QENS_THREADS=2"
 QENS_THREADS=2 cargo test -q --offline -p qens --test selection_cache
+
+echo "==> repro load --smoke (live serving: keep-alive clients + concurrent scrapes)"
+cargo run -q -p bench --bin repro --release --offline -- load --smoke
+
+echo "==> load-generator seed-stability (fig9 byte-identical at QENS_THREADS=1 vs 4)"
+QENS_THREADS=1 cargo run -q -p bench --bin repro --release --offline -- load > /dev/null
+cp results/fig9_saturation.csv results/fig9_saturation.t1.csv
+QENS_THREADS=4 cargo run -q -p bench --bin repro --release --offline -- load > /dev/null
+cmp results/fig9_saturation.csv results/fig9_saturation.t1.csv \
+  || { echo "FAIL: fig9 saturation sweep differs between QENS_THREADS=1 and 4"; exit 1; }
+rm -f results/fig9_saturation.t1.csv
+echo "fig9 saturation sweep is thread-count stable"
 
 echo "verify OK"
