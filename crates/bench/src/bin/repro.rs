@@ -280,6 +280,14 @@ fn run_fig8_fig9(scale: ExperimentScale) {
     println!("(series written to results/fig8_fig9.csv)\n");
 }
 
+/// `repro fleet`: the fleet-observability experiment. The scorecard
+/// registry and journal record on the logical clock, so the artifacts
+/// (`results/fleet.json`, `results/fig10_fleet_skew.csv`) are
+/// byte-identical at any `QENS_THREADS` — `scripts/verify.sh` checks.
+fn run_fleet_exp(scale: ExperimentScale) {
+    bench::fleet::run_and_write(scale, &results_dir()).expect("write fleet artifacts");
+}
+
 fn run_fig8_faults(scale: ExperimentScale) {
     let rows = figures::fig8_faults(scale);
     println!("{}", report::render_fault_sweep(&rows));
@@ -459,6 +467,7 @@ fn main() {
         "fig7" => run_fig7(scale),
         "fig8" | "fig9" | "fig8_fig9" => run_fig8_fig9(scale),
         "faults" | "fig8_faults" => run_fig8_faults(scale),
+        "fleet" | "fig10" => run_fleet_exp(scale),
         "extended" => run_extended(scale),
         "all" => {
             run_table1(scale);
@@ -476,8 +485,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
-                 table1|table2|table3|fig1|fig2|fig5|fig6|fig7|fig8|fig9|faults|extended|all \
-                 [--paper | --smoke], or a tool subcommand: serve|load|bench|profile"
+                 table1|table2|table3|fig1|fig2|fig5|fig6|fig7|fig8|fig9|faults|fleet|extended|\
+                 all [--paper | --smoke], or a tool subcommand: serve|load|bench|profile"
             );
             std::process::exit(2);
         }

@@ -12,12 +12,22 @@ use qens::linalg::stats;
 use qens::prelude::*;
 
 pub mod figures;
+pub mod fleet;
 pub mod harness;
 pub mod perf;
 pub mod profile;
 pub mod report;
 pub mod serve;
 pub mod tables;
+
+/// Serializes tests that mutate the process-global fleet registry and
+/// event journal (they would race otherwise: cargo runs a binary's
+/// tests on parallel threads).
+#[cfg(test)]
+pub(crate) fn fleet_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// Experiment sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -142,7 +142,28 @@ pub fn run_suite() -> Vec<BenchResult> {
         let _ = qens::telemetry::export::to_prometheus(&snap);
     }));
 
-    // Kernel 5: a live POST /query round trip against an ephemeral
+    // Kernel 5: the fleet scorecard update path — the per-participant
+    // bookkeeping every selection, round completion and transfer pays
+    // when fleet observability is on (one iteration = one participant's
+    // full selected -> trained -> transferred -> participated cycle).
+    let fleet_was_on = qens::telemetry::fleet::enabled();
+    qens::telemetry::fleet::set_enabled(true);
+    qens::telemetry::fleet::reset();
+    qens::telemetry::fleet::observe_fleet(200);
+    let mut fleet_qid = 0u64;
+    out.push(time_kernel("fleet_scorecard_update", 16, 256, || {
+        fleet_qid += 1;
+        let node = fleet_qid % 200;
+        qens::telemetry::fleet::query_observed(fleet_qid);
+        qens::telemetry::fleet::selected(fleet_qid, node, 3);
+        qens::telemetry::fleet::trained(node, 0.25, 1_000);
+        qens::telemetry::fleet::transferred(node, 4096);
+        qens::telemetry::fleet::participated(node);
+    }));
+    qens::telemetry::fleet::set_enabled(fleet_was_on);
+    qens::telemetry::fleet::reset();
+
+    // Kernel 6: a live POST /query round trip against an ephemeral
     // server — HTTP parse, admission, batcher hand-off, federation
     // round, reply. The end-to-end serving latency the /query endpoint
     // actually delivers (the warmup iteration also warms its selection
@@ -413,7 +434,9 @@ mod tests {
     #[test]
     fn suite_runs_and_serialises() {
         // Keep it cheap: just assert the suite produces the fixed kernel
-        // set and the serialised doc parses back.
+        // set and the serialised doc parses back. (The suite's fleet
+        // kernel mutates the process-global registry: take the lock.)
+        let _g = crate::fleet_test_lock();
         let results = run_suite();
         let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(
@@ -424,6 +447,7 @@ mod tests {
                 "selection_rank_cached",
                 "fedlearn_round",
                 "prometheus_export",
+                "fleet_scorecard_update",
                 "serve_roundtrip"
             ]
         );

@@ -170,6 +170,7 @@ pub fn batcher_loop(state: Arc<ServerState>) {
                     "serve.shed",
                     &[("query", job.query.id()), ("age_ms", age_ms)],
                 );
+                telemetry::journal::admission_shed(job.query.id(), age_ms);
                 let _ = job.reply.send(Reply {
                     status: "503 Service Unavailable",
                     content_type: "application/json",

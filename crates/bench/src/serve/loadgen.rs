@@ -458,6 +458,15 @@ pub fn smoke(opts: &LoadOptions) -> std::io::Result<()> {
                 let (status, body) = get(&addr, "/cache")?;
                 assert_eq!(status, 200, "/cache during load");
                 assert!(body.contains("\"hit_rate\":"), "torn /cache scrape");
+                let (status, body) = get(&addr, "/nodes")?;
+                assert_eq!(status, 200, "/nodes during load");
+                assert!(body.contains("\"skew\":{"), "torn /nodes scrape");
+                let (status, body) = get(&addr, "/events?n=16")?;
+                assert_eq!(status, 200, "/events during load");
+                assert!(
+                    body.is_empty() || body.starts_with('{'),
+                    "torn /events scrape: {body}"
+                );
                 std::thread::sleep(std::time::Duration::from_millis(5));
             }
             Ok(())
@@ -471,12 +480,27 @@ pub fn smoke(opts: &LoadOptions) -> std::io::Result<()> {
 
     let (cache_status, cache_body) = get(&addr, "/cache")?;
     assert_eq!(cache_status, 200);
+    // After the stream: the fleet endpoints must reflect the served
+    // queries (every query selected someone, so selections > 0 and the
+    // journal has selection events).
+    let (nodes_status, nodes_body) = get(&addr, "/nodes")?;
+    assert_eq!(nodes_status, 200);
+    assert!(
+        !nodes_body.contains("\"total_selections\":0,"),
+        "served queries must register selections: {nodes_body}"
+    );
+    let (events_status, events_body) = get(&addr, "/events?n=8")?;
+    assert_eq!(events_status, 200);
+    assert!(
+        events_body.contains("\"kind\":\"node_selected\""),
+        "served queries must journal selections: {events_body}"
+    );
     let (shutdown_status, _) = post(&addr, "/shutdown", "")?;
     assert_eq!(shutdown_status, 200, "loopback shutdown must be accepted");
     handle.wait()?;
     println!(
         "load --smoke OK: {answered} queries over {CLIENTS} keep-alive clients with \
-         concurrent /metrics + /cache scrapes; cache: {}",
+         concurrent /metrics + /cache + /nodes + /events scrapes; cache: {}",
         cache_body.trim()
     );
     Ok(())

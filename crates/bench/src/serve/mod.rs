@@ -15,6 +15,9 @@
 //! | `/slowest`          | Flight-recorder top-K slowest queries (JSON)         |
 //! | `/slo`              | SLO objective, good/bad totals and burn rates (JSON) |
 //! | `/cache`            | Selection-cache hit/miss statistics (JSON)           |
+//! | `/nodes`            | Fleet scorecards + selection-skew analytics (JSON)   |
+//! | `/nodes/<id>`       | One node's scorecard (`/nodes/3` or `/nodes/n3`)     |
+//! | `/events?n=`        | Tail of the structured event journal (JSON lines)    |
 //! | `POST /query`       | Run a federation round for a JSON query rectangle    |
 //! | `POST /shutdown`    | Graceful drain + exit (loopback peers only)          |
 //!
@@ -63,7 +66,7 @@ pub const SERVE_SELECT_L: usize = 3;
 const KEEP_ALIVE_MAX_REQUESTS: usize = 128;
 
 const ENDPOINT_LIST: &str = "/healthz, /metrics, /trace, /profile, /profile.svg, /slowest, /slo, \
-                             /cache, POST /query, POST /shutdown";
+                             /cache, /nodes, /nodes/<id>, /events?n=, POST /query, POST /shutdown";
 
 /// What `serve` should bind and how long it should live.
 #[derive(Debug, Clone)]
@@ -133,6 +136,7 @@ pub(crate) fn demo_federation() -> Federation {
         .seed(13)
         .epochs(2)
         .telemetry(true)
+        .fleet(true)
         .selection_cache(true)
         .selection_cache_bucket(30.0)
         .build()
@@ -391,7 +395,10 @@ fn respond(
             Ok(false)
         }
         ("GET", "/metrics") => {
-            let body = telemetry::export::to_prometheus(&telemetry::global().snapshot());
+            let mut body = telemetry::export::to_prometheus(&telemetry::global().snapshot());
+            // The fleet's labeled per-node series (top-K + "other") and
+            // skew gauges ride along; silent while QENS_FLEET is off.
+            telemetry::fleet::to_prometheus(&mut body, telemetry::fleet::PROM_TOP_K);
             write_response(
                 stream,
                 "200 OK",
@@ -450,6 +457,49 @@ fn respond(
             )?;
             Ok(false)
         }
+        ("GET", "/nodes") => {
+            let mut body = telemetry::fleet::to_json();
+            body.push('\n');
+            write_response(stream, "200 OK", "application/json", "", &body, keep_alive)?;
+            Ok(false)
+        }
+        ("GET", p) if p.starts_with("/nodes/") => {
+            match node_scorecard_json(&p["/nodes/".len()..]) {
+                Some(body) => {
+                    write_response(stream, "200 OK", "application/json", "", &body, keep_alive)?
+                }
+                None => write_response(
+                    stream,
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "",
+                    &format!(
+                        "no scorecard for {p}; ids are node indices (/nodes/3 or /nodes/n3) \
+                         below the observed fleet size\n"
+                    ),
+                    keep_alive,
+                )?,
+            }
+            Ok(false)
+        }
+        ("GET", "/events") => {
+            let tail = request
+                .path
+                .split_once('?')
+                .map(|(_, q)| q)
+                .and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("n=")))
+                .and_then(|v| v.parse::<usize>().ok());
+            let body = telemetry::journal::to_jsonl(telemetry::trace::Clock::Wall, tail);
+            write_response(
+                stream,
+                "200 OK",
+                "application/x-ndjson",
+                "",
+                &body,
+                keep_alive,
+            )?;
+            Ok(false)
+        }
         ("GET", other) => {
             write_response(
                 stream,
@@ -484,6 +534,24 @@ pub fn cache_stats_json() -> String {
         counter("qens_cache_invalidations_total"),
         snap.gauge("qens_cache_entries").unwrap_or(0.0) as u64,
     )
+}
+
+/// Renders one node's scorecard for `/nodes/<id>`. Accepts a bare index
+/// (`3`) or the node display form (`n3`); `None` for unparseable ids and
+/// indices outside the observed fleet. The deterministic scorecard JSON
+/// gets the live-only wall-time field appended — this endpoint reports
+/// what the process measured, not the reproducible export.
+fn node_scorecard_json(id: &str) -> Option<String> {
+    let idx: u64 = id.strip_prefix('n').unwrap_or(id).parse().ok()?;
+    let card = telemetry::fleet::scorecard(idx)?;
+    let mut body = String::with_capacity(256);
+    card.write_json(&mut body);
+    body.pop();
+    body.push_str(&format!(
+        ",\"train_wall_nanos\":{}}}\n",
+        card.train_wall_nanos
+    ));
+    Some(body)
 }
 
 /// Parses the tiny `POST /query` JSON body: `{"id": 7, "bounds":
@@ -778,12 +846,74 @@ fn serve_once() -> std::io::Result<()> {
     assert_eq!(huge_status, 413, "oversized bodies must 413");
 
     // The cache endpoint reflects the selection cache the query above
-    // just exercised.
+    // just exercised — and its hit rate is always a number (0.0 before
+    // any lookup, never NaN).
     let (cache_status, cache_body) = get(&addr, "/cache")?;
     assert_eq!(cache_status, 200, "/cache must return 200");
     assert!(
         cache_body.contains("\"hits\":") && cache_body.contains("\"hit_rate\":"),
         "/cache must expose hit/miss statistics, got: {cache_body}"
+    );
+    let hit_rate: f64 = cache_body
+        .split("\"hit_rate\":")
+        .nth(1)
+        .and_then(|r| r.trim_end_matches(['}', '\n']).parse().ok())
+        .expect("hit_rate must parse as a number");
+    assert!(
+        hit_rate.is_finite() && (0.0..=1.0).contains(&hit_rate),
+        "hit_rate must be a finite ratio, got {hit_rate}"
+    );
+
+    // Fleet observability: the query above ran a federation round, so
+    // the scorecards, the per-node series and the journal are live.
+    let (nodes_status, nodes_body) = get(&addr, "/nodes")?;
+    assert_eq!(nodes_status, 200, "/nodes must return 200");
+    assert!(
+        nodes_body.contains("\"fleet_size\":")
+            && nodes_body.contains("\"nodes\":[")
+            && nodes_body.contains("\"skew\":{")
+            && nodes_body.contains("\"gini\":"),
+        "/nodes must expose scorecards plus skew analytics, got: {nodes_body}"
+    );
+    assert!(
+        nodes_body.contains("\"selected\":"),
+        "/nodes must reflect the served query's selections: {nodes_body}"
+    );
+    let hot = nodes_body
+        .split("\"node\":")
+        .nth(1)
+        .and_then(|r| r.split([',', '}']).next())
+        .expect("/nodes lists at least one scorecard");
+    let (card_status, card_body) = get(&addr, &format!("/nodes/{}", hot.trim()))?;
+    assert_eq!(card_status, 200, "/nodes/<id> must return 200");
+    assert!(
+        card_body.contains("\"selected\":") && card_body.contains("\"train_wall_nanos\":"),
+        "/nodes/<id> must serve one scorecard with live wall time, got: {card_body}"
+    );
+    let (missing_card_status, _) = get(&addr, "/nodes/9999")?;
+    assert_eq!(missing_card_status, 404, "unknown node ids must 404");
+
+    let (events_status, events_body) = get(&addr, "/events?n=32")?;
+    assert_eq!(events_status, 200, "/events must return 200");
+    assert!(
+        events_body.contains("\"kind\":\"node_selected\""),
+        "/events must contain the served query's selection events, got: {events_body}"
+    );
+    assert!(
+        events_body
+            .lines()
+            .all(|l| l.is_empty() || l.starts_with('{')),
+        "/events must be JSON lines"
+    );
+
+    // The fleet series ride along on /metrics once queries have run.
+    let (metrics2_status, metrics2_body) = get(&addr, "/metrics")?;
+    assert_eq!(metrics2_status, 200);
+    assert!(
+        metrics2_body.contains("qens_node_selected_total{")
+            && metrics2_body.contains("qens_fleet_selection_gini")
+            && metrics2_body.contains("qens_journal_events_total"),
+        "/metrics must carry the fleet + journal series after queries ran"
     );
 
     // Keep-alive: two requests over one socket.
@@ -840,8 +970,8 @@ fn serve_once() -> std::io::Result<()> {
         .count();
     println!(
         "serve --once OK: /healthz /metrics ({series} qens_* samples) /trace /profile \
-         /profile.svg /slowest /slo /cache all 200; POST /query + keep-alive + drain OK; \
-         404 + 400s + 405 + 413 error paths exercised"
+         /profile.svg /slowest /slo /cache /nodes /nodes/<id> /events all 200; POST /query + \
+         keep-alive + drain OK; 404 + 400s + 405 + 413 error paths exercised"
     );
     telemetry::trace::set_mode(None);
     Ok(())
@@ -954,6 +1084,51 @@ mod tests {
         assert!(body.contains("\"hit_rate\":"));
         server.request_shutdown();
         server.wait().unwrap();
+    }
+
+    #[test]
+    fn nodes_and_events_endpoints_serve_fleet_data() {
+        let _g = crate::fleet_test_lock();
+        let server = test_server(None);
+        telemetry::fleet::set_enabled(true);
+        // Before any query: /nodes is valid (possibly empty) JSON and
+        // /events is empty-or-lines; unknown ids 404.
+        let (status, body) = get(server.addr(), "/nodes").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"skew\":{"), "got: {body}");
+        let (status, _) = get(server.addr(), "/nodes/not-a-node").unwrap();
+        assert_eq!(status, 404);
+        // One served query populates the scorecards and the journal.
+        let (status, _) = post(
+            server.addr(),
+            "/query",
+            "{\"id\": 21, \"bounds\": [0, 20, 0, 45]}",
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        let (status, body) = get(server.addr(), "/nodes").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"last_selected_query\":21"),
+            "scorecards must attribute the served query: {body}"
+        );
+        let (status, body) = get(server.addr(), "/nodes/n0").unwrap();
+        assert!(
+            status == 200 && body.contains("\"train_wall_nanos\":"),
+            "node display ids must resolve: {status} {body}"
+        );
+        let (status, body) = get(server.addr(), "/events?n=4").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.lines().filter(|l| !l.is_empty()).count() <= 4,
+            "the n= cap must bound the tail: {body}"
+        );
+        assert!(body.contains("\"kind\":\"node_selected\""), "got: {body}");
+        server.request_shutdown();
+        server.wait().unwrap();
+        telemetry::fleet::set_enabled(false);
+        telemetry::fleet::reset();
+        telemetry::journal::clear();
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub struct FederationBuilder {
     rounds: usize,
     stage_order: StageOrder,
     telemetry: Option<bool>,
+    fleet: Option<bool>,
     trace: Option<Option<telemetry::trace::Clock>>,
     threads: Option<usize>,
     faults: Option<FaultSpec>,
@@ -85,6 +86,7 @@ impl FederationBuilder {
             rounds: 1,
             stage_order: StageOrder::Sequential,
             telemetry: None,
+            fleet: None,
             trace: None,
             threads: None,
             faults: None,
@@ -262,6 +264,18 @@ impl FederationBuilder {
         self
     }
 
+    /// Turns the fleet observability layer (per-node scorecards, skew
+    /// analytics and the structured event journal — see
+    /// [`telemetry::fleet`] / [`telemetry::journal`]) on or off when the
+    /// federation is built, overriding the `QENS_FLEET` environment
+    /// variable. Off by default: scorecards cost one mutex hop per
+    /// round-loop event, and disabled runs are bitwise identical to a
+    /// build without the layer. Left untouched when never called.
+    pub fn fleet(mut self, on: bool) -> Self {
+        self.fleet = Some(on);
+        self
+    }
+
     /// Turns structured query tracing on (with the given clock) or off
     /// when the federation is built, overriding `QENS_TRACE`. Pass
     /// `Some(Clock::Logical)` for the deterministic tick clock (traces
@@ -324,6 +338,9 @@ impl FederationBuilder {
     pub fn build(self) -> Federation {
         if let Some(on) = self.telemetry {
             telemetry::set_enabled(on);
+        }
+        if let Some(on) = self.fleet {
+            telemetry::fleet::set_enabled(on);
         }
         if let Some(clock) = self.trace {
             telemetry::trace::set_mode(clock);

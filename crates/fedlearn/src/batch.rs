@@ -151,6 +151,18 @@ fn run_batch_wave(
             }));
             continue;
         }
+        // Fleet scorecards: the batch path opens no QueryObserver, so it
+        // counts the query and its selections itself (leader-serial in
+        // arrival order — deterministic like the rest of the prologue).
+        if telemetry::fleet::enabled() {
+            telemetry::fleet::query_observed(query.id());
+            telemetry::fleet::observe_fleet(network.len());
+            for (rank, p) in selection.participants.iter().enumerate() {
+                let epoch = network.node(p.node).summary_epoch();
+                telemetry::fleet::selected(query.id(), p.node.0 as u64, epoch);
+                telemetry::journal::node_selected(query.id(), p.node.0 as u64, rank as u64);
+            }
+        }
         let overhead = policy.overhead(&ctx);
         let members: Vec<BatchMember> = selection
             .participants
@@ -309,8 +321,10 @@ fn run_batch_wave(
                     .retry_penalty_seconds(model_bytes, 0, &config.tolerance.retry);
             let finish = train_sim + node.link().transfer_seconds(2 * model_bytes) + retry_penalty;
             per_node_seconds.push(finish);
+            telemetry::fleet::trained(node_idx as u64, finish, (local.wall_seconds * 1e9) as u64);
             let bytes = 2 * model_bytes;
             round_bytes += bytes;
+            telemetry::fleet::transferred(node_idx as u64, bytes as u64);
             telemetry::trace::instant(
                 "edgesim.transfer",
                 &[("node", node_idx as u64), ("bytes", bytes as u64)],
@@ -346,6 +360,9 @@ fn run_batch_wave(
         accounting.commit_telemetry();
         let final_cohort: Vec<Participant> =
             p.members.iter().map(|m| m.participant.clone()).collect();
+        for m in &final_cohort {
+            telemetry::fleet::participated(m.node.0 as u64);
+        }
         slots[p.qidx] = Some(Ok(RoundOutcome {
             global,
             scaler: scaler.clone(),

@@ -310,6 +310,17 @@ pub fn run_query(
             query_id: query.id(),
         });
     }
+    // Fleet scorecards: credit each selected node (leader-serial, so the
+    // registry and journal are deterministic at any thread count). The
+    // enabled() guard keeps the summary_epoch lookups off the fast path.
+    if telemetry::fleet::enabled() {
+        telemetry::fleet::observe_fleet(network.len());
+        for (rank, p) in selection.participants.iter().enumerate() {
+            let epoch = network.node(p.node).summary_epoch();
+            telemetry::fleet::selected(query.id(), p.node.0 as u64, epoch);
+            telemetry::journal::node_selected(query.id(), p.node.0 as u64, rank as u64);
+        }
+    }
     let overhead = policy.overhead(&ctx);
     let scaler = SpaceScaler::from_space(&network.global_space());
 
@@ -491,6 +502,13 @@ pub fn run_query(
                             &[("node", node_idx as u64), ("round", round as u64)],
                         );
                         accounting.dropped_participants += 1;
+                        telemetry::fleet::dropped(node_idx as u64);
+                        telemetry::journal::node_dropped(
+                            query.id(),
+                            node_idx as u64,
+                            round as u64,
+                            "crash",
+                        );
                         crashed_indices.push(ci);
                     }
                     ParticipantFate::Dropped => {
@@ -503,6 +521,13 @@ pub fn run_query(
                             &[("node", node_idx as u64), ("round", round as u64)],
                         );
                         accounting.dropped_participants += 1;
+                        telemetry::fleet::dropped(node_idx as u64);
+                        telemetry::journal::node_dropped(
+                            query.id(),
+                            node_idx as u64,
+                            round as u64,
+                            "dropout",
+                        );
                     }
                     ParticipantFate::Participates { slowdown } => {
                         if slowdown > 1.0 {
@@ -519,6 +544,7 @@ pub fn run_query(
                                     ("slowdown_milli", (slowdown * 1000.0) as u64),
                                 ],
                             );
+                            telemetry::fleet::straggled(node_idx as u64);
                         }
                         attempters.push(ci);
                         slowdowns.push(slowdown);
@@ -604,6 +630,9 @@ pub fn run_query(
                     }
                 }
                 accounting.retries += failed;
+                if failed > 0 {
+                    telemetry::fleet::retried(node_idx as u64, failed as u64);
+                }
                 let retry_penalty =
                     node.link()
                         .retry_penalty_seconds(model_bytes, failed, &config.tolerance.retry);
@@ -625,11 +654,24 @@ pub fn run_query(
                         ],
                     );
                     accounting.dropped_participants += 1;
-                    per_node_seconds.push(
-                        train_sim + node.link().transfer_seconds(model_bytes) + retry_penalty,
+                    telemetry::fleet::dropped(node_idx as u64);
+                    telemetry::journal::node_dropped(
+                        query.id(),
+                        node_idx as u64,
+                        round as u64,
+                        "transfer",
+                    );
+                    let charged =
+                        train_sim + node.link().transfer_seconds(model_bytes) + retry_penalty;
+                    per_node_seconds.push(charged);
+                    telemetry::fleet::trained(
+                        node_idx as u64,
+                        charged,
+                        (r.wall_seconds * 1e9) as u64,
                     );
                     let bytes = (1 + failed) * model_bytes;
                     round_bytes += bytes;
+                    telemetry::fleet::transferred(node_idx as u64, bytes as u64);
                     telemetry::trace::instant(
                         "edgesim.transfer",
                         &[("node", node_idx as u64), ("bytes", bytes as u64)],
@@ -672,9 +714,21 @@ pub fn run_query(
                         );
                         accounting.deadline_misses += 1;
                         accounting.dropped_participants += 1;
+                        telemetry::fleet::dropped(node_idx as u64);
+                        telemetry::journal::straggler_deadline(
+                            query.id(),
+                            node_idx as u64,
+                            round as u64,
+                        );
                         per_node_seconds.push(deadline);
+                        telemetry::fleet::trained(
+                            node_idx as u64,
+                            deadline,
+                            (r.wall_seconds * 1e9) as u64,
+                        );
                         let bytes = (2 + failed) * model_bytes;
                         round_bytes += bytes;
+                        telemetry::fleet::transferred(node_idx as u64, bytes as u64);
                         telemetry::trace::instant(
                             "edgesim.transfer",
                             &[("node", node_idx as u64), ("bytes", bytes as u64)],
@@ -683,8 +737,10 @@ pub fn run_query(
                     }
                 }
                 per_node_seconds.push(finish);
+                telemetry::fleet::trained(node_idx as u64, finish, (r.wall_seconds * 1e9) as u64);
                 let bytes = (2 + failed) * model_bytes;
                 round_bytes += bytes;
+                telemetry::fleet::transferred(node_idx as u64, bytes as u64);
                 telemetry::trace::instant(
                     "edgesim.transfer",
                     &[("node", node_idx as u64), ("bytes", bytes as u64)],
@@ -722,6 +778,8 @@ pub fn run_query(
                         &[("standby", p.node.0 as u64), ("round", round as u64)],
                     );
                     accounting.replacements += 1;
+                    telemetry::fleet::promoted(p.node.0 as u64);
+                    telemetry::journal::standby_promoted(query.id(), p.node.0 as u64, round as u64);
                     cohort.push(member);
                     promoted.push(cohort.len() - 1);
                 }
@@ -741,6 +799,10 @@ pub fn run_query(
                         ("required", required as u64),
                     ],
                 );
+                telemetry::journal::quorum_lost(query.id(), round as u64, survivors.len() as u64);
+                for m in &cohort {
+                    telemetry::fleet::quorum_lost(m.participant.node.0 as u64);
+                }
                 return Err(FederationError::QuorumLost {
                     query_id: query.id(),
                     round,
@@ -794,6 +856,9 @@ pub fn run_query(
 
     let global = global.expect("at least one round ran");
     let final_cohort: Vec<Participant> = cohort.iter().map(|m| m.participant.clone()).collect();
+    for p in &final_cohort {
+        telemetry::fleet::participated(p.node.0 as u64);
+    }
     // Satellite coupling: the simulator ledger and the telemetry counters
     // must tell the same story (asserted in tests/telemetry_pipeline.rs).
     accounting.commit_telemetry();

@@ -364,6 +364,7 @@ impl CachedQueryDriven {
         telemetry::counter!("qens_cache_hits_total").add(1);
         if n_stale > 0 {
             telemetry::counter!("qens_cache_invalidations_total").add(n_stale as u64);
+            telemetry::journal::cache_invalidated(ctx.query.id(), n_stale as u64);
         }
         telemetry::trace::instant(
             "selection.cache_hit",

@@ -157,6 +157,19 @@ pub fn help_text(name: &str) -> &'static str {
             return "Build metadata (crate version and build profile) as labels; value is always 1."
         }
         "qens_uptime_seconds" => return "Seconds since this process first exported metrics.",
+        "qens_fleet_size" => return "Largest edge network size observed by the fleet registry.",
+        "qens_fleet_queries_total" => return "Queries observed end-to-end by the fleet registry.",
+        "qens_fleet_never_selected" => return "Nodes in the fleet never selected by any query.",
+        "qens_fleet_selection_gini" => {
+            return "Gini coefficient of per-node selection counts (0 = even, 1 = concentrated)."
+        }
+        "qens_fleet_selection_entropy" => {
+            return "Normalized entropy of the selection distribution (1 = uniform)."
+        }
+        "qens_journal_events_total" => return "Structured events recorded into the fleet journal.",
+        "qens_journal_overwritten_total" => {
+            return "Journal events overwritten after the ring filled."
+        }
         _ => {}
     }
     let family = [
@@ -174,6 +187,12 @@ pub fn help_text(name: &str) -> &'static str {
             "query serving front-end metric (ingestion queue, admission control, batching).",
         ),
         ("qens_par_", "deterministic thread-pool metric."),
+        (
+            "qens_node_",
+            "per-node fleet scorecard counter (top-K hot nodes plus an \"other\" aggregate).",
+        ),
+        ("qens_fleet_", "fleet-level selection-skew metric."),
+        ("qens_journal_", "structured event journal metric."),
         ("qens_trace_", "structured tracing metric."),
         ("qens_mlkit_", "local training kernel metric."),
         ("qens_slo_", "latency SLO tracking metric."),
@@ -493,7 +512,59 @@ mod tests {
             help_text("qens_serve_shed_total"),
             "query serving front-end metric (ingestion queue, admission control, batching)."
         );
+        assert_eq!(
+            help_text("qens_node_selected_total"),
+            "per-node fleet scorecard counter (top-K hot nodes plus an \"other\" aggregate)."
+        );
+        assert_eq!(
+            help_text("qens_fleet_selection_gini"),
+            "Gini coefficient of per-node selection counts (0 = even, 1 = concentrated)."
+        );
+        assert_eq!(
+            help_text("qens_journal_events_total"),
+            "Structured events recorded into the fleet journal."
+        );
         assert_eq!(help_text("qens_unknown_nanos"), help_text("x_nanos"));
         assert_eq!(help_text("weird"), "Workspace metric.");
+    }
+
+    /// The fleet's appended exposition obeys the same conformance rules
+    /// as the registry's: every sample preceded by matching `# HELP` and
+    /// `# TYPE` lines, HELP before TYPE before the first sample.
+    #[test]
+    fn fleet_exposition_is_conformant() {
+        let _g = crate::test_lock();
+        crate::fleet::set_enabled(true);
+        crate::fleet::reset();
+        crate::journal::clear();
+        crate::fleet::observe_fleet(5);
+        crate::fleet::selected(1, 0, 0);
+        crate::fleet::selected(1, 3, 0);
+        crate::journal::node_selected(1, 0, 0);
+        let mut text = String::new();
+        crate::fleet::to_prometheus(&mut text, crate::fleet::PROM_TOP_K);
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let sample = line.split_whitespace().next().unwrap();
+            let base = sample.split('{').next().unwrap();
+            assert!(
+                text.contains(&format!("# HELP {base} ")),
+                "series {sample} missing # HELP {base}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {base} ")),
+                "series {sample} missing # TYPE {base}"
+            );
+            let help_at = text.find(&format!("# HELP {base} ")).unwrap();
+            let type_at = text.find(&format!("# TYPE {base} ")).unwrap();
+            let sample_at = text.find(line).unwrap();
+            assert!(help_at < type_at && type_at < sample_at);
+        }
+        assert!(text.contains("qens_journal_events_total 1"));
+        crate::fleet::reset();
+        crate::journal::clear();
     }
 }

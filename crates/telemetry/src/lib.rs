@@ -46,7 +46,9 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 
 pub mod export;
+pub mod fleet;
 pub mod histogram;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod profile;

@@ -839,6 +839,9 @@ pub struct QueryObserver {
 impl QueryObserver {
     /// Starts observing `query_id`.
     pub fn begin(query_id: u64) -> Self {
+        // The fleet registry counts queries here — every run_query path
+        // opens exactly one observer (batch waves count their own).
+        crate::fleet::query_observed(query_id);
         let active = crate::enabled() || trace::is_enabled();
         Self {
             query_id,

@@ -21,11 +21,13 @@
 #      faults and telemetry::trace determinism contracts),
 #   8. the live-observability self-test (`repro serve --once`): binds an
 #      ephemeral port, probes /healthz, /metrics, /trace, /profile,
-#      /profile.svg, /slowest, /slo and /cache over a plain TcpStream,
-#      asserts non-empty qens_* metric families (including
-#      qens_build_info and qens_uptime_seconds), round-trips POST /query
-#      over a keep-alive socket, and exercises the 404/400/405/413 error
-#      paths plus the graceful-drain shutdown contract,
+#      /profile.svg, /slowest, /slo, /cache, /nodes, /nodes/<id> and
+#      /events over a plain TcpStream, asserts non-empty qens_* metric
+#      families (including qens_build_info, qens_uptime_seconds and the
+#      qens_node_*/qens_fleet_* scorecard series), round-trips
+#      POST /query over a keep-alive socket, and exercises the
+#      404/400/405/413 error paths plus the graceful-drain shutdown
+#      contract,
 #   9. profiler seed-stability: `repro profile` is run under
 #      QENS_THREADS=1 and QENS_THREADS=4 and the logical-clock folded
 #      stacks and SVG flamegraph must be byte-identical,
@@ -41,13 +43,20 @@
 #      integration tests re-run under QENS_THREADS=2,
 #  12. the serving smoke (`repro load --smoke`): spawns a real server on
 #      an ephemeral port, drives it with concurrent keep-alive clients
-#      while scraping /metrics and /cache, and asserts the telemetry
-#      ledger matches the queries served,
+#      while scraping /metrics, /cache, /nodes and /events, and asserts
+#      the telemetry ledger matches the queries served,
 #  13. load-generator seed-stability: the full `repro load` sweep is run
 #      under QENS_THREADS=1 and QENS_THREADS=4 and the fig9 saturation
 #      CSV must be byte-identical (service times come from simulated
 #      seconds and the queueing model runs on a logical clock, so thread
-#      count must not leak into the report).
+#      count must not leak into the report),
+#  14. fleet-observability seed-stability: `repro fleet` is run under
+#      QENS_THREADS=1 and QENS_THREADS=4 and both results/fleet.json
+#      (scorecards + skew + logical journal tail) and
+#      results/fig10_fleet_skew.csv must be byte-identical — every
+#      scorecard field in the export is integer or leader-serial
+#      simulated time, so the fleet registry honours the same
+#      determinism contract as the fault and trace subsystems.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -128,5 +137,17 @@ cmp results/fig9_saturation.csv results/fig9_saturation.t1.csv \
   || { echo "FAIL: fig9 saturation sweep differs between QENS_THREADS=1 and 4"; exit 1; }
 rm -f results/fig9_saturation.t1.csv
 echo "fig9 saturation sweep is thread-count stable"
+
+echo "==> fleet-observability seed-stability (fleet.json + fig10 byte-identical at QENS_THREADS=1 vs 4)"
+QENS_THREADS=1 cargo run -q -p bench --bin repro --release --offline -- fleet > /dev/null
+cp results/fleet.json results/fleet.t1.json
+cp results/fig10_fleet_skew.csv results/fig10_fleet_skew.t1.csv
+QENS_THREADS=4 cargo run -q -p bench --bin repro --release --offline -- fleet > /dev/null
+cmp results/fleet.json results/fleet.t1.json \
+  || { echo "FAIL: fleet scorecards differ between QENS_THREADS=1 and 4"; exit 1; }
+cmp results/fig10_fleet_skew.csv results/fig10_fleet_skew.t1.csv \
+  || { echo "FAIL: fig10 skew heatmap differs between QENS_THREADS=1 and 4"; exit 1; }
+rm -f results/fleet.t1.json results/fig10_fleet_skew.t1.csv
+echo "fleet scorecards + journal are thread-count stable"
 
 echo "verify OK"
