@@ -8,6 +8,7 @@
 //! cargo run --release -p bench --bin repro -- serve   # live /metrics endpoint
 //! cargo run --release -p bench --bin repro -- bench --check  # perf harness
 //! cargo run --release -p bench --bin repro -- profile # flamegraph + SLO report
+//! cargo run --release -p bench --bin repro -- scale   # Fig. 11 fleet-size sweep
 //! ```
 //!
 //! Printed rows state the measured values next to the paper's; CSV series
@@ -410,6 +411,16 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("scale") {
+        // Fig. 11: fleet-size scaling, scan vs spatial index. The CSV is
+        // structural-only (no wall clock), so scripts/verify.sh can
+        // byte-diff it across QENS_THREADS values.
+        if let Err(e) = bench::scale::run_scale(&results_dir()) {
+            eprintln!("scale: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("profile") {
         let mut opts = bench::profile::ProfileOptions::default();
         let mut it = args.iter().skip(1);
@@ -486,7 +497,7 @@ fn main() {
             eprintln!(
                 "unknown experiment {other:?}; expected one of \
                  table1|table2|table3|fig1|fig2|fig5|fig6|fig7|fig8|fig9|faults|fleet|extended|\
-                 all [--paper | --smoke], or a tool subcommand: serve|load|bench|profile"
+                 all [--paper | --smoke], or a tool subcommand: serve|load|bench|profile|scale"
             );
             std::process::exit(2);
         }

@@ -17,6 +17,7 @@ pub mod harness;
 pub mod perf;
 pub mod profile;
 pub mod report;
+pub mod scale;
 pub mod serve;
 pub mod tables;
 

@@ -80,13 +80,26 @@ fn time_kernel<F: FnMut()>(name: &str, warmup: usize, iters: usize, mut f: F) ->
     }
 }
 
-/// Runs the whole fixed suite. Deterministic inputs (seeded), measured
-/// wall time — so numbers vary per machine but the *set* of kernels and
-/// their inputs never do.
+/// Fleet size of the scaling kernels in the committed baseline.
+pub const SCALE_FLEET: usize = 1_000_000;
+
+/// Runs the whole fixed suite at the committed 1M-node scaling-fleet
+/// size. Deterministic inputs (seeded), measured wall time — so numbers
+/// vary per machine but the *set* of kernels and their inputs never do.
 pub fn run_suite() -> Vec<BenchResult> {
+    run_suite_sized(SCALE_FLEET)
+}
+
+/// [`run_suite`] with an explicit scaling-fleet size (tests shrink it;
+/// kernel *names* keep the baseline's `_1m_` spelling regardless, since
+/// they are the compare key).
+pub fn run_suite_sized(scale_fleet: usize) -> Vec<BenchResult> {
     use qens::cluster::{KMeans, KMeansConfig};
+    use qens::geom::{HyperRect, Interval, Query};
     use qens::linalg::Matrix;
-    use qens::selection::{QueryDriven, SelectionContext, SelectionPolicy};
+    use qens::selection::{
+        GridConfig, IndexedQueryDriven, QueryDriven, SelectionContext, SelectionPolicy,
+    };
 
     let mut out = Vec::new();
 
@@ -180,7 +193,61 @@ pub fn run_suite() -> Vec<BenchResult> {
     server.request_shutdown();
     server.wait().expect("bench server shutdown");
 
+    // Kernels 7/8: fleet-scale selection — the full Eq. 2-4 scan vs the
+    // spatial-index candidate generator over the same summary-only
+    // fleet and query. These run last so the big fleet is allocated
+    // after every other kernel has finished. The query is narrow
+    // (16 units of a 1000-unit space per side), the regime the index
+    // exists for; `repro bench --check` asserts the indexed leg's
+    // speedup below.
+    let fleet = crate::scale::synthetic_fleet(scale_fleet, 3, 77);
+    let scale_query = Query::new(
+        900,
+        HyperRect::new(vec![
+            Interval::new(500.0, 516.0),
+            Interval::new(500.0, 516.0),
+        ]),
+    );
+    let scale_ctx = SelectionContext::new(&fleet, &scale_query);
+    let scan_ranker = QueryDriven::top_l(3);
+    out.push(time_kernel("selection_rank_1m_scan", 1, 4, || {
+        let _ = scan_ranker.select(&scale_ctx);
+    }));
+    let indexed_ranker = IndexedQueryDriven::new(QueryDriven::top_l(3), GridConfig::default());
+    // The first warmup iteration bulk-builds the index (steady state is
+    // what the baseline tracks; build cost has its own histogram,
+    // `qens_index_build_nanos`).
+    out.push(time_kernel("selection_rank_1m_indexed", 2, 32, || {
+        let _ = indexed_ranker.select(&scale_ctx);
+    }));
+    assert_eq!(
+        scan_ranker.select(&scale_ctx),
+        indexed_ranker.select(&scale_ctx),
+        "bench fleet: indexed selection diverged from the full scan"
+    );
+
     out
+}
+
+/// Minimum `selection_rank_1m_scan` / `selection_rank_1m_indexed`
+/// speedup `--check` expects (ISSUE 10's acceptance floor).
+pub const INDEX_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// The indexed-beats-scan check: returns the measured speedup factor
+/// and whether it clears [`INDEX_SPEEDUP_FLOOR`]. `None` when either
+/// kernel is missing from `results`.
+pub fn index_speedup(results: &[BenchResult]) -> Option<(f64, bool)> {
+    let scan = results
+        .iter()
+        .find(|r| r.name == "selection_rank_1m_scan")?;
+    let indexed = results
+        .iter()
+        .find(|r| r.name == "selection_rank_1m_indexed")?;
+    if indexed.nanos_per_iter <= 0.0 {
+        return None;
+    }
+    let factor = scan.nanos_per_iter / indexed.nanos_per_iter;
+    Some((factor, factor >= INDEX_SPEEDUP_FLOOR))
 }
 
 /// Serialises results in the stable `qens-bench-v1` schema.
@@ -303,6 +370,33 @@ pub fn run_bench(check: bool, baseline_path: Option<&Path>) -> bool {
         return true;
     }
     let gate = gate_from_env();
+
+    // The scaling claim is relative (same machine, same run), so unlike
+    // the nanosecond baselines it can be checked hard: warn-only by
+    // default, a failure under QENS_BENCH_GATE.
+    let mut speedup_ok = true;
+    match index_speedup(&results) {
+        Some((factor, ok)) => {
+            println!(
+                "bench check: indexed selection speedup {factor:.1}x over the scan \
+                 (floor {INDEX_SPEEDUP_FLOOR}x)"
+            );
+            if !ok {
+                eprintln!(
+                    "WARNING: bench: selection_rank_1m_indexed is only {factor:.1}x faster than \
+                     selection_rank_1m_scan (floor {INDEX_SPEEDUP_FLOOR}x)"
+                );
+                if gate.is_some() {
+                    eprintln!(
+                        "FAIL: bench: index speedup below the {INDEX_SPEEDUP_FLOOR}x floor \
+                         under QENS_BENCH_GATE"
+                    );
+                    speedup_ok = false;
+                }
+            }
+        }
+        None => eprintln!("WARNING: bench: scaling kernels missing; speedup unchecked"),
+    }
     let baseline_path = baseline_path.unwrap_or(Path::new("BENCH_qens.json"));
     let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(doc) => match from_json(&doc) {
@@ -312,7 +406,7 @@ pub fn run_bench(check: bool, baseline_path: Option<&Path>) -> bool {
                     "WARNING: bench: baseline {} is not qens-bench-v1; skipping compare",
                     baseline_path.display()
                 );
-                return true;
+                return speedup_ok;
             }
         },
         Err(e) => {
@@ -320,7 +414,7 @@ pub fn run_bench(check: bool, baseline_path: Option<&Path>) -> bool {
                 "WARNING: bench: no baseline at {} ({e}); run `repro bench` and commit the file",
                 baseline_path.display()
             );
-            return true;
+            return speedup_ok;
         }
     };
     let cmp = compare_with_band(&results, &baseline, TOLERANCE_BAND);
@@ -337,7 +431,7 @@ pub fn run_bench(check: bool, baseline_path: Option<&Path>) -> bool {
             TOLERANCE_BAND,
             baseline_path.display()
         );
-        return true;
+        return speedup_ok;
     }
     for (_, _, msg) in &cmp.regressions {
         eprintln!("WARNING: {msg}");
@@ -349,7 +443,7 @@ pub fn run_bench(check: bool, baseline_path: Option<&Path>) -> bool {
             cmp.regressions.len(),
             baseline_path.display()
         );
-        return true;
+        return speedup_ok;
     };
     let over_gate: Vec<&(String, f64, String)> = cmp
         .regressions
@@ -362,7 +456,7 @@ pub fn run_bench(check: bool, baseline_path: Option<&Path>) -> bool {
              (warned, not failing)",
             cmp.regressions.len()
         );
-        return true;
+        return speedup_ok;
     }
     for (name, factor, _) in &over_gate {
         eprintln!("FAIL: bench: {name} regressed {factor:.1}x, past the QENS_BENCH_GATE={gate}x hard gate");
@@ -432,12 +526,33 @@ mod tests {
     }
 
     #[test]
+    fn index_speedup_reads_the_scaling_pair() {
+        let results = vec![
+            r("selection_rank_1m_scan", 10_000.0),
+            r("selection_rank_1m_indexed", 1_000.0),
+        ];
+        let (factor, ok) = index_speedup(&results).expect("pair present");
+        assert!((factor - 10.0).abs() < 1e-9);
+        assert!(ok);
+        let slow = vec![
+            r("selection_rank_1m_scan", 2_000.0),
+            r("selection_rank_1m_indexed", 1_000.0),
+        ];
+        let (factor, ok) = index_speedup(&slow).expect("pair present");
+        assert!((factor - 2.0).abs() < 1e-9);
+        assert!(!ok);
+        assert!(index_speedup(&[r("selection_rank_1m_scan", 1.0)]).is_none());
+    }
+
+    #[test]
     fn suite_runs_and_serialises() {
-        // Keep it cheap: just assert the suite produces the fixed kernel
-        // set and the serialised doc parses back. (The suite's fleet
-        // kernel mutates the process-global registry: take the lock.)
+        // Keep it cheap: assert the suite produces the fixed kernel set
+        // and the serialised doc parses back, with the scaling fleet
+        // shrunk to test size — names stay the baseline's `_1m_` ones.
+        // (The suite's fleet kernel mutates the process-global registry:
+        // take the lock.)
         let _g = crate::fleet_test_lock();
-        let results = run_suite();
+        let results = run_suite_sized(20_000);
         let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(
             names,
@@ -448,7 +563,9 @@ mod tests {
                 "fedlearn_round",
                 "prometheus_export",
                 "fleet_scorecard_update",
-                "serve_roundtrip"
+                "serve_roundtrip",
+                "selection_rank_1m_scan",
+                "selection_rank_1m_indexed"
             ]
         );
         assert!(results.iter().all(|r| r.nanos_per_iter > 0.0));

@@ -57,6 +57,7 @@ pub struct FederationBuilder {
     link_range: Option<((f64, f64), (f64, f64))>,
     selection_cache: Option<bool>,
     cache_bucket_width: Option<f64>,
+    selection_index: Option<bool>,
     admission: Option<AdmissionConfig>,
 }
 
@@ -94,6 +95,7 @@ impl FederationBuilder {
             link_range: None,
             selection_cache: None,
             cache_bucket_width: None,
+            selection_index: None,
             admission: None,
         }
     }
@@ -323,6 +325,19 @@ impl FederationBuilder {
         self
     }
 
+    /// Turns spatial-index candidate generation on (or off) for
+    /// query-driven policies run through this federation, overriding the
+    /// `QENS_INDEX` environment variable. Indexed selections are
+    /// bit-identical to full scans (see [`selection::IndexedQueryDriven`]);
+    /// only the work to compute them changes — sublinear in fleet size
+    /// instead of scoring every node. Composes with
+    /// [`FederationBuilder::selection_cache`]: cache hits bypass the
+    /// index, misses generate candidates through it. Off by default.
+    pub fn index(mut self, on: bool) -> Self {
+        self.selection_index = Some(on);
+        self
+    }
+
     /// Pins the serving front end's admission control (queue depth,
     /// staleness deadline, batch cap, body cap), overriding the
     /// `QENS_SERVE_*` environment variables. Only consulted by the
@@ -415,11 +430,18 @@ impl FederationBuilder {
             }
             cfg
         });
+        let index_enabled =
+            self.selection_index
+                .unwrap_or_else(|| match std::env::var("QENS_INDEX") {
+                    Ok(v) => !matches!(v.as_str(), "" | "0" | "false" | "off" | "no"),
+                    Err(_) => false,
+                });
         Federation {
             network,
             config,
             seed: self.seed,
             cache,
+            index: index_enabled,
             admission: self.admission.unwrap_or_else(AdmissionConfig::from_env),
         }
     }
@@ -435,6 +457,9 @@ pub struct Federation {
     /// Selection-cache configuration for query-driven policies, `None`
     /// when caching is off (builder flag / `QENS_CACHE`).
     cache: Option<selection::CacheConfig>,
+    /// Spatial-index candidate generation for query-driven policies
+    /// (builder flag / `QENS_INDEX`).
+    index: bool,
     /// Admission control for the serving front end (builder override or
     /// the `QENS_SERVE_*` environment, resolved at build time).
     admission: AdmissionConfig,
@@ -508,19 +533,29 @@ impl Federation {
         self.cache
     }
 
+    /// Whether spatial-index candidate generation is in force for
+    /// query-driven policies (builder flag / `QENS_INDEX`).
+    pub fn index_enabled(&self) -> bool {
+        self.index
+    }
+
     /// The serving front end's admission control in force.
     pub fn admission(&self) -> AdmissionConfig {
         self.admission
     }
 
     /// Builds the runtime policy object, wrapped in a selection cache
-    /// when caching is enabled and the policy is query-driven. The cache
-    /// lives as long as the returned object: one [`Federation::run_workload`]
-    /// call shares it across its whole stream.
+    /// and/or spatial index when enabled and the policy is query-driven.
+    /// The cache and index live as long as the returned object: one
+    /// [`Federation::run_workload`] call shares them across its whole
+    /// stream.
     pub fn build_policy(&self, policy: &PolicyKind) -> Box<dyn selection::SelectionPolicy> {
-        match self.cache {
-            Some(cfg) => policy.build_cached(cfg),
-            None => policy.build(),
+        let grid = selection::GridConfig::default();
+        match (self.cache, self.index) {
+            (Some(cfg), true) => policy.build_cached_indexed(cfg, grid),
+            (Some(cfg), false) => policy.build_cached(cfg),
+            (None, true) => policy.build_indexed(grid),
+            (None, false) => policy.build(),
         }
     }
 
@@ -747,6 +782,43 @@ mod tests {
         assert!(a.cache.is_none());
         let stats = b.cache.expect("cached run reports stats");
         assert_eq!(stats.hits + stats.misses, 6);
+    }
+
+    #[test]
+    fn index_flag_flows_through_and_changes_nothing() {
+        let build = |indexed: bool, cached: bool| {
+            let mut b = FederationBuilder::new()
+                .heterogeneous_nodes(5, 60)
+                .seed(13)
+                .epochs(3);
+            if indexed {
+                b = b.index(true);
+            }
+            if cached {
+                b = b.selection_cache(true);
+            }
+            b.build()
+        };
+        let plain = build(false, false);
+        assert!(!plain.index_enabled());
+        let indexed = build(true, false);
+        assert!(indexed.index_enabled());
+        let both = build(true, true);
+        assert!(both.index_enabled() && both.cache_config().is_some());
+
+        let wl = plain.workload(&WorkloadConfig {
+            n_queries: 6,
+            ..WorkloadConfig::paper_default(17)
+        });
+        let policy = PolicyKind::query_driven(3);
+        let a = plain.run_workload(&wl, &policy);
+        let b = indexed.run_workload(&wl, &policy);
+        let c = both.run_workload(&wl, &policy);
+        // The index must be invisible in every outcome, alone and
+        // composed with the cache.
+        assert_eq!(a.per_query, b.per_query);
+        assert_eq!(a.per_query, c.per_query);
+        assert_eq!(a.policy, b.policy);
     }
 
     #[test]

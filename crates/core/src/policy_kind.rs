@@ -1,8 +1,8 @@
 //! Serialisable policy configuration.
 
 use selection::{
-    AllNodes, CacheConfig, CachedQueryDriven, DataCentric, FairStochastic, GameTheory, QueryDriven,
-    RandomSelection, SelectionPolicy, WithoutSelectivity,
+    AllNodes, CacheConfig, CachedQueryDriven, DataCentric, FairStochastic, GameTheory, GridConfig,
+    IndexedQueryDriven, QueryDriven, RandomSelection, SelectionPolicy, WithoutSelectivity,
 };
 
 /// A selection policy as configuration — convertible into the trait
@@ -127,6 +127,71 @@ impl PolicyKind {
         }
     }
 
+    /// Like [`PolicyKind::build`], but query-driven variants generate
+    /// candidates through a spatial index ([`selection::indexed`])
+    /// before the scoring kernel runs. Policies that never score
+    /// summaries build plain. Selections are bit-identical either way;
+    /// only the scoring work changes.
+    pub fn build_indexed(&self, grid: GridConfig) -> Box<dyn SelectionPolicy> {
+        match *self {
+            PolicyKind::QueryDriven { epsilon, l } => Box::new(IndexedQueryDriven::new(
+                QueryDriven {
+                    epsilon,
+                    ..QueryDriven::top_l(l)
+                },
+                grid,
+            )),
+            PolicyKind::QueryDrivenThreshold { epsilon, psi } => Box::new(IndexedQueryDriven::new(
+                QueryDriven::threshold(epsilon, psi),
+                grid,
+            )),
+            PolicyKind::QueryDrivenNoSelectivity { epsilon, l } => {
+                Box::new(WithoutSelectivity(IndexedQueryDriven::new(
+                    QueryDriven {
+                        epsilon,
+                        ..QueryDriven::top_l(l)
+                    },
+                    grid,
+                )))
+            }
+            _ => self.build(),
+        }
+    }
+
+    /// Cache *and* index: [`PolicyKind::build_cached`] with misses
+    /// routed through the spatial index
+    /// ([`CachedQueryDriven::with_index`]).
+    pub fn build_cached_indexed(
+        &self,
+        config: CacheConfig,
+        grid: GridConfig,
+    ) -> Box<dyn SelectionPolicy> {
+        match *self {
+            PolicyKind::QueryDriven { epsilon, l } => Box::new(CachedQueryDriven::with_index(
+                QueryDriven {
+                    epsilon,
+                    ..QueryDriven::top_l(l)
+                },
+                config,
+                grid,
+            )),
+            PolicyKind::QueryDrivenThreshold { epsilon, psi } => Box::new(
+                CachedQueryDriven::with_index(QueryDriven::threshold(epsilon, psi), config, grid),
+            ),
+            PolicyKind::QueryDrivenNoSelectivity { epsilon, l } => {
+                Box::new(WithoutSelectivity(CachedQueryDriven::with_index(
+                    QueryDriven {
+                        epsilon,
+                        ..QueryDriven::top_l(l)
+                    },
+                    config,
+                    grid,
+                )))
+            }
+            _ => self.build(),
+        }
+    }
+
     /// Display name (delegates to the built policy).
     pub fn name(&self) -> &'static str {
         self.build().name()
@@ -201,6 +266,38 @@ mod tests {
         .build_cached(cfg)
         .cache_stats()
         .is_some());
+    }
+
+    #[test]
+    fn indexed_builds_keep_names() {
+        let grid = GridConfig::default();
+        // Names must not fork on indexing: result tables key on them.
+        assert_eq!(
+            PolicyKind::query_driven(3).build_indexed(grid).name(),
+            "query-driven"
+        );
+        assert_eq!(
+            PolicyKind::QueryDrivenNoSelectivity {
+                epsilon: 0.05,
+                l: 3
+            }
+            .build_indexed(grid)
+            .name(),
+            "without-selectivity"
+        );
+        assert_eq!(PolicyKind::AllNodes.build_indexed(grid).name(), "all-nodes");
+        let cfg = CacheConfig::default();
+        assert_eq!(
+            PolicyKind::query_driven(3)
+                .build_cached_indexed(cfg, grid)
+                .name(),
+            "query-driven"
+        );
+        // Cached-indexed still reports cache stats.
+        assert!(PolicyKind::query_driven(3)
+            .build_cached_indexed(cfg, grid)
+            .cache_stats()
+            .is_some());
     }
 
     #[test]

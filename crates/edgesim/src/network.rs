@@ -18,6 +18,22 @@ use crate::node::{EdgeNode, NodeId};
 pub struct EdgeNetwork {
     nodes: Vec<EdgeNode>,
     cost: CostModel,
+    /// Version counter of the node *membership* (which nodes exist).
+    /// Bumped by [`EdgeNetwork::add_node`]; consumers holding
+    /// membership-shaped state (e.g. the selection index, built over one
+    /// rectangle per node) compare it against the epoch they built at.
+    /// Per-node summary changes move the nodes' own
+    /// [`EdgeNode::summary_epoch`] instead.
+    membership_epoch: u64,
+    /// Conservative version counter for node *state*: bumped whenever a
+    /// `&mut EdgeNode` is handed out ([`EdgeNetwork::node_mut`]) or a
+    /// bulk summary mutation runs (`quantize_all*`). While this counter
+    /// is unchanged, no node can have moved its summary epoch, so a
+    /// consumer holding cached per-node epochs (the selection index at
+    /// fleet scale) may skip the `O(N)` drift walk entirely. A bump does
+    /// *not* imply a change — the exact per-node comparison stays the
+    /// arbiter; this only gates when that walk is worth paying.
+    mutation_epoch: u64,
 }
 
 impl EdgeNetwork {
@@ -35,7 +51,58 @@ impl EdgeNetwork {
         Self {
             nodes,
             cost: CostModel::default(),
+            membership_epoch: 0,
+            mutation_epoch: 0,
         }
+    }
+
+    /// Builds a network from pre-constructed nodes (e.g. summary-only
+    /// synthetic fleets via [`EdgeNode::from_summaries`]).
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty or ids are not the sequential
+    /// `0..nodes.len()` (the id-is-index invariant every lookup relies
+    /// on).
+    pub fn from_nodes(nodes: Vec<EdgeNode>) -> Self {
+        assert!(!nodes.is_empty(), "network needs at least one node");
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(node.id(), NodeId(i), "node ids must be sequential");
+        }
+        Self {
+            nodes,
+            cost: CostModel::default(),
+            membership_epoch: 0,
+            mutation_epoch: 0,
+        }
+    }
+
+    /// Appends a node (it gets the next sequential id) and bumps the
+    /// membership epoch, invalidating any membership-shaped state built
+    /// over the previous population. Removal is deliberately absent:
+    /// ids index into the node vector everywhere, so departed nodes are
+    /// modelled by fault plans, not by compacting the population.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        data: DenseDataset,
+        capacity: f64,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(EdgeNode::new(id, name, data, capacity));
+        self.membership_epoch += 1;
+        id
+    }
+
+    /// The membership version counter (see the field docs).
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership_epoch
+    }
+
+    /// The conservative node-state version counter (see the field
+    /// docs): unchanged means no node's summary epoch can have moved
+    /// since the last observed value.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutation_epoch
     }
 
     /// Assigns heterogeneous capacities drawn uniformly from
@@ -106,6 +173,7 @@ impl EdgeNetwork {
         for node in &mut self.nodes {
             node.quantize(k, lrng::derive_seed(seed, node.id().0 as u64));
         }
+        self.mutation_epoch += 1;
         telemetry::counter!("qens_edgesim_nodes_quantized_total").add(self.nodes.len() as u64);
     }
 
@@ -116,6 +184,7 @@ impl EdgeNetwork {
         for node in &mut self.nodes {
             node.quantize_private(k, lrng::derive_seed(seed, node.id().0 as u64), epsilon);
         }
+        self.mutation_epoch += 1;
     }
 
     /// All nodes.
@@ -132,11 +201,14 @@ impl EdgeNetwork {
     }
 
     /// Mutable access to one node (e.g. to pin a capacity or link
-    /// profile for a targeted experiment).
+    /// profile for a targeted experiment). Bumps the (conservative)
+    /// mutation epoch: the borrow *may* change the node's summaries,
+    /// and epoch-gated consumers re-verify exactly on the next probe.
     ///
     /// # Panics
     /// Panics if the id is out of range.
     pub fn node_mut(&mut self, id: NodeId) -> &mut EdgeNode {
+        self.mutation_epoch += 1;
         &mut self.nodes[id.0]
     }
 
@@ -323,5 +395,38 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_network_rejected() {
         EdgeNetwork::from_datasets(vec![]);
+    }
+
+    #[test]
+    fn add_node_appends_and_bumps_membership_epoch() {
+        let mut net = network();
+        assert_eq!(net.membership_epoch(), 0);
+        let id = net.add_node("d", dataset(500.0, 12), 2.0);
+        assert_eq!(id, NodeId(3));
+        assert_eq!(net.len(), 4);
+        assert_eq!(net.membership_epoch(), 1);
+        assert_eq!(net.node(id).capacity(), 2.0);
+        // Summary changes on existing nodes do not move the membership
+        // epoch — they move the node's own summary epoch.
+        net.node_mut(NodeId(0)).quantize(2, 1);
+        assert_eq!(net.membership_epoch(), 1);
+    }
+
+    #[test]
+    fn from_nodes_keeps_prebuilt_nodes() {
+        let nodes = vec![
+            EdgeNode::new(NodeId(0), "a", dataset(0.0, 10), 1.0),
+            EdgeNode::new(NodeId(1), "b", dataset(5.0, 10), 1.5),
+        ];
+        let net = EdgeNetwork::from_nodes(nodes);
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.node(NodeId(1)).capacity(), 1.5);
+        assert_eq!(net.membership_epoch(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn from_nodes_rejects_gapped_ids() {
+        EdgeNetwork::from_nodes(vec![EdgeNode::new(NodeId(3), "a", dataset(0.0, 5), 1.0)]);
     }
 }

@@ -65,6 +65,58 @@ impl EdgeNode {
         }
     }
 
+    /// Creates a node directly from leader-visible cluster summaries,
+    /// skipping raw data and k-means entirely. This is the shared-space
+    /// synthetic-fleet path: a million-node fleet for selection-scaling
+    /// experiments needs only the `O(K·d)` summaries per node, not a
+    /// cloned dataset each — the node carries a single-sample dataset at
+    /// the first summary's representative so data-derived accessors
+    /// ([`EdgeNode::data_space`], [`EdgeNode::joint_dim`]) stay total.
+    ///
+    /// Summary-only nodes fully support selection and ranking (which
+    /// read nothing but summaries); local training
+    /// ([`EdgeNode::cluster_dataset`]) still requires a quantised
+    /// dataset and panics as before.
+    ///
+    /// # Panics
+    /// Panics if `summaries` is empty, dimensionalities disagree, the
+    /// joint space has fewer than 2 dimensions or `capacity <= 0`.
+    pub fn from_summaries(
+        id: NodeId,
+        name: impl Into<String>,
+        capacity: f64,
+        summaries: Vec<ClusterSummary>,
+    ) -> Self {
+        assert!(
+            !summaries.is_empty(),
+            "summary-only node needs at least one cluster summary"
+        );
+        assert!(capacity > 0.0, "capacity must be positive, got {capacity}");
+        let d = summaries[0].rect.dim();
+        assert!(d >= 2, "joint space needs at least one feature plus label");
+        for s in &summaries {
+            assert_eq!(s.rect.dim(), d, "summary rect dim mismatch");
+            assert_eq!(s.representative.len(), d, "representative dim mismatch");
+        }
+        let rep = &summaries[0].representative;
+        let data = DenseDataset::new(
+            Matrix::from_rows(&[rep[..d - 1].to_vec()]),
+            vec![rep[d - 1]],
+        );
+        let joint = build_joint(&data);
+        Self {
+            id,
+            name: name.into(),
+            capacity,
+            link: LinkProfile::default(),
+            data,
+            joint,
+            kmeans: None,
+            summaries,
+            summary_epoch: 1,
+        }
+    }
+
     /// Replaces the node's uplink profile.
     pub fn with_link(mut self, link: LinkProfile) -> Self {
         self.set_link(link);
@@ -171,9 +223,30 @@ impl EdgeNode {
         self.summary_epoch += 1;
     }
 
-    /// Whether [`EdgeNode::quantize`] has run.
+    /// Whether the node has leader-visible cluster summaries — either
+    /// [`EdgeNode::quantize`] has run or the node was built from
+    /// summaries directly ([`EdgeNode::from_summaries`]).
     pub fn is_quantized(&self) -> bool {
-        self.kmeans.is_some()
+        self.kmeans.is_some() || !self.summaries.is_empty()
+    }
+
+    /// The hull of every cluster summary rectangle — the node's entire
+    /// leader-visible footprint in the joint space. This is what the
+    /// spatial index stores per node: a query disjoint from this hull on
+    /// *every* axis cannot produce a non-zero Eq. 2 overlap with any of
+    /// the node's clusters.
+    ///
+    /// # Panics
+    /// Panics if the node is not quantised (same guidance as scoring).
+    pub fn summary_bounds(&self) -> HyperRect {
+        assert!(
+            self.is_quantized(),
+            "node {} has no cluster summaries; call EdgeNetwork::quantize_all first",
+            self.id
+        );
+        let mut it = self.summaries.iter().map(|s| &s.rect);
+        let first = it.next().expect("quantised node has summaries").clone();
+        it.fold(first, |acc, r| acc.hull(r))
     }
 
     /// Version counter of the leader-visible summaries: 0 at
@@ -422,6 +495,72 @@ mod tests {
             n.summary_epoch() > before,
             "private release replaces the summaries"
         );
+    }
+
+    #[test]
+    fn summary_bounds_hull_covers_every_cluster_rect() {
+        let mut n = node();
+        n.quantize(4, 2);
+        let hull = n.summary_bounds();
+        for s in n.summaries() {
+            for d in 0..s.rect.dim() {
+                assert!(hull.interval(d).lo() <= s.rect.interval(d).lo());
+                assert!(hull.interval(d).hi() >= s.rect.interval(d).hi());
+            }
+        }
+        // The hull is tight: it equals the hull of the member rects.
+        let mut it = n.summaries().iter().map(|s| s.rect.clone());
+        let first = it.next().unwrap();
+        assert_eq!(hull, it.fold(first, |acc, r| acc.hull(&r)));
+    }
+
+    #[test]
+    #[should_panic(expected = "call EdgeNetwork::quantize_all first")]
+    fn summary_bounds_requires_quantisation() {
+        node().summary_bounds();
+    }
+
+    #[test]
+    fn from_summaries_builds_a_selectable_node() {
+        let summaries = vec![
+            ClusterSummary {
+                cluster_id: 0,
+                size: 40,
+                representative: vec![2.0, 3.0],
+                rect: HyperRect::from_boundary_vec(&[1.0, 4.0, 2.0, 5.0]),
+            },
+            ClusterSummary {
+                cluster_id: 1,
+                size: 25,
+                representative: vec![8.0, 9.0],
+                rect: HyperRect::from_boundary_vec(&[7.0, 9.0, 8.0, 10.0]),
+            },
+        ];
+        let n = EdgeNode::from_summaries(NodeId(7), "synthetic", 1.5, summaries);
+        assert!(n.is_quantized(), "summary-only nodes count as quantised");
+        assert_eq!(n.k(), 2);
+        assert_eq!(n.summary_epoch(), 1);
+        assert_eq!(n.joint_dim(), 2);
+        assert_eq!(n.len(), 1, "carries only the representative sample");
+        assert_eq!(
+            n.summary_bounds().to_boundary_vec(),
+            vec![1.0, 9.0, 2.0, 10.0]
+        );
+        // Absorbing real data stales the synthetic summaries like any
+        // other summary-carrying node.
+        let mut n = n;
+        n.absorb(&DenseDataset::new(
+            Matrix::from_rows(&[vec![0.0]]),
+            vec![0.0],
+        ));
+        assert!(!n.is_quantized());
+        assert_eq!(n.summary_epoch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster summary")]
+    fn from_summaries_rejects_empty() {
+        EdgeNode::from_summaries(NodeId(0), "x", 1.0, vec![]);
     }
 
     #[test]

@@ -13,11 +13,15 @@
 //! * [`interval`] - 1-D intervals, the five overlap cases, and the ratio.
 //! * [`rect`] - d-dimensional hyper-rectangles, `h_ik` (Eq. 2), volumes.
 //! * [`query`] - analytics queries as bounded regions of the data space.
+//! * [`index`] - a deterministic two-level spatial index for sublinear
+//!   candidate generation over many rectangles.
 
+pub mod index;
 pub mod interval;
 pub mod query;
 pub mod rect;
 
+pub use index::{GridConfig, Probe, SpatialIndex, SpatialIndexBuilder};
 pub use interval::{Interval, OverlapCase};
 pub use query::Query;
 pub use rect::HyperRect;

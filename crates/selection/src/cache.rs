@@ -38,8 +38,10 @@ use std::sync::Mutex;
 use edgesim::NodeId;
 use par::ThreadPool;
 
+use crate::indexed::{IndexStats, SelectionIndex};
 use crate::policy::{Participant, Selection, SelectionContext, SelectionOverhead, SelectionPolicy};
 use crate::query_driven::{QueryDriven, NODE_CHUNK};
+use geom::index::GridConfig;
 
 /// Tuning knobs for [`CachedQueryDriven`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -173,6 +175,10 @@ pub struct CachedQueryDriven {
     inner: QueryDriven,
     config: CacheConfig,
     state: Mutex<CacheState>,
+    /// Spatial index for miss-path candidate generation
+    /// ([`CachedQueryDriven::with_index`]); `None` = plain full-kernel
+    /// misses. Hits never consult it.
+    index: Option<SelectionIndex>,
 }
 
 impl std::fmt::Debug for CachedQueryDriven {
@@ -181,6 +187,7 @@ impl std::fmt::Debug for CachedQueryDriven {
             .field("inner", &self.inner)
             .field("config", &self.config)
             .field("stats", &self.stats())
+            .field("indexed", &self.index.is_some())
             .finish()
     }
 }
@@ -224,12 +231,29 @@ impl CachedQueryDriven {
             inner,
             config,
             state: Mutex::new(CacheState::default()),
+            index: None,
         }
     }
 
     /// Wraps with [`CacheConfig::default`].
     pub fn with_defaults(inner: QueryDriven) -> Self {
         Self::new(inner, CacheConfig::default())
+    }
+
+    /// Like [`CachedQueryDriven::new`] but cache *misses* generate
+    /// candidates through a spatial index instead of scoring every node
+    /// (see [`crate::indexed`]): hits bypass the index entirely, misses
+    /// score only the candidates and synthesise exact-zero ratio tables
+    /// for the rest — bit-identical by the indexed module's argument,
+    /// since non-candidates are axis-disjoint in every dimension and
+    /// [`geom::Interval::overlap_ratio`] is exactly `0.0` on every such
+    /// pair. `summary_epoch` invalidation covers both structures: a
+    /// bumped node re-scores its cache entry *and* (via the index's own
+    /// epoch snapshot) rebuilds the index.
+    pub fn with_index(inner: QueryDriven, config: CacheConfig, grid: GridConfig) -> Self {
+        let mut cached = Self::new(inner, config);
+        cached.index = Some(SelectionIndex::new(grid));
+        cached
     }
 
     /// The wrapped policy.
@@ -240,6 +264,12 @@ impl CachedQueryDriven {
     /// A snapshot of the cache counters.
     pub fn stats(&self) -> CacheStats {
         self.state.lock().expect("cache lock poisoned").stats
+    }
+
+    /// Counters of the miss-path spatial index, when one is attached
+    /// ([`CachedQueryDriven::with_index`]).
+    pub fn index_stats(&self) -> Option<IndexStats> {
+        self.index.as_ref().map(SelectionIndex::stats)
     }
 
     /// Live entry count.
@@ -285,7 +315,17 @@ impl CachedQueryDriven {
         if !reusable {
             // Miss (or an unusable entry after network membership
             // changes): run the full kernel and (re)install the entry.
-            let (tables, participants) = self.score_all(ctx, pool);
+            // With an index attached (and ε > 0, where pruning is
+            // sound), only candidates are scored; pruned nodes get
+            // synthesised all-zero tables.
+            let (tables, participants) = match &self.index {
+                Some(index) if self.inner.epsilon > 0.0 => self.score_all_indexed(ctx, pool, index),
+                Some(index) => {
+                    index.record_fallback();
+                    self.score_all(ctx, pool)
+                }
+                None => self.score_all(ctx, pool),
+            };
             let selection = self.inner.rank_and_cap(participants);
             state.stats.misses += 1;
             telemetry::counter!("qens_cache_misses_total").add(1);
@@ -386,6 +426,50 @@ impl CachedQueryDriven {
         let scored: Vec<(NodeScores, Option<Participant>)> =
             pool.map_indexed(ctx.network.nodes(), NODE_CHUNK, |_, node| {
                 self.score_one(node, ctx.query)
+            });
+        scored.into_iter().unzip()
+    }
+
+    /// Indexed variant of [`CachedQueryDriven::score_all`]: candidates
+    /// are scored exactly like the plain path; every pruned node gets a
+    /// synthesised table with all-zero per-dimension ratios — the exact
+    /// bits [`CachedQueryDriven::score_one`] would have produced, since
+    /// a pruned node's every cluster is disjoint from the query in
+    /// every dimension — so later delta/invalidation passes over the
+    /// entry behave identically to a full-kernel miss.
+    fn score_all_indexed(
+        &self,
+        ctx: &SelectionContext<'_>,
+        pool: &ThreadPool,
+        index: &SelectionIndex,
+    ) -> (Vec<NodeScores>, Vec<Option<Participant>>) {
+        let nodes = ctx.network.nodes();
+        let candidates = index.candidates(ctx.network, ctx.query, pool);
+        let mut is_candidate = vec![false; nodes.len()];
+        for &i in &candidates {
+            is_candidate[i as usize] = true;
+        }
+        let dim = ctx.query.dim();
+        let scored: Vec<(NodeScores, Option<Participant>)> =
+            pool.map_indexed(nodes, NODE_CHUNK, |i, node| {
+                if is_candidate[i] {
+                    self.score_one(node, ctx.query)
+                } else {
+                    let table = NodeScores {
+                        node: node.id(),
+                        epoch: node.summary_epoch(),
+                        clusters: node
+                            .summaries()
+                            .iter()
+                            .map(|s| ClusterScores {
+                                cluster_id: s.cluster_id,
+                                size: s.size,
+                                ratios: vec![0.0; dim],
+                            })
+                            .collect(),
+                    };
+                    (table, None)
+                }
             });
         scored.into_iter().unzip()
     }

@@ -1,0 +1,427 @@
+//! Sublinear candidate generation for the query-driven policy
+//! (ROADMAP item 1).
+//!
+//! The plain [`QueryDriven`] kernel scores every node on every query:
+//! `O(N·K·d)` per selection, which a million-node fleet turns into
+//! hundreds of milliseconds of pure arithmetic. This module splits
+//! selection into an explicit **candidate-generation** stage — a
+//! [`geom::index::SpatialIndex`] over per-node summary hulls
+//! ([`edgesim::EdgeNode::summary_bounds`]) with a two-level
+//! domain-then-node hierarchy — feeding the *unchanged*
+//! `score_node`/`rank_and_cap` scoring stage over the survivors only.
+//!
+//! # Why the results are bit-identical
+//!
+//! Eq. 2 overlap is *additive* over dimensions (the mean of per-axis
+//! ratios), so the index prunes with **per-axis union** semantics: a
+//! node is a candidate iff at least one dimension of its summary hull
+//! intersects the query's interval in that dimension. For every
+//! non-candidate the hull — and therefore every cluster rectangle under
+//! it — is disjoint from the query in *every* dimension, and
+//! [`geom::Interval::overlap_ratio`] returns exactly `0.0` for every
+//! disjoint (or touching-but-degenerate) pair. With `ε > 0` each such
+//! cluster fails `h_ik >= ε`, leaving the node with zero supporting
+//! clusters and ranking `0.0` — precisely the nodes
+//! `QueryDriven::participant_for` maps to `None` in a full scan. The
+//! candidates themselves go through the identical scoring kernel in
+//! ascending node order on the same fixed-chunk pool schedule, and the
+//! final sort is a total order (ranking desc, node id asc), so the
+//! selection — participants, rankings, supporting clusters and standby
+//! tail — matches the scan bit for bit at any thread count.
+//!
+//! `ε <= 0` (e.g. ablations ranking by cluster-count only) breaks the
+//! argument — a zero-overlap cluster then *satisfies* `h >= ε` — so
+//! [`IndexedQueryDriven`] detects it and falls back to the full scan.
+//!
+//! # Staleness
+//!
+//! The built index snapshots every node's
+//! [`edgesim::EdgeNode::summary_epoch`] and the network's
+//! [`edgesim::EdgeNetwork::membership_epoch`]; any drift on the next
+//! probe triggers a deterministic bulk rebuild (counted in
+//! `qens_index_rebuilds_total`, timed by the `qens_index_build_nanos`
+//! histogram).
+
+use std::sync::Mutex;
+
+use geom::index::{GridConfig, SpatialIndex, SpatialIndexBuilder};
+use par::ThreadPool;
+
+use crate::policy::{Selection, SelectionContext, SelectionOverhead, SelectionPolicy};
+use crate::query_driven::{QueryDriven, NODE_CHUNK};
+
+/// Domains per pool task during the per-node verify stage. Fixed
+/// (worker-count independent) like [`NODE_CHUNK`], so the flattened
+/// candidate list is identical for any pool.
+pub(crate) const DOMAIN_CHUNK: usize = 4;
+
+/// Monotonic index counters, mirrored into the global telemetry registry
+/// as `qens_index_*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IndexStats {
+    /// Bulk (re)builds, including the initial one.
+    pub rebuilds: u64,
+    /// Queries that went through the index.
+    pub probes: u64,
+    /// Grid cells visited across all probes.
+    pub cells_probed: u64,
+    /// Domains eliminated before any per-node work.
+    pub domains_pruned: u64,
+    /// Candidate nodes handed to the scoring stage.
+    pub candidates: u64,
+    /// Selections that bypassed the index (`ε <= 0` full-scan safety).
+    pub fallbacks: u64,
+}
+
+/// The index plus the epochs it was built against.
+#[derive(Debug)]
+struct BuiltIndex {
+    index: SpatialIndex,
+    /// Per-node summary epochs at build time, in node order.
+    epochs: Vec<u64>,
+    /// Network membership epoch at build time.
+    membership: u64,
+    /// Last [`edgesim::EdgeNetwork::mutation_epoch`] this build was
+    /// verified against. While the network's counter still matches, no
+    /// `&mut EdgeNode` was handed out since, so the `O(N)` per-node
+    /// epoch walk below is provably redundant — at fleet scale that
+    /// walk streams the whole node vector and would dominate the
+    /// probe itself.
+    mutation: u64,
+}
+
+#[derive(Debug, Default)]
+struct IndexState {
+    built: Option<BuiltIndex>,
+    stats: IndexStats,
+}
+
+/// A lazily-(re)built spatial index over one network's summary hulls.
+///
+/// Shared by [`IndexedQueryDriven`] and the selection cache's indexed
+/// miss path ([`crate::cache::CachedQueryDriven::with_index`]); one
+/// instance indexes one network, with staleness detected through the
+/// summary/membership epochs (feeding contexts over unrelated networks
+/// of the same shape is the same caveat the selection cache documents).
+#[derive(Debug)]
+pub struct SelectionIndex {
+    config: GridConfig,
+    state: Mutex<IndexState>,
+}
+
+impl SelectionIndex {
+    /// An empty index that bulk-builds on first use.
+    pub fn new(config: GridConfig) -> Self {
+        Self {
+            config,
+            state: Mutex::new(IndexState::default()),
+        }
+    }
+
+    /// [`SelectionIndex::new`] with [`GridConfig::default`].
+    pub fn with_defaults() -> Self {
+        Self::new(GridConfig::default())
+    }
+
+    /// A snapshot of the index counters.
+    pub fn stats(&self) -> IndexStats {
+        self.state.lock().expect("index lock poisoned").stats
+    }
+
+    /// Candidate node ids (ascending) for a query: every node whose
+    /// summary hull intersects the query in at least one dimension.
+    /// Rebuilds first when any epoch drifted; the per-domain verify fans
+    /// out over `pool` on fixed chunks, so the list is bit-identical at
+    /// any worker count.
+    pub(crate) fn candidates(
+        &self,
+        network: &edgesim::EdgeNetwork,
+        query: &geom::Query,
+        pool: &ThreadPool,
+    ) -> Vec<u32> {
+        let nodes = network.nodes();
+        let mut state = self.state.lock().expect("index lock poisoned");
+        let stale = match &mut state.built {
+            None => true,
+            Some(b) if b.membership != network.membership_epoch() => true,
+            // O(1) fast path: no `&mut EdgeNode` was handed out since
+            // the last verification, so no summary epoch can have moved.
+            Some(b) if b.mutation == network.mutation_epoch() => false,
+            Some(b) => {
+                let drifted = b.epochs.len() != nodes.len()
+                    || b.epochs
+                        .iter()
+                        .zip(nodes)
+                        .any(|(e, n)| *e != n.summary_epoch());
+                if !drifted {
+                    // A `&mut` went out but no summary actually changed:
+                    // re-arm the fast path instead of re-walking the
+                    // fleet on every subsequent probe.
+                    b.mutation = network.mutation_epoch();
+                }
+                drifted
+            }
+        };
+        if stale {
+            let span = telemetry::span!("qens_index_build_nanos");
+            let mut builder = SpatialIndexBuilder::with_capacity(query.dim(), nodes.len());
+            for node in nodes {
+                // summary_bounds carries the same "call quantize_all
+                // first" guidance as direct scoring, so the indexed path
+                // cannot mask an unquantised node.
+                builder.push(&node.summary_bounds());
+            }
+            let index = builder.build(self.config);
+            state.built = Some(BuiltIndex {
+                index,
+                epochs: nodes.iter().map(|n| n.summary_epoch()).collect(),
+                membership: network.membership_epoch(),
+                mutation: network.mutation_epoch(),
+            });
+            state.stats.rebuilds += 1;
+            telemetry::counter!("qens_index_rebuilds_total").add(1);
+            telemetry::trace::instant("selection.index_rebuild", &[("nodes", nodes.len() as u64)]);
+            drop(span);
+        }
+        let built = state.built.as_ref().expect("built above");
+        let probe = built.index.probe(query.region());
+        let mut candidates: Vec<u32> = pool
+            .map_indexed(&probe.domains, DOMAIN_CHUNK, |_, &domain| {
+                let mut out = Vec::new();
+                built
+                    .index
+                    .verify_domain(domain, &probe.q_lo, &probe.q_hi, &mut out);
+                out
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        // Domains hold Morton-ordered slots; scoring's fixed-chunk
+        // schedule (and therefore bit-identity with the scan) needs
+        // ascending node ids.
+        candidates.sort_unstable();
+        state.stats.probes += 1;
+        state.stats.cells_probed += probe.cells_probed;
+        state.stats.domains_pruned += probe.domains_pruned;
+        state.stats.candidates += candidates.len() as u64;
+        telemetry::counter!("qens_index_cells_probed_total").add(probe.cells_probed);
+        telemetry::counter!("qens_index_domains_pruned_total").add(probe.domains_pruned);
+        telemetry::counter!("qens_index_candidates_total").add(candidates.len() as u64);
+        telemetry::trace::instant(
+            "selection.index_probe",
+            &[
+                ("cells", probe.cells_probed),
+                ("domains_pruned", probe.domains_pruned),
+                ("candidates", candidates.len() as u64),
+            ],
+        );
+        candidates
+    }
+
+    /// Records an `ε <= 0` full-scan fallback.
+    pub(crate) fn record_fallback(&self) {
+        self.state
+            .lock()
+            .expect("index lock poisoned")
+            .stats
+            .fallbacks += 1;
+        telemetry::counter!("qens_index_fallbacks_total").add(1);
+    }
+}
+
+/// [`QueryDriven`] behind spatial-index candidate generation: identical
+/// selections — participants, rankings, supporting clusters, standby —
+/// at a fraction of the scoring work on large fleets. See the module
+/// docs for the bit-identity argument.
+#[derive(Debug)]
+pub struct IndexedQueryDriven {
+    inner: QueryDriven,
+    index: SelectionIndex,
+}
+
+impl IndexedQueryDriven {
+    /// Wraps a policy with an index under the given grid configuration.
+    pub fn new(inner: QueryDriven, config: GridConfig) -> Self {
+        Self {
+            inner,
+            index: SelectionIndex::new(config),
+        }
+    }
+
+    /// Wraps with [`GridConfig::default`].
+    pub fn with_defaults(inner: QueryDriven) -> Self {
+        Self::new(inner, GridConfig::default())
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &QueryDriven {
+        &self.inner
+    }
+
+    /// A snapshot of the index counters.
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.stats()
+    }
+
+    /// [`SelectionPolicy::select`] on an explicit pool handle: candidate
+    /// generation through the index, then the unchanged scoring kernel
+    /// over the survivors in ascending node order.
+    pub fn select_with_pool(&self, ctx: &SelectionContext<'_>, pool: &ThreadPool) -> Selection {
+        if self.inner.epsilon <= 0.0 {
+            // With ε <= 0 a zero-overlap cluster still passes the
+            // `h >= ε` filter, so pruned nodes could legitimately be
+            // participants: index pruning would change the result.
+            // Delegate wholesale (spans/traces included) to the scan.
+            self.index.record_fallback();
+            return self.inner.select_with_pool(ctx, pool);
+        }
+        let _span = telemetry::span!("qens_selection_select_nanos");
+        let nodes = ctx.network.nodes();
+        let _trace_span = telemetry::trace::span_args(
+            "selection.select_indexed",
+            &[("nodes", nodes.len() as u64)],
+        );
+        let candidates = self.index.candidates(ctx.network, ctx.query, pool);
+        let scored: Vec<_> = pool.map_indexed(&candidates, NODE_CHUNK, |_, &i| {
+            let node = &nodes[i as usize];
+            let (ranking, supporting) = self.inner.score_node(node, ctx.query);
+            self.inner.participant_for(node.id(), ranking, supporting)
+        });
+        self.inner.rank_and_cap(scored)
+    }
+}
+
+impl SelectionPolicy for IndexedQueryDriven {
+    /// Same display name as the wrapped policy: the index changes *how*
+    /// a selection is computed, never *what* is selected, so result
+    /// tables must not fork on it.
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn select(&self, ctx: &SelectionContext<'_>) -> Selection {
+        self.select_with_pool(ctx, par::global())
+    }
+
+    fn overhead(&self, ctx: &SelectionContext<'_>) -> SelectionOverhead {
+        self.inner.overhead(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_driven::{RankingRule, SelectionCap};
+    use edgesim::{EdgeNetwork, NodeId};
+    use geom::Query;
+    use linalg::Matrix;
+    use mlkit::DenseDataset;
+
+    fn node_dataset(x0: f64) -> DenseDataset {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![x0 + i as f64 / 3.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        DenseDataset::new(Matrix::from_rows(&rows), y)
+    }
+
+    fn network(n: usize) -> EdgeNetwork {
+        let datasets = (0..n)
+            .map(|i| (format!("n{i}"), node_dataset(i as f64 * 12.0)))
+            .collect();
+        let mut net = EdgeNetwork::from_datasets(datasets);
+        net.quantize_all(3, 5);
+        net
+    }
+
+    fn assert_bitwise_eq(a: &Selection, b: &Selection) {
+        assert_eq!(a, b);
+        for (x, y) in a
+            .participants
+            .iter()
+            .chain(&a.standby)
+            .zip(b.participants.iter().chain(&b.standby))
+        {
+            assert_eq!(x.ranking.to_bits(), y.ranking.to_bits());
+            for (cx, cy) in x.supporting_clusters.iter().zip(&y.supporting_clusters) {
+                assert_eq!(cx.overlap.to_bits(), cy.overlap.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_matches_scan_bitwise_over_sliding_queries() {
+        let net = network(24);
+        let plain = QueryDriven {
+            cap: SelectionCap::AllPositive,
+            ..QueryDriven::top_l(24)
+        };
+        let indexed = IndexedQueryDriven::with_defaults(plain.clone());
+        for i in 0..40u64 {
+            let off = i as f64 * 7.0;
+            let q = Query::from_boundary_vec(i, &[off, off + 15.0, off, off + 15.0]);
+            let ctx = SelectionContext::new(&net, &q);
+            assert_bitwise_eq(&plain.select(&ctx), &indexed.select(&ctx));
+        }
+        let stats = indexed.index_stats();
+        assert_eq!(stats.rebuilds, 1, "one bulk build serves every query");
+        assert_eq!(stats.probes, 40);
+        assert!(stats.domains_pruned > 0 || net.len() <= 64);
+    }
+
+    #[test]
+    fn summary_epoch_drift_triggers_rebuild() {
+        let mut net = network(6);
+        let plain = QueryDriven::top_l(3);
+        let indexed = IndexedQueryDriven::with_defaults(plain.clone());
+        let q = Query::from_boundary_vec(0, &[0.0, 30.0, 0.0, 30.0]);
+        indexed.select(&SelectionContext::new(&net, &q));
+        assert_eq!(indexed.index_stats().rebuilds, 1);
+        // Re-quantising a node moves its summary epoch.
+        net.node_mut(NodeId(2)).quantize(2, 99);
+        let ctx = SelectionContext::new(&net, &q);
+        assert_bitwise_eq(&plain.select(&ctx), &indexed.select(&ctx));
+        assert_eq!(indexed.index_stats().rebuilds, 2);
+        // Unchanged network: no further rebuilds.
+        indexed.select(&ctx);
+        assert_eq!(indexed.index_stats().rebuilds, 2);
+    }
+
+    #[test]
+    fn membership_growth_triggers_rebuild() {
+        let mut net = network(5);
+        let plain = QueryDriven::top_l(4);
+        let indexed = IndexedQueryDriven::with_defaults(plain.clone());
+        let q = Query::from_boundary_vec(0, &[0.0, 45.0, 0.0, 45.0]);
+        indexed.select(&SelectionContext::new(&net, &q));
+        let id = net.add_node("late", node_dataset(18.0), 1.0);
+        net.node_mut(id).quantize(3, 5);
+        let ctx = SelectionContext::new(&net, &q);
+        assert_bitwise_eq(&plain.select(&ctx), &indexed.select(&ctx));
+        assert_eq!(indexed.index_stats().rebuilds, 2);
+    }
+
+    #[test]
+    fn nonpositive_epsilon_falls_back_to_scan() {
+        let net = network(8);
+        let plain = QueryDriven {
+            epsilon: 0.0,
+            cap: SelectionCap::TopL(4),
+            rule: RankingRule::CountOnly,
+        };
+        let indexed = IndexedQueryDriven::with_defaults(plain.clone());
+        // Distant query: with ε = 0 every cluster "supports" it at zero
+        // overlap under CountOnly — pruning would drop real behaviour.
+        let q = Query::from_boundary_vec(0, &[2000.0, 2010.0, 2000.0, 2010.0]);
+        let ctx = SelectionContext::new(&net, &q);
+        assert_bitwise_eq(&plain.select(&ctx), &indexed.select(&ctx));
+        let stats = indexed.index_stats();
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.rebuilds, 0, "fallback never builds the index");
+    }
+
+    #[test]
+    fn name_does_not_fork_on_indexing() {
+        let indexed = IndexedQueryDriven::with_defaults(QueryDriven::top_l(3));
+        assert_eq!(indexed.name(), "query-driven");
+    }
+}

@@ -28,14 +28,25 @@
 //! re-scoring) that returns bit-identical selections at a fraction of
 //! the scoring work on repetitive query streams — see [`cache`].
 
+//! [`IndexedQueryDriven`] instead prunes *candidate generation*: a
+//! deterministic two-level spatial index over per-node summary hulls
+//! ([`geom::index`]) feeds only the nodes that can possibly score into
+//! the unchanged kernel — sublinear selection at fleet scale, bit-
+//! identical to the full scan — see [`indexed`]. The two compose:
+//! [`CachedQueryDriven::with_index`] routes cache misses through the
+//! index.
+
 pub mod baselines;
 pub mod cache;
+pub mod indexed;
 pub mod literature;
 pub mod policy;
 pub mod query_driven;
 
 pub use baselines::{AllNodes, GameTheory, RandomSelection};
 pub use cache::{quantized_key, CacheConfig, CacheStats, CachedQueryDriven};
+pub use geom::index::GridConfig;
+pub use indexed::{IndexStats, IndexedQueryDriven, SelectionIndex};
 pub use literature::{DataCentric, FairStochastic};
 pub use policy::{
     Participant, Selection, SelectionContext, SelectionOverhead, SelectionPolicy,

@@ -177,6 +177,10 @@ pub fn help_text(name: &str) -> &'static str {
             "qens_cache_",
             "selection-cache metric (hits, misses, invalidations, entries).",
         ),
+        (
+            "qens_index_",
+            "spatial-index candidate generation metric (cells probed, domains pruned, candidates, rebuilds).",
+        ),
         ("qens_cluster_", "k-means clustering stage metric."),
         ("qens_selection_", "query-driven node selection metric."),
         ("qens_fed_", "federated round engine metric."),

@@ -56,7 +56,18 @@
 #      results/fig10_fleet_skew.csv must be byte-identical — every
 #      scorecard field in the export is integer or leader-serial
 #      simulated time, so the fleet registry honours the same
-#      determinism contract as the fault and trace subsystems.
+#      determinism contract as the fault and trace subsystems,
+#  15. spatial-index transparency: `repro fig7` and the fault/trace
+#      smoke are run with QENS_INDEX=0 and again with QENS_INDEX=1 and
+#      the figure CSVs plus results/fault_trace.json must be
+#      byte-identical — the index may change how a selection is
+#      computed, never what is selected — plus the indexed-selection
+#      integration tests re-run under QENS_THREADS=2,
+#  16. scaling-sweep seed-stability: `repro scale` (Fig. 11: 1k → 1M
+#      nodes, scan vs indexed, bit-identity asserted inside the sweep)
+#      is run under QENS_THREADS=1 and QENS_THREADS=4 and
+#      results/fig11_scale.csv must be byte-identical (the CSV is
+#      structural counters + selection hashes, never wall clock).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -149,5 +160,35 @@ cmp results/fig10_fleet_skew.csv results/fig10_fleet_skew.t1.csv \
   || { echo "FAIL: fig10 skew heatmap differs between QENS_THREADS=1 and 4"; exit 1; }
 rm -f results/fleet.t1.json results/fig10_fleet_skew.t1.csv
 echo "fleet scorecards + journal are thread-count stable"
+
+echo "==> spatial-index transparency (fig7 + fault trace byte-identical with QENS_INDEX=0 vs 1)"
+QENS_INDEX=0 cargo run -q -p bench --bin repro --release --offline -- fig7 > /dev/null
+cp results/fig7_lr.csv results/fig7_lr.noindex.csv
+cp results/fig7_nn.csv results/fig7_nn.noindex.csv
+QENS_INDEX=1 cargo run -q -p bench --bin repro --release --offline -- fig7 > /dev/null
+cmp results/fig7_lr.csv results/fig7_lr.noindex.csv \
+  || { echo "FAIL: fig7 LR series differs with the spatial index on"; exit 1; }
+cmp results/fig7_nn.csv results/fig7_nn.noindex.csv \
+  || { echo "FAIL: fig7 NN series differs with the spatial index on"; exit 1; }
+rm -f results/fig7_lr.noindex.csv results/fig7_nn.noindex.csv
+QENS_INDEX=0 cargo run -q -p bench --bin repro --release --offline -- --smoke > /dev/null
+cp results/fault_trace.json results/fault_trace.noindex.json
+QENS_INDEX=1 cargo run -q -p bench --bin repro --release --offline -- --smoke > /dev/null
+cmp results/fault_trace.json results/fault_trace.noindex.json \
+  || { echo "FAIL: fault trace differs with the spatial index on"; exit 1; }
+rm -f results/fault_trace.noindex.json
+echo "fig7 series + fault trace are index-transparent"
+
+echo "==> indexed-selection tests under QENS_THREADS=2"
+QENS_THREADS=2 cargo test -q --offline -p qens --test indexed_selection
+
+echo "==> scaling-sweep seed-stability (fig11 byte-identical at QENS_THREADS=1 vs 4)"
+QENS_THREADS=1 cargo run -q -p bench --bin repro --release --offline -- scale > /dev/null
+cp results/fig11_scale.csv results/fig11_scale.t1.csv
+QENS_THREADS=4 cargo run -q -p bench --bin repro --release --offline -- scale > /dev/null
+cmp results/fig11_scale.csv results/fig11_scale.t1.csv \
+  || { echo "FAIL: fig11 scaling sweep differs between QENS_THREADS=1 and 4"; exit 1; }
+rm -f results/fig11_scale.t1.csv
+echo "fig11 scaling sweep is thread-count stable"
 
 echo "verify OK"

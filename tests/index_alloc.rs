@@ -1,0 +1,109 @@
+//! Allocation discipline of the spatial-index bulk build (ISSUE 10's
+//! fleet-memory blind spot): building a [`SpatialIndex`] over N rects
+//! must stay O(N) in allocated *bytes* and must not allocate per probe.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the
+//! measurement windows run on this test binary's main thread with no
+//! other tests in the file, so the deltas belong to the code under
+//! test. Thresholds are deliberately loose (2.5x the linear
+//! extrapolation plus a fixed slack) — the assertion is about growth
+//! *shape*, not exact byte counts, so allocator or std changes don't
+//! turn it flaky.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use qens::geom::index::{GridConfig, SpatialIndexBuilder};
+use qens::geom::{HyperRect, Interval};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+fn measured<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = BYTES.load(Ordering::Relaxed);
+    let r = f();
+    (
+        r,
+        ALLOCS.load(Ordering::Relaxed) - a0,
+        BYTES.load(Ordering::Relaxed) - b0,
+    )
+}
+
+/// Deterministic arithmetic rects over a [0, 1000]² space — no RNG, no
+/// hidden allocation.
+fn rect(i: usize) -> HyperRect {
+    let x = (i % 997) as f64;
+    let y = (i % 499) as f64 * 2.0;
+    HyperRect::new(vec![Interval::new(x, x + 2.0), Interval::new(y, y + 2.0)])
+}
+
+fn build_bytes(n: usize) -> (u64, u64) {
+    // Rect construction allocates per item by design (a Vec<Interval>
+    // each); build it outside the window so the measurement sees only
+    // the index's own appetite.
+    let rects: Vec<HyperRect> = (0..n).map(rect).collect();
+    let ((), allocs, bytes) = measured(|| {
+        let mut b = SpatialIndexBuilder::with_capacity(2, n);
+        for r in &rects {
+            b.push(r);
+        }
+        let index = b.build(GridConfig::default());
+        assert_eq!(index.len(), n);
+        // Probing the finished index must not allocate per item scanned
+        // (the SoA arrays are read in place; only the candidate vector
+        // and probe bookkeeping grow).
+        let q = HyperRect::new(vec![
+            Interval::new(100.0, 140.0),
+            Interval::new(100.0, 140.0),
+        ]);
+        let (cands, _probe) = index.candidates(&q);
+        assert!(!cands.is_empty(), "probe should find something");
+    });
+    (allocs, bytes)
+}
+
+/// 4x the items must cost ~4x the bytes (O(N), not O(N²) or a hidden
+/// clone of anything per-node-sized), with an alloc *count* that grows
+/// far slower than N (bulk SoA arrays, not per-item boxes).
+#[test]
+fn index_build_is_linear_in_allocated_bytes() {
+    // Warm one build so lazy one-time allocations (telemetry registry,
+    // etc.) don't land in the measured windows.
+    let _ = build_bytes(1_000);
+    let (allocs_small, bytes_small) = build_bytes(10_000);
+    let (allocs_big, bytes_big) = build_bytes(40_000);
+    assert!(
+        bytes_big <= bytes_small * 4 * 5 / 2 + 1_000_000,
+        "4x items cost {bytes_big} bytes vs {bytes_small} at 1x — super-linear growth"
+    );
+    // Alloc count: grid cells hold Vec<u32> (one per cell, ~sqrt-ish of
+    // the domain count), so the count may grow — but it must stay well
+    // below one allocation per item.
+    assert!(
+        allocs_big < 40_000 / 2 + 4_096,
+        "{allocs_big} allocations for 40k items — per-item allocation crept in \
+         (10k items took {allocs_small})"
+    );
+}

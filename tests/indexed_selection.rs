@@ -1,0 +1,375 @@
+//! Integration tests for spatial-index candidate generation
+//! ([`qens::selection::IndexedQueryDriven`] and the cache composition
+//! [`CachedQueryDriven::with_index`]):
+//!
+//! * indexed and full-scan selections must be **bitwise identical** —
+//!   every ranking and every supporting-cluster overlap, participants
+//!   and standby tail alike — at any worker count (`QENS_THREADS` ∈
+//!   {1, 2, 4} in CI) and for every workload kind,
+//! * the cache+index composition must stay exact while still hitting,
+//! * summary churn (absorb + re-quantisation) and membership growth
+//!   must each trigger a deterministic rebuild and stay exact,
+//! * a federation under a 0.2-dropout fault plan must produce the same
+//!   selections, fault trace and final cohort with the index on or off,
+//! * the `qens_index_*` counters must reach the Prometheus scrape
+//!   surface format-conformant, and the probe/rebuild trace instants
+//!   must land in the Chrome trace.
+
+use qens::par::ThreadPool;
+use qens::prelude::*;
+use qens::selection::{GridConfig, IndexedQueryDriven};
+use qens::telemetry;
+use qens::workload::generate;
+
+fn network(seed: u64) -> EdgeNetwork {
+    let nodes = scenario::heterogeneous_nodes(6, 80, seed);
+    let mut net =
+        EdgeNetwork::from_datasets(nodes.into_iter().map(|n| (n.name, n.dataset)).collect());
+    net.quantize_all(5, seed);
+    net
+}
+
+fn workload_of(kind: WorkloadKind, n_queries: usize, space: &HyperRect) -> QueryWorkload {
+    generate(
+        space,
+        &WorkloadConfig {
+            n_queries,
+            halfwidth_frac: (0.10, 0.25),
+            kind,
+            seed: 4242,
+        },
+    )
+}
+
+fn assert_bitwise_eq(a: &Selection, b: &Selection, what: &str) {
+    assert_eq!(a, b, "{what}: selections diverge");
+    for (x, y) in a
+        .participants
+        .iter()
+        .chain(&a.standby)
+        .zip(b.participants.iter().chain(&b.standby))
+    {
+        assert_eq!(
+            x.ranking.to_bits(),
+            y.ranking.to_bits(),
+            "{what}: ranking bits diverge on node {}",
+            x.node
+        );
+        for (cx, cy) in x.supporting_clusters.iter().zip(&y.supporting_clusters) {
+            assert_eq!(
+                cx.overlap.to_bits(),
+                cy.overlap.to_bits(),
+                "{what}: overlap bits diverge on node {} cluster {}",
+                x.node,
+                cx.cluster_id
+            );
+        }
+    }
+}
+
+/// The acceptance contract (ISSUE 10): for a uniform, a drifting and a
+/// hotspot stream, the indexed policy returns a bitwise-identical
+/// `Selection` for every query at 1, 2 and 4 workers, re-using one
+/// built index across all thread counts — candidates generated under
+/// one pool schedule must serve under another.
+#[test]
+fn indexed_selections_are_bitwise_identical_across_threads_and_workloads() {
+    let net = network(4);
+    let space = net.global_space();
+    let kinds: Vec<(&str, QueryWorkload)> = vec![
+        ("uniform", workload_of(WorkloadKind::Uniform, 60, &space)),
+        (
+            "drifting",
+            workload_of(
+                WorkloadKind::Drifting {
+                    step_frac: 0.02,
+                    spread_frac: 0.03,
+                },
+                200,
+                &space,
+            ),
+        ),
+        (
+            "hotspot",
+            workload_of(
+                WorkloadKind::Hotspot {
+                    hotspots: 3,
+                    spread_frac: 0.05,
+                },
+                60,
+                &space,
+            ),
+        ),
+    ];
+    let plain = QueryDriven::top_l(3);
+    for (name, wl) in &kinds {
+        let indexed = IndexedQueryDriven::new(plain.clone(), GridConfig::default());
+        for threads in [1usize, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            for q in &wl.queries {
+                let ctx = SelectionContext::new(&net, q);
+                let want = plain.select_with_pool(&ctx, &pool);
+                let got = indexed.select_with_pool(&ctx, &pool);
+                assert_bitwise_eq(
+                    &want,
+                    &got,
+                    &format!("{name} query {} at {threads} threads", q.id()),
+                );
+            }
+        }
+        let stats = indexed.index_stats();
+        assert_eq!(stats.rebuilds, 1, "{name}: one bulk build, no churn");
+        assert_eq!(
+            stats.probes,
+            3 * wl.len() as u64,
+            "{name}: every selection probes the index"
+        );
+        assert_eq!(stats.fallbacks, 0, "{name}: ε > 0 never falls back");
+    }
+}
+
+/// Cache over index: hits bypass candidate generation entirely, misses
+/// go through it — and the stream is still served bit-identically to
+/// the plain scan.
+#[test]
+fn cache_and_index_compose_exactly() {
+    let net = network(4);
+    let space = net.global_space();
+    let wl = workload_of(
+        WorkloadKind::Drifting {
+            step_frac: 0.02,
+            spread_frac: 0.03,
+        },
+        120,
+        &space,
+    );
+    let plain = QueryDriven::top_l(3);
+    let both = CachedQueryDriven::with_index(
+        plain.clone(),
+        CacheConfig {
+            bucket_width: 25.0,
+            ..CacheConfig::default()
+        },
+        GridConfig::default(),
+    );
+    let pool = ThreadPool::new(2);
+    for q in &wl.queries {
+        let ctx = SelectionContext::new(&net, q);
+        assert_bitwise_eq(
+            &plain.select_with_pool(&ctx, &pool),
+            &both.select_with_pool(&ctx, &pool),
+            &format!("cache+index query {}", q.id()),
+        );
+    }
+    let cache = both.stats();
+    assert!(cache.hits > 0, "drifting stream must hit ({cache:?})");
+    assert!(cache.misses > 0, "fresh cache must miss ({cache:?})");
+    let index = both.index_stats().expect("indexed cache exposes stats");
+    assert_eq!(index.rebuilds, 1);
+    assert_eq!(
+        index.probes, cache.misses,
+        "exactly the misses go through the index"
+    );
+}
+
+/// Summary churn (absorb + re-quantisation) bumps one node's epoch;
+/// membership growth bumps the network's epoch. Each must trigger
+/// exactly one deterministic rebuild, and every selection before and
+/// after must still match the scan bitwise.
+#[test]
+fn churn_rebuilds_the_index_and_stays_exact() {
+    let mut net = network(9);
+    let plain = QueryDriven::top_l(3);
+    let indexed = IndexedQueryDriven::new(plain.clone(), GridConfig::default());
+    let space = net.global_space();
+    let wl = workload_of(WorkloadKind::Uniform, 8, &space);
+    let pool = ThreadPool::new(2);
+    let run_all = |net: &EdgeNetwork, what: &str| {
+        for q in &wl.queries {
+            let ctx = SelectionContext::new(net, q);
+            assert_bitwise_eq(
+                &plain.select_with_pool(&ctx, &pool),
+                &indexed.select_with_pool(&ctx, &pool),
+                what,
+            );
+        }
+    };
+    run_all(&net, "before churn");
+    assert_eq!(indexed.index_stats().rebuilds, 1);
+
+    // Summary churn: node 2 absorbs fresh samples and re-quantises.
+    let extra = scenario::heterogeneous_nodes(2, 30, 77)
+        .into_iter()
+        .next()
+        .unwrap()
+        .dataset;
+    net.node_mut(NodeId(2)).absorb(&extra);
+    net.node_mut(NodeId(2)).quantize(5, 9);
+    run_all(&net, "after absorb");
+    assert_eq!(
+        indexed.index_stats().rebuilds,
+        2,
+        "summary-epoch drift must rebuild once"
+    );
+
+    // Membership churn: a node joins the fleet (and is quantised, as
+    // the index requires of every member).
+    let late = scenario::heterogeneous_nodes(2, 40, 78)
+        .into_iter()
+        .next()
+        .unwrap()
+        .dataset;
+    let id = net.add_node("late-joiner", late, 1.0);
+    net.node_mut(id).quantize(5, 13);
+    run_all(&net, "after join");
+    assert_eq!(
+        indexed.index_stats().rebuilds,
+        3,
+        "membership drift must rebuild once"
+    );
+}
+
+/// `FederationBuilder::index(..)` is observationally transparent under
+/// faults: with a 0.2-dropout plan, the indexed federation reproduces
+/// the scan federation's selection, fault trace, accounting and final
+/// cohort on every query.
+#[test]
+fn fault_plan_is_index_transparent() {
+    let build = |index: bool| {
+        FederationBuilder::new()
+            .heterogeneous_nodes(5, 60)
+            .clusters_per_node(3)
+            .seed(7)
+            .epochs(2)
+            .faults(FaultSpec::dropout(7, 0.2))
+            .fault_tolerance(FaultTolerance::full_strength())
+            .index(index)
+            .build()
+    };
+    let scan_fed = build(false);
+    let indexed_fed = build(true);
+    assert!(!scan_fed.index_enabled());
+    assert!(indexed_fed.index_enabled());
+    let policy = PolicyKind::query_driven(2);
+    let wl = scan_fed.paper_workload(21);
+    for q in wl.queries.iter().take(8) {
+        let want = scan_fed.run_query(q, &policy).expect("scan round runs");
+        let got = indexed_fed
+            .run_query(q, &policy)
+            .expect("indexed round runs");
+        assert_bitwise_eq(&want.selection, &got.selection, "fault-plan selection");
+        assert_eq!(
+            want.fault_trace.to_json(),
+            got.fault_trace.to_json(),
+            "fault traces diverge on query {}",
+            q.id()
+        );
+        // Everything in the ledger except measured wall time (the one
+        // legitimately machine-varying field) must agree.
+        let mut want_acc = want.accounting.clone();
+        let mut got_acc = got.accounting.clone();
+        want_acc.wall_seconds = 0.0;
+        got_acc.wall_seconds = 0.0;
+        assert_eq!(want_acc, got_acc, "accounting diverges on query {}", q.id());
+        assert_eq!(
+            want.final_cohort,
+            got.final_cohort,
+            "final cohorts diverge on query {}",
+            q.id()
+        );
+    }
+}
+
+/// The index counters must reach the scrape surface: after a stream
+/// that builds, probes, prunes and falls back, the Prometheus text
+/// exposition carries a sample, HELP and TYPE for every `qens_index_*`
+/// counter, all format-conformant.
+#[test]
+fn prometheus_export_covers_index_series() {
+    let net = network(11);
+    telemetry::set_enabled(true);
+    let indexed = IndexedQueryDriven::new(QueryDriven::top_l(3), GridConfig::default());
+    let q0 = Query::from_boundary_vec(0, &[0.0, 15.0, 0.0, 30.0]);
+    let q1 = Query::from_boundary_vec(1, &[0.5, 15.5, 0.0, 30.0]);
+    indexed.select(&SelectionContext::new(&net, &q0)); // build + probe
+    indexed.select(&SelectionContext::new(&net, &q1)); // probe
+                                                       // ε <= 0 is the full-scan safety valve; one hit on the fallback
+                                                       // counter keeps that path observable too.
+    let eps0 = IndexedQueryDriven::new(
+        QueryDriven {
+            epsilon: 0.0,
+            ..QueryDriven::top_l(3)
+        },
+        GridConfig::default(),
+    );
+    eps0.select(&SelectionContext::new(&net, &q0));
+    assert_eq!(eps0.index_stats().fallbacks, 1);
+    let text = telemetry::export::to_prometheus(&telemetry::global().snapshot());
+    telemetry::set_enabled(false);
+
+    for series in [
+        "qens_index_rebuilds_total",
+        "qens_index_cells_probed_total",
+        "qens_index_domains_pruned_total",
+        "qens_index_candidates_total",
+        "qens_index_fallbacks_total",
+    ] {
+        assert!(
+            text.lines().any(|l| l.starts_with(series)),
+            "export must contain a {series} sample"
+        );
+        assert!(
+            text.contains(&format!("# HELP {series} ")),
+            "{series} must carry HELP"
+        );
+        assert!(
+            text.contains(&format!("# TYPE {series} ")),
+            "{series} must carry TYPE"
+        );
+    }
+    assert!(
+        text.contains("qens_index_build_nanos"),
+        "build-cost histogram must be exported"
+    );
+    // Exposition conformance over the index lines specifically.
+    for line in text
+        .lines()
+        .filter(|l| l.starts_with("qens_index_") && !l.is_empty())
+    {
+        let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value in line: {line}"
+        );
+    }
+    let stats = indexed.index_stats();
+    assert_eq!(stats.rebuilds, 1);
+    assert_eq!(stats.probes, 2);
+}
+
+/// Probing and rebuilding must leave trace instants on the logical
+/// clock, so fleet-scale candidate generation is visible in Perfetto
+/// next to the selection spans.
+#[test]
+fn trace_records_index_instants() {
+    let net = network(5);
+    telemetry::trace::set_mode(Some(telemetry::trace::Clock::Logical));
+    telemetry::trace::clear();
+    let indexed = IndexedQueryDriven::new(QueryDriven::top_l(3), GridConfig::default());
+    let q = Query::from_boundary_vec(0, &[0.0, 15.0, 0.0, 30.0]);
+    indexed.select(&SelectionContext::new(&net, &q));
+    let doc = telemetry::trace::export_chrome(None);
+    telemetry::trace::set_mode(None);
+    assert!(
+        doc.contains("selection.index_rebuild"),
+        "trace must record the bulk build"
+    );
+    assert!(
+        doc.contains("selection.index_probe"),
+        "trace must record the probe"
+    );
+    assert!(
+        doc.contains("selection.select_indexed"),
+        "trace must record the indexed selection span"
+    );
+}
